@@ -1,0 +1,9 @@
+set datafile separator ','
+set key autotitle columnhead
+set xlabel "hierarchies"
+set ylabel 'value'
+set term pngcairo size 800,500
+set output 'abl-fuse.png'
+plot 'abl-fuse.csv' using 1:2 with linespoints, \
+     'abl-fuse.csv' using 1:3 with linespoints, \
+     'abl-fuse.csv' using 1:4 with linespoints

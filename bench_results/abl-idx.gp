@@ -1,0 +1,8 @@
+set datafile separator ','
+set key autotitle columnhead
+set xlabel "papers"
+set ylabel 'value'
+set term pngcairo size 800,500
+set output 'abl-idx.png'
+plot 'abl-idx.csv' using 1:2 with linespoints, \
+     'abl-idx.csv' using 1:3 with linespoints

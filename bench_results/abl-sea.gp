@@ -1,0 +1,8 @@
+set datafile separator ','
+set key autotitle columnhead
+set xlabel "terms"
+set ylabel 'value'
+set term pngcairo size 800,500
+set output 'abl-sea.png'
+plot 'abl-sea.csv' using 1:2 with linespoints, \
+     'abl-sea.csv' using 1:3 with linespoints

@@ -1,0 +1,10 @@
+set datafile separator ','
+set key autotitle columnhead
+set xlabel "query"
+set ylabel 'value'
+set term pngcairo size 800,500
+set output 'fig15c.png'
+plot 'fig15c.csv' using 1:2 with linespoints, \
+     'fig15c.csv' using 1:3 with linespoints, \
+     'fig15c.csv' using 1:4 with linespoints, \
+     'fig15c.csv' using 1:5 with linespoints
