@@ -1,0 +1,273 @@
+(* The [toss] command-line tool: generate bibliographic data, inspect
+   documents and their ontologies, and run XPath or TQL queries under the
+   TAX or TOSS semantics.
+
+     toss generate --papers 100 --schema dblp -o dblp.xml
+     toss info dblp.xml
+     toss xpath dblp.xml "//inproceedings[booktitle='VLDB']/title"
+     toss ontology dblp.xml --relation part-of
+     toss clusters dblp.xml --eps 2
+     toss query dblp.xml 'MATCH #1:inproceedings(/#2:author)
+                          WHERE #2.content ~ "Jeffrey D. Ullman" SELECT #1'
+*)
+
+module Tree = Toss_xml.Tree
+module Doc = Tree.Doc
+module Parser = Toss_xml.Parser
+module Printer = Toss_xml.Printer
+module Collection = Toss_store.Collection
+module Hierarchy = Toss_hierarchy.Hierarchy
+module Node = Toss_hierarchy.Node
+module Ontology = Toss_ontology.Ontology
+module Maker = Toss_ontology.Maker
+module Sea = Toss_similarity.Sea
+module Seo = Toss_core.Seo
+module Executor = Toss_core.Executor
+module Tql = Toss_core.Tql
+module Corpus = Toss_data.Corpus
+module Workload = Toss_data.Workload
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_doc path =
+  match Parser.parse (read_file path) with
+  | Ok tree -> tree
+  | Error e ->
+      Format.eprintf "%s: %a@." path Parser.pp_error e;
+      exit 1
+
+let write_out output content =
+  match output with
+  | None -> print_string content
+  | Some path ->
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc content)
+
+(* ---------------------------- generate ---------------------------- *)
+
+let generate papers seed schema output =
+  let corpus = Corpus.generate ~seed ~n_papers:papers () in
+  (match schema with
+  | "dblp" ->
+      let rendered = Toss_data.Dblp_gen.render ~seed corpus in
+      write_out output (Printer.to_pretty_string ~decl:true rendered.Toss_data.Dblp_gen.tree)
+  | "sigmod" ->
+      let rendered = Toss_data.Sigmod_gen.render ~seed corpus in
+      let body =
+        String.concat "\n"
+          (List.map Printer.to_pretty_string rendered.Toss_data.Sigmod_gen.trees)
+      in
+      write_out output ("<pages>\n" ^ body ^ "</pages>\n")
+  | other ->
+      Format.eprintf "unknown schema %S (expected dblp or sigmod)@." other;
+      exit 1);
+  `Ok ()
+
+let generate_cmd =
+  let papers =
+    Arg.(value & opt int 100 & info [ "papers"; "n" ] ~docv:"N" ~doc:"Number of papers.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let schema =
+    Arg.(value & opt string "dblp" & info [ "schema" ] ~docv:"SCHEMA"
+           ~doc:"Output schema: dblp or sigmod.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output file (stdout if omitted).")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic bibliography with ground truth.")
+    Term.(ret (const generate $ papers $ seed $ schema $ output))
+
+(* ------------------------------ info ------------------------------ *)
+
+let info_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    let tree = load_doc file in
+    let doc = Doc.of_tree tree in
+    Printf.printf "root tag:  %s\n" (Doc.tag doc (Doc.root doc));
+    Printf.printf "elements:  %d\n" (Doc.size doc);
+    Printf.printf "bytes:     %d\n" (Printer.byte_size tree);
+    Printf.printf "tags:      %s\n" (String.concat ", " (Doc.tags doc));
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Show statistics of an XML document.")
+    Term.(ret (const run $ file))
+
+(* ----------------------------- xpath ------------------------------ *)
+
+let xpath_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let query = Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH") in
+  let run file query =
+    let tree = load_doc file in
+    let c = Collection.create "cli" in
+    ignore (Collection.add_document c tree);
+    match Toss_store.Xpath_parser.parse query with
+    | Error msg -> `Error (false, "XPath syntax error " ^ msg)
+    | Ok q ->
+        let hits = Collection.eval c q in
+        Printf.printf "%d node(s)\n" (List.length hits);
+        List.iter
+          (fun t -> print_string (Printer.to_pretty_string t))
+          (Collection.subtrees c hits);
+        `Ok ()
+  in
+  Cmd.v (Cmd.info "xpath" ~doc:"Evaluate an XPath query against a document.")
+    Term.(ret (const run $ file $ query))
+
+(* ---------------------------- ontology ---------------------------- *)
+
+let ontology_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let relation =
+    Arg.(value & opt string "isa" & info [ "relation" ] ~docv:"REL"
+           ~doc:"Relation to print: isa or part-of.")
+  in
+  let run file relation =
+    let tree = load_doc file in
+    let o = Maker.make (Doc.of_tree tree) in
+    let rel = if relation = "part-of" then Ontology.part_of else Ontology.isa in
+    let h = Ontology.get rel o in
+    Printf.printf "%s hierarchy: %d nodes, %d edges\n" relation (Hierarchy.n_nodes h)
+      (Hierarchy.n_edges h);
+    List.iter
+      (fun (lo, hi) -> Printf.printf "  %s <= %s\n" (Node.to_string lo) (Node.to_string hi))
+      (Hierarchy.edges h);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "ontology"
+       ~doc:"Run the Ontology Maker on a document and print a hierarchy.")
+    Term.(ret (const run $ file $ relation))
+
+(* ---------------------------- clusters ---------------------------- *)
+
+let clusters_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let eps =
+    Arg.(value & opt float 2.0 & info [ "eps" ] ~docv:"EPS"
+           ~doc:"Similarity threshold for the SEA algorithm.")
+  in
+  let run file eps =
+    let tree = load_doc file in
+    let o = Maker.make (Doc.of_tree tree) in
+    let isa = Ontology.get Ontology.isa o in
+    (match Sea.enhance ~metric:Workload.experiment_metric ~eps isa with
+    | None -> Printf.printf "similarity inconsistent at eps = %g\n" eps
+    | Some e ->
+        let multi = List.filter (fun c -> Node.cardinal c > 1) (Sea.clusters e) in
+        Printf.printf "%d multi-term clusters at eps = %g:\n" (List.length multi) eps;
+        List.iter
+          (fun c -> Printf.printf "  { %s }\n" (String.concat " | " (Node.strings c)))
+          multi);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "clusters"
+       ~doc:"Show the similarity-enhanced ontology's term clusters.")
+    Term.(ret (const run $ file $ eps))
+
+(* ------------------------------ dot ------------------------------- *)
+
+let dot_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let relation =
+    Arg.(value & opt string "isa" & info [ "relation" ] ~docv:"REL"
+           ~doc:"Relation to export: isa or part-of.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output .dot file (stdout if omitted).")
+  in
+  let run file relation output =
+    let tree = load_doc file in
+    let o = Maker.make (Doc.of_tree tree) in
+    let rel = if relation = "part-of" then Ontology.part_of else Ontology.isa in
+    write_out output (Hierarchy.to_dot ~name:relation (Ontology.get rel o));
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export a document's ontology hierarchy as Graphviz.")
+    Term.(ret (const run $ file $ relation $ output))
+
+(* ----------------------------- query ------------------------------ *)
+
+let query files query mode eps show_xpath =
+  let trees = List.map load_doc files in
+  let coll = Collection.create "cli" in
+  List.iter (fun t -> ignore (Collection.add_document coll t)) trees;
+  match Tql.parse query with
+  | Error msg -> `Error (false, "TQL syntax error: " ^ msg)
+  | Ok q -> (
+      let docs = List.map Doc.of_tree trees in
+      match Seo.of_documents ~metric:Workload.experiment_metric ~eps docs with
+      | Error msg -> `Error (false, msg)
+      | Ok seo ->
+          let mode = if mode = "tax" then Executor.Tax else Executor.Toss in
+          if show_xpath then
+            prerr_endline
+              (Toss_core.Explain.to_string
+                 (Toss_core.Explain.explain ~mode seo q.Tql.pattern));
+          (match q.Tql.target with
+          | Tql.Project pl ->
+              (* Projections run through the in-memory algebra. *)
+              let eval =
+                match mode with
+                | Executor.Tax -> Toss_tax.Condition.eval_tax
+                | Executor.Toss -> Toss_core.Toss_condition.evaluator seo
+              in
+              let results =
+                Toss_tax.Algebra.project ~eval ~pattern:q.Tql.pattern ~pl trees
+              in
+              Printf.printf "%d result(s)\n" (List.length results);
+              List.iter (fun t -> print_string (Printer.to_pretty_string t)) results
+          | Tql.Select sl ->
+              let results, stats = Executor.select ~mode seo coll ~pattern:q.Tql.pattern ~sl in
+              Printf.printf "%d result(s) in %.4fs\n" (List.length results)
+                (Executor.total_s stats.Executor.phases);
+              List.iter (fun t -> print_string (Printer.to_pretty_string t)) results);
+          `Ok ())
+
+let query_cmd =
+  let files =
+    Arg.(non_empty & pos_left ~rev:true 0 file [] & info [] ~docv:"FILE")
+  in
+  let q = Arg.(required & pos ~rev:true 0 (some string) None & info [] ~docv:"TQL") in
+  let mode =
+    Arg.(value & opt string "toss" & info [ "mode" ] ~docv:"MODE"
+           ~doc:"Semantics: toss (default) or tax.")
+  in
+  let eps =
+    Arg.(value & opt float 2.0 & info [ "eps" ] ~docv:"EPS"
+           ~doc:"Similarity threshold.")
+  in
+  let show_xpath =
+    Arg.(value & flag & info [ "show-xpath" ]
+           ~doc:"Print the rewritten XPath queries to stderr.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Run a TQL pattern-tree query over one or more documents.")
+    Term.(ret (const query $ files $ q $ mode $ eps $ show_xpath))
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "toss" ~version:"1.0.0"
+      ~doc:"TOSS: ontology- and similarity-aware queries over XML"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ generate_cmd; info_cmd; xpath_cmd; ontology_cmd; clusters_cmd; dot_cmd; query_cmd ]))

@@ -1,0 +1,1 @@
+examples/author_dedup.ml: Array List Printf String Toss_data Toss_hierarchy Toss_similarity Toss_xml

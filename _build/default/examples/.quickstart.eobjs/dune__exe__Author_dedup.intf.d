@@ -1,0 +1,1 @@
+examples/author_dedup.mli:

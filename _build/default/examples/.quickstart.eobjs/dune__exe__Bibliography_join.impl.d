@@ -1,0 +1,1 @@
+examples/bibliography_join.ml: Array List Option Printf Toss_core Toss_data Toss_store Toss_xml

@@ -1,0 +1,1 @@
+examples/government_authors.ml: List Option Printf Toss_core Toss_tax Toss_xml

@@ -1,0 +1,1 @@
+examples/government_authors.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Toss_core Toss_data Toss_tax Toss_xml

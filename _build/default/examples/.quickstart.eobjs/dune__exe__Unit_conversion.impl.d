@@ -1,0 +1,1 @@
+examples/unit_conversion.ml: List Option Printf Result Toss_core Toss_tax Toss_xml

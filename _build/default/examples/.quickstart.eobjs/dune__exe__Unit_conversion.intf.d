@@ -1,0 +1,1 @@
+examples/unit_conversion.mli:

@@ -1,0 +1,1 @@
+examples/venue_analytics.ml: List Option Printf Result Toss_core Toss_data Toss_tax Toss_xml

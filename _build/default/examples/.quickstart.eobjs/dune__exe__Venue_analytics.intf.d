@@ -1,0 +1,1 @@
+examples/venue_analytics.mli:

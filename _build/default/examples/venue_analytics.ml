@@ -1,0 +1,121 @@
+(* Bibliometrics with the full TAX operator set.
+
+   Beyond selection and join, TAX defines grouping, aggregation, renaming
+   and reordering; TOSS inherits them unchanged. This example groups a
+   generated bibliography by venue, counts and spans the publication years
+   per group, and then uses the ontology to aggregate at the *category*
+   level (all database conferences together) -- something plain TAX
+   grouping cannot express without TOSS's isa reasoning.
+
+   Run with: dune exec examples/venue_analytics.exe *)
+
+module Tree = Toss_xml.Tree
+module Doc = Tree.Doc
+module Pattern = Toss_tax.Pattern
+module Condition = Toss_tax.Condition
+module Extended = Toss_tax.Extended
+module Seo = Toss_core.Seo
+module Toss_condition = Toss_core.Toss_condition
+module Corpus = Toss_data.Corpus
+module Dblp_gen = Toss_data.Dblp_gen
+module Workload = Toss_data.Workload
+
+let () =
+  let corpus = Corpus.generate ~seed:12 ~n_papers:120 () in
+  let rendered = Dblp_gen.render ~seed:12 corpus in
+  (* One tree per paper: grouping operates on collections. *)
+  let papers =
+    match rendered.Dblp_gen.tree with
+    | Tree.Element { children; _ } -> children
+    | _ -> []
+  in
+
+  let venue_pattern =
+    Pattern.v
+      (Pattern.node 1 [ Pattern.pc (Pattern.leaf 2) ])
+      (Condition.conj
+         [ Condition.tag_eq 1 "inproceedings"; Condition.tag_eq 2 "booktitle" ])
+  in
+
+  (* 1. Group by venue string and count each group. *)
+  let groups =
+    Extended.group_by ~pattern:venue_pattern ~by:[ Condition.Content 2 ] papers
+  in
+  Printf.printf "%d venue groups over %d papers\n\n" (List.length groups)
+    (List.length papers);
+
+  let group_key g =
+    Tree.fold
+      (fun acc t ->
+        match (acc, t) with
+        | None, Tree.Element { tag = "key"; _ } -> Some (Tree.string_value t)
+        | acc, _ -> acc)
+      None g
+  in
+  let group_size g =
+    Tree.fold
+      (fun acc t ->
+        match t with
+        | Tree.Element { tag = "tax_group_subroot"; children; _ } -> List.length children
+        | _ -> acc)
+      0 g
+  in
+  let by_size =
+    List.sort
+      (fun a b -> compare (group_size b) (group_size a))
+      groups
+  in
+  Printf.printf "largest venues:\n";
+  List.iteri
+    (fun i g ->
+      if i < 5 then
+        Printf.printf "  %-22s %d papers\n"
+          (Option.value ~default:"?" (group_key g))
+          (group_size g))
+    by_size;
+
+  (* 2. Per-paper aggregates: year span of the whole collection. *)
+  let whole = [ rendered.Dblp_gen.tree ] in
+  let deep =
+    Pattern.v
+      (Pattern.node 1 [ Pattern.ad (Pattern.leaf 2) ])
+      (Condition.conj [ Condition.tag_eq 1 "dblp"; Condition.tag_eq 2 "year" ])
+  in
+  let agg a = snd (List.hd (Extended.aggregate ~pattern:deep ~agg:a ~over:(Condition.Content 2) whole)) in
+  Printf.printf "\nyears: %.0f-%.0f (avg %.1f over %.0f papers)\n"
+    (agg Extended.Min) (agg Extended.Max) (agg Extended.Avg) (agg Extended.Count);
+
+  (* 3. Ontology-level aggregation: count papers per venue *category* by
+     evaluating an isa condition under the TOSS semantics. *)
+  let seo =
+    Result.get_ok
+      (Seo.of_documents ~metric:Workload.experiment_metric ~eps:2.0
+         ~content_tags:[ "booktitle" ]
+         [ Doc.of_tree rendered.Dblp_gen.tree ])
+  in
+  let eval = Toss_condition.evaluator seo in
+  Printf.printf "\npapers per category (via isa):\n";
+  List.iter
+    (fun category ->
+      let pattern =
+        Pattern.v
+          (Pattern.node 1 [ Pattern.pc (Pattern.leaf 2) ])
+          (Condition.conj
+             [
+               Condition.tag_eq 1 "inproceedings";
+               Condition.tag_eq 2 "booktitle";
+               Condition.content_isa 2 category;
+             ])
+      in
+      let count =
+        List.length
+          (List.filter
+             (fun (_, n) -> n > 0.)
+             (Extended.aggregate ~eval ~pattern ~agg:Extended.Count
+                ~over:(Condition.Content 2) papers))
+      in
+      Printf.printf "  %-36s %d\n" category count)
+    [
+      "database conference"; "machine learning conference"; "theory conference";
+      "data mining conference"; "web conference";
+    ]

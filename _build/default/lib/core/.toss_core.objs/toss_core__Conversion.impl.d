@@ -1,0 +1,1 @@
+lib/core/conversion.ml: Float Fun Hashtbl List Map Option Printf Queue String

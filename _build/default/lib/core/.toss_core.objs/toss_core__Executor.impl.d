@@ -1,0 +1,1 @@
+lib/core/executor.ml: Hashtbl Int List Option Rewrite Toss_condition Toss_store Toss_tax Toss_xml Unix

@@ -1,0 +1,1 @@
+lib/core/executor.mli: Rewrite Seo Toss_store Toss_tax Toss_xml

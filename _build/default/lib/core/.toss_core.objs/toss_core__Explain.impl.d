@@ -1,0 +1,1 @@
+lib/core/explain.ml: Format List Rewrite Seo Toss_store Toss_tax

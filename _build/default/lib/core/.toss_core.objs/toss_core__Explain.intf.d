@@ -1,0 +1,1 @@
+lib/core/explain.mli: Format Rewrite Seo Toss_tax

@@ -1,0 +1,1 @@
+lib/core/oes.ml: Toss_ontology Toss_xml

@@ -1,0 +1,1 @@
+lib/core/oes.mli: Toss_ontology Toss_xml

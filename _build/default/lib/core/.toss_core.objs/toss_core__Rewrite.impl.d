@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: List Option Seo Toss_store Toss_tax

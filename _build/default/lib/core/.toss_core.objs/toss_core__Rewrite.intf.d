@@ -1,0 +1,1 @@
+lib/core/rewrite.mli: Seo Toss_store Toss_tax

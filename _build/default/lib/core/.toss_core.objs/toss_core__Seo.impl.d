@@ -1,0 +1,1 @@
+lib/core/seo.ml: Conversion Format List Toss_hierarchy Toss_ontology Toss_similarity

@@ -1,0 +1,1 @@
+lib/core/seo.mli: Conversion Toss_hierarchy Toss_ontology Toss_similarity Toss_xml

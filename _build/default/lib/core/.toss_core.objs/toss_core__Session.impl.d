@@ -1,0 +1,1 @@
+lib/core/session.ml: Executor List Printf Seo Toss_condition Toss_ontology Toss_similarity Toss_store Toss_tax Toss_xml Tql

@@ -1,0 +1,1 @@
+lib/core/session.mli: Executor Seo Toss_ontology Toss_similarity Toss_store Toss_xml

@@ -1,0 +1,1 @@
+lib/core/toss_algebra.ml: Toss_condition Toss_tax Toss_xml

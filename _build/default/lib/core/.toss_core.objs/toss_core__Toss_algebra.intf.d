@@ -1,0 +1,1 @@
+lib/core/toss_algebra.mli: Seo Toss_tax Toss_xml

@@ -1,0 +1,1 @@
+lib/core/toss_condition.ml: Conversion List Option Seo String Toss_hierarchy Toss_tax Toss_xml

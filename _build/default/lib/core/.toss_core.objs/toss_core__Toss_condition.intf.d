@@ -1,0 +1,1 @@
+lib/core/toss_condition.mli: Seo Toss_tax

@@ -1,0 +1,1 @@
+lib/core/tql.ml: Buffer List Option Printf String Toss_tax

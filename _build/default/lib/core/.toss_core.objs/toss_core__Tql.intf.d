@@ -1,0 +1,1 @@
+lib/core/tql.mli: Toss_tax

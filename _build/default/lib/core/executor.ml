@@ -1,0 +1,212 @@
+module Pattern = Toss_tax.Pattern
+module Condition = Toss_tax.Condition
+module Embedding = Toss_tax.Embedding
+module Witness = Toss_tax.Witness
+module Algebra = Toss_tax.Algebra
+module Collection = Toss_store.Collection
+module Xpath = Toss_store.Xpath
+module Tree = Toss_xml.Tree
+module Doc = Tree.Doc
+
+type mode = Rewrite.mode = Tax | Toss
+
+type phases = { rewrite_s : float; execute_s : float; assemble_s : float }
+
+type stats = {
+  phases : phases;
+  n_candidates : int;
+  n_embeddings : int;
+  n_results : int;
+  queries : (int * string) list;
+}
+
+let total_s p = p.rewrite_s +. p.execute_s +. p.assemble_s
+
+let now = Unix.gettimeofday
+
+let evaluator_of mode seo =
+  match mode with Tax -> Condition.eval_tax | Toss -> Toss_condition.evaluator seo
+
+(* Set semantics preserving first-occurrence (document) order. *)
+let dedup trees =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun t ->
+      if Hashtbl.mem seen t then false
+      else begin
+        Hashtbl.replace seen t ();
+        true
+      end)
+    trees
+
+(* Fetch candidates for every label; returns a lookup
+   doc_id -> label -> node list, plus the total candidate count. *)
+let fetch ~use_index collection queries =
+  let table : (int * int, Doc.node list) Hashtbl.t = Hashtbl.create 64 in
+  let total = ref 0 in
+  List.iter
+    (fun (label, xpath) ->
+      List.iter
+        (fun (doc_id, node) ->
+          incr total;
+          let key = (doc_id, label) in
+          Hashtbl.replace table key
+            (node :: Option.value ~default:[] (Hashtbl.find_opt table key)))
+        (Collection.eval ~use_index collection xpath))
+    queries;
+  let lookup doc_id label =
+    Some (List.rev (Option.value ~default:[] (Hashtbl.find_opt table (doc_id, label))))
+  in
+  (lookup, !total)
+
+let select ?(mode = Toss) ?(use_index = true) ?max_expansion seo collection ~pattern ~sl =
+  let eval = evaluator_of mode seo in
+  (* Phase i: rewrite. *)
+  let t0 = now () in
+  let queries = Rewrite.label_queries ~mode ?max_expansion seo pattern in
+  let query_strings = List.map (fun (l, q) -> (l, Xpath.to_string q)) queries in
+  let t1 = now () in
+  (* Phase ii: execute against the store. *)
+  let lookup, n_candidates = fetch ~use_index collection queries in
+  let t2 = now () in
+  (* Phase iii: assemble witness trees. *)
+  let n_embeddings = ref 0 in
+  let results =
+    List.concat_map
+      (fun doc_id ->
+        let doc = Collection.doc collection doc_id in
+        let bindings =
+          Embedding.enumerate ~candidates:(lookup doc_id) ~eval doc pattern
+        in
+        n_embeddings := !n_embeddings + List.length bindings;
+        dedup (List.map (fun b -> Witness.of_binding doc b ~sl) bindings))
+      (Collection.doc_ids collection)
+  in
+  let t3 = now () in
+  ( results,
+    {
+      phases = { rewrite_s = t1 -. t0; execute_s = t2 -. t1; assemble_s = t3 -. t2 };
+      n_candidates;
+      n_embeddings = !n_embeddings;
+      n_results = List.length results;
+      queries = query_strings;
+    } )
+
+(* The sub-pattern rooted at a child of the join pattern's root, with the
+   original condition restricted to the conjuncts local to that side. *)
+let side_pattern (pattern : Pattern.t) (child : Pattern.node) =
+  let rec labels_of (n : Pattern.node) =
+    n.Pattern.label :: List.concat_map (fun (_, c) -> labels_of c) n.Pattern.children
+  in
+  let side_labels = labels_of child in
+  let rec top_conjuncts = function
+    | Condition.And (p, q) -> top_conjuncts p @ top_conjuncts q
+    | c -> [ c ]
+  in
+  let local =
+    List.filter
+      (fun conjunct ->
+        let used = Condition.labels_used conjunct in
+        used <> [] && List.for_all (fun l -> List.mem l side_labels) used)
+      (top_conjuncts pattern.Pattern.condition)
+  in
+  (Pattern.v child (Condition.conj local), side_labels)
+
+let join ?(mode = Toss) ?(use_index = true) ?max_expansion seo left_coll right_coll
+    ~pattern ~sl =
+  let eval = evaluator_of mode seo in
+  let root = pattern.Pattern.root in
+  let (left_kind, left_child), (right_kind, right_child) =
+    match root.Pattern.children with
+    | [ l; r ] -> (l, r)
+    | _ -> invalid_arg "Executor.join: the pattern root must have exactly two children"
+  in
+  (* Phase i. *)
+  let t0 = now () in
+  let left_pattern, left_labels = side_pattern pattern left_child in
+  let right_pattern, right_labels = side_pattern pattern right_child in
+  let left_queries = Rewrite.label_queries ~mode ?max_expansion seo left_pattern in
+  let right_queries = Rewrite.label_queries ~mode ?max_expansion seo right_pattern in
+  let query_strings =
+    List.map (fun (l, q) -> (l, Xpath.to_string q)) (left_queries @ right_queries)
+  in
+  let t1 = now () in
+  (* Phase ii. *)
+  let left_lookup, n_left = fetch ~use_index left_coll left_queries in
+  let right_lookup, n_right = fetch ~use_index right_coll right_queries in
+  let t2 = now () in
+  (* Phase iii: embed each side, then pair and check the full condition. *)
+  (* A pc edge from the product root pins the side's root to the document
+     root (the product's direct child); an ad edge lets it match anywhere,
+     as in the paper's Figure 14. *)
+  let embeddings_of coll lookup (sub_pattern : Pattern.t) kind =
+    let side_root = sub_pattern.Pattern.root.Pattern.label in
+    List.concat_map
+      (fun doc_id ->
+        let doc = Collection.doc coll doc_id in
+        let candidates label =
+          let fetched = lookup doc_id label in
+          match (kind, label = side_root) with
+          | Pattern.Pc, true ->
+              Some
+                (List.filter
+                   (Int.equal (Doc.root doc))
+                   (Option.value ~default:[] fetched))
+          | _ -> fetched
+        in
+        List.map
+          (fun b -> (doc, b))
+          (Embedding.enumerate ~candidates ~eval doc sub_pattern))
+      (Collection.doc_ids coll)
+  in
+  let lefts = embeddings_of left_coll left_lookup left_pattern left_kind in
+  let rights = embeddings_of right_coll right_lookup right_pattern right_kind in
+  (* Conjuncts mentioning the product root (e.g. #0.tag = tax_prod_root)
+     describe the synthetic product node and are dropped; they hold by
+     construction of the result. *)
+  let cross_condition =
+    let rec top_conjuncts = function
+      | Condition.And (p, q) -> top_conjuncts p @ top_conjuncts q
+      | c -> [ c ]
+    in
+    Condition.conj
+      (List.filter
+         (fun c -> not (List.mem root.Pattern.label (Condition.labels_used c)))
+         (top_conjuncts pattern.Pattern.condition))
+  in
+  let sl_left = List.filter (fun l -> List.mem l left_labels) sl in
+  let sl_right = List.filter (fun l -> List.mem l right_labels) sl in
+  let results =
+    List.concat_map
+      (fun (ldoc, lbind) ->
+        List.filter_map
+          (fun (rdoc, rbind) ->
+            let env label =
+              match List.assoc_opt label lbind with
+              | Some n -> Some (ldoc, n)
+              | None -> (
+                  match List.assoc_opt label rbind with
+                  | Some n -> Some (rdoc, n)
+                  | None -> None)
+            in
+            if eval env cross_condition then
+              Some
+                (Tree.element Algebra.prod_root_tag
+                   [
+                     Witness.of_binding ldoc lbind ~sl:sl_left;
+                     Witness.of_binding rdoc rbind ~sl:sl_right;
+                   ])
+            else None)
+          rights)
+      lefts
+    |> dedup
+  in
+  let t3 = now () in
+  ( results,
+    {
+      phases = { rewrite_s = t1 -. t0; execute_s = t2 -. t1; assemble_s = t3 -. t2 };
+      n_candidates = n_left + n_right;
+      n_embeddings = List.length lefts + List.length rights;
+      n_results = List.length results;
+      queries = query_strings;
+    } )

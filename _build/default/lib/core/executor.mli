@@ -1,0 +1,57 @@
+(** The Query Executor (TOSS architecture component 3).
+
+    Executes pattern-tree queries against a store collection in the three
+    phases the paper times (Section 6): (i) parse/rewrite the pattern tree
+    into XPath queries, (ii) execute the XPath queries against the store,
+    (iii) assemble the fetched candidates into TAX-form witness trees
+    (re-checking the full selection condition). The [mode] selects the
+    baseline TAX semantics or the ontology-aware TOSS semantics; both run
+    the same pipeline, so measured differences reflect the ontology
+    accesses, as in the paper. *)
+
+type mode = Rewrite.mode = Tax | Toss
+
+type phases = {
+  rewrite_s : float;  (** phase (i) seconds *)
+  execute_s : float;  (** phase (ii) seconds *)
+  assemble_s : float;  (** phase (iii) seconds *)
+}
+
+type stats = {
+  phases : phases;
+  n_candidates : int;  (** candidate nodes fetched across labels *)
+  n_embeddings : int;
+  n_results : int;
+  queries : (int * string) list;  (** label -> XPath sent to the store *)
+}
+
+val total_s : phases -> float
+
+val select :
+  ?mode:mode ->
+  ?use_index:bool ->
+  ?max_expansion:int ->
+  Seo.t ->
+  Toss_store.Collection.t ->
+  pattern:Toss_tax.Pattern.t ->
+  sl:int list ->
+  Toss_xml.Tree.t list * stats
+(** [σ_{P,SL}] over every document of the collection. *)
+
+val join :
+  ?mode:mode ->
+  ?use_index:bool ->
+  ?max_expansion:int ->
+  Seo.t ->
+  Toss_store.Collection.t ->
+  Toss_store.Collection.t ->
+  pattern:Toss_tax.Pattern.t ->
+  sl:int list ->
+  Toss_xml.Tree.t list * stats
+(** Condition join of two collections. The pattern's root must have
+    exactly two children — the sub-pattern matched in the left collection
+    and the one matched in the right (as in the paper's Figure 14); the
+    root itself stands for the product node and is not matched against
+    either store. An ad edge from the root lets the side match anywhere in
+    a document; a pc edge pins it to the document root. Cross-collection
+    atoms are evaluated during assembly. *)

@@ -1,0 +1,70 @@
+module Pattern = Toss_tax.Pattern
+module Condition = Toss_tax.Condition
+module Xpath = Toss_store.Xpath
+
+type expansion = { operator : string; constant : string; terms : string list }
+
+type t = {
+  mode : Rewrite.mode;
+  label_queries : (int * string) list;
+  expansions : expansion list;
+  residual_atoms : string list;
+}
+
+let atom_to_string atom = Format.asprintf "%a" Condition.pp atom
+
+(* An atom is pushable when it is a node-local top-level conjunct; those
+   are exactly what [Rewrite] turns into name tests and predicates. *)
+let residual_atoms_of (pattern : Pattern.t) =
+  let condition = pattern.Pattern.condition in
+  let local =
+    List.concat_map (Condition.local_atoms condition) (Pattern.labels pattern)
+  in
+  List.filter (fun atom -> not (List.memq atom local)) (Condition.atoms condition)
+
+let expansions_of ~mode seo (pattern : Pattern.t) =
+  if mode = Rewrite.Tax then []
+  else
+    List.filter_map
+      (fun atom ->
+        match atom with
+        | Condition.Sim (_, Condition.Str s) | Condition.Sim (Condition.Str s, _) ->
+            Some { operator = "~"; constant = s; terms = Seo.similar_terms seo s }
+        | Condition.Isa (_, Condition.Str s) | Condition.Below (_, Condition.Str s) ->
+            Some { operator = "isa"; constant = s; terms = Seo.isa_below seo s }
+        | Condition.Part_of (_, Condition.Str s) ->
+            Some { operator = "part_of"; constant = s; terms = Seo.part_below seo s }
+        | _ -> None)
+      (Condition.atoms pattern.Pattern.condition)
+
+let explain ?(mode = Rewrite.Toss) ?max_expansion seo pattern =
+  let queries = Rewrite.label_queries ~mode ?max_expansion seo pattern in
+  {
+    mode;
+    label_queries = List.map (fun (l, q) -> (l, Xpath.to_string q)) queries;
+    expansions = expansions_of ~mode seo pattern;
+    residual_atoms = List.map atom_to_string (residual_atoms_of pattern);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>mode: %s@,"
+    (match t.mode with Rewrite.Tax -> "TAX" | Rewrite.Toss -> "TOSS");
+  Format.fprintf ppf "store queries:@,";
+  List.iter
+    (fun (label, q) -> Format.fprintf ppf "  #%d: %s@," label q)
+    t.label_queries;
+  if t.expansions <> [] then begin
+    Format.fprintf ppf "expansions:@,";
+    List.iter
+      (fun e ->
+        Format.fprintf ppf "  %s %S -> %d term(s)@," e.operator e.constant
+          (List.length e.terms))
+      t.expansions
+  end;
+  if t.residual_atoms <> [] then begin
+    Format.fprintf ppf "re-checked during assembly:@,";
+    List.iter (fun a -> Format.fprintf ppf "  %s@," a) t.residual_atoms
+  end;
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t

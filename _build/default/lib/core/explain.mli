@@ -1,0 +1,27 @@
+(** Query plans: what the rewriter will send to the store and why.
+
+    Summarizes, for a pattern tree under a given SEO context, the XPath
+    query each label gets, the ontology/similarity expansions applied to
+    the condition's constants, and which atoms remain for the assembly
+    phase. Surfaced by the CLI's [--explain] and useful when judging why a
+    TOSS query is slower than its TAX counterpart (more disjuncts = more
+    candidates). *)
+
+type expansion = {
+  operator : string;  (** "~", "isa", "part_of" *)
+  constant : string;
+  terms : string list;  (** what the constant expands to *)
+}
+
+type t = {
+  mode : Rewrite.mode;
+  label_queries : (int * string) list;  (** label -> XPath sent to the store *)
+  expansions : expansion list;
+  residual_atoms : string list;
+      (** atoms re-checked during assembly (cross-label or unpushable) *)
+}
+
+val explain : ?mode:Rewrite.mode -> ?max_expansion:int -> Seo.t -> Toss_tax.Pattern.t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

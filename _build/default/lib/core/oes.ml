@@ -1,0 +1,19 @@
+module Ontology = Toss_ontology.Ontology
+module Maker = Toss_ontology.Maker
+module Doc = Toss_xml.Tree.Doc
+module Value_type = Toss_xml.Value_type
+
+type t = { doc : Doc.t; ontology : Ontology.t }
+
+let v doc ontology = { doc; ontology }
+
+let of_doc ?lexicon ?content_tags ?max_content_terms doc =
+  { doc; ontology = Maker.make ?lexicon ?content_tags ?max_content_terms doc }
+
+let of_tree ?lexicon ?content_tags ?max_content_terms tree =
+  of_doc ?lexicon ?content_tags ?max_content_terms (Doc.of_tree tree)
+
+let doc t = t.doc
+let ontology t = t.ontology
+let tag_type _ _ = Value_type.String
+let content_type t node = Value_type.infer (Doc.content t.doc node)

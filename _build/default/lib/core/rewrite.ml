@@ -1,0 +1,154 @@
+module Pattern = Toss_tax.Pattern
+module Condition = Toss_tax.Condition
+module Xpath = Toss_store.Xpath
+
+type mode = Tax | Toss
+
+(* Tag alternatives for one pattern node: [None] = unconstrained. *)
+let tag_options ~mode ~max_expansion seo atoms =
+  let constrain current options =
+    match current with
+    | None -> Some options
+    | Some existing -> Some (List.filter (fun t -> List.mem t options) existing)
+  in
+  List.fold_left
+    (fun acc atom ->
+      match (atom, mode) with
+      | Condition.Cmp (Condition.Tag _, Condition.Eq, Condition.Str s), _
+      | Condition.Cmp (Condition.Str s, Condition.Eq, Condition.Tag _), _ ->
+          constrain acc [ s ]
+      | Condition.Isa (Condition.Tag _, Condition.Str s), Toss
+      | Condition.Below (Condition.Tag _, Condition.Str s), Toss ->
+          let below = Seo.isa_below seo s in
+          if List.length below <= max_expansion then constrain acc below else acc
+      | Condition.Part_of (Condition.Tag _, Condition.Str s), Toss ->
+          let below = Seo.part_below seo s in
+          if List.length below <= max_expansion then constrain acc below else acc
+      | _ -> acc)
+    None atoms
+
+(* Content predicates for one pattern node. *)
+let content_predicates ~mode ~max_expansion seo atoms =
+  let eq_disjunction values =
+    match values with
+    | [] -> None
+    | v :: vs ->
+        Some
+          (List.fold_left
+             (fun p v -> Xpath.Or (p, Xpath.Content_eq v))
+             (Xpath.Content_eq v) vs)
+  in
+  List.filter_map
+    (fun atom ->
+      match (atom, mode) with
+      | Condition.Cmp (Condition.Content _, Condition.Eq, Condition.Str s), _
+      | Condition.Cmp (Condition.Str s, Condition.Eq, Condition.Content _), _ ->
+          Some (Xpath.Content_eq s)
+      | Condition.Contains (Condition.Content _, s), _ ->
+          Some (Xpath.Content_contains s)
+      | Condition.Sim (Condition.Content _, Condition.Str s), Tax
+      | Condition.Sim (Condition.Str s, Condition.Content _), Tax ->
+          Some (Xpath.Content_eq s)
+      | Condition.Sim (Condition.Content _, Condition.Str s), Toss
+      | Condition.Sim (Condition.Str s, Condition.Content _), Toss ->
+          (* Only push the expansion when the constant is an ontology term;
+             otherwise the evaluator's direct-distance fallback must see
+             unrestricted candidates. *)
+          if Seo.knows_term seo s then begin
+            let terms = Seo.similar_terms seo s in
+            if List.length terms <= max_expansion then eq_disjunction terms else None
+          end
+          else None
+      | Condition.Isa (Condition.Content _, Condition.Str s), Tax
+      | Condition.Below (Condition.Content _, Condition.Str s), Tax ->
+          Some (Xpath.Content_contains s)
+      | Condition.Isa (Condition.Content _, Condition.Str s), Toss
+      | Condition.Below (Condition.Content _, Condition.Str s), Toss ->
+          let terms = Seo.isa_below seo s in
+          if List.length terms <= max_expansion then eq_disjunction terms else None
+      | Condition.Part_of (Condition.Content _, Condition.Str s), Toss ->
+          let terms = Seo.part_below seo s in
+          if List.length terms <= max_expansion then eq_disjunction terms else None
+      | _ -> None)
+    atoms
+
+(* The chain of pattern nodes from the root down to [label], with the edge
+   kinds along the way (one fewer than the nodes). *)
+let chain_to (pattern : Pattern.t) label =
+  let rec search (node : Pattern.node) =
+    if node.Pattern.label = label then Some ([ node ], [])
+    else
+      List.find_map
+        (fun (kind, child) ->
+          Option.map
+            (fun (nodes, kinds) -> (node :: nodes, kind :: kinds))
+            (search child))
+        node.Pattern.children
+  in
+  search pattern.Pattern.root
+
+let label_queries ?(mode = Toss) ?(max_expansion = 64) seo (pattern : Pattern.t) =
+  let condition = pattern.Pattern.condition in
+  let step_of (node : Pattern.node) axis =
+    let atoms = Condition.local_atoms condition node.Pattern.label in
+    let tags = tag_options ~mode ~max_expansion seo atoms in
+    let predicates = content_predicates ~mode ~max_expansion seo atoms in
+    let tags =
+      match tags with
+      | Some ts when List.length ts <= max_expansion && ts <> [] -> Some ts
+      | Some [] -> Some []
+      | _ -> None
+    in
+    (axis, tags, predicates)
+  in
+  let query_for label =
+    match chain_to pattern label with
+    | None -> Xpath.path [ Xpath.any ~axis:Xpath.Descendant () ]
+    | Some (nodes, kinds) ->
+        (* First node uses the descendant axis (a pattern can embed
+           anywhere); subsequent axes follow the edge kinds. *)
+        let axes =
+          Xpath.Descendant
+          :: List.map
+               (fun kind ->
+                 match kind with Pattern.Pc -> Xpath.Child | Pattern.Ad -> Xpath.Descendant)
+               kinds
+        in
+        let steps = List.map2 step_of nodes axes in
+        (* Expand tag alternatives into a union of paths, capped. *)
+        let paths =
+          List.fold_left
+            (fun paths (axis, tags, predicates) ->
+              let options =
+                match tags with
+                | None -> [ Xpath.any ~axis ~predicates () ]
+                | Some ts -> List.map (fun tg -> Xpath.step ~axis ~predicates tg) ts
+              in
+              List.concat_map (fun path -> List.map (fun st -> st :: path) options) paths)
+            [ [] ] steps
+        in
+        let paths = List.map List.rev paths in
+        if List.length paths > max_expansion then
+          (* Too many alternatives: drop the name tests, keep structure. *)
+          Xpath.path
+            (List.map (fun (axis, _, predicates) -> Xpath.any ~axis ~predicates ()) steps)
+        else paths
+  in
+  List.map (fun label -> (label, query_for label)) (Pattern.labels pattern)
+
+let rec expand_condition seo c =
+  let eq_disj term values =
+    Condition.disj
+      (List.map (fun v -> Condition.Cmp (term, Condition.Eq, Condition.Str v)) values)
+  in
+  match c with
+  | Condition.Sim (x, Condition.Str s) -> eq_disj x (Seo.similar_terms seo s)
+  | Condition.Sim (Condition.Str s, x) -> eq_disj x (Seo.similar_terms seo s)
+  | Condition.Isa (x, Condition.Str s) | Condition.Below (x, Condition.Str s) ->
+      eq_disj x (Seo.isa_below seo s)
+  | Condition.Part_of (x, Condition.Str s) -> eq_disj x (Seo.part_below seo s)
+  | Condition.Above (Condition.Str s, x) -> eq_disj x (Seo.isa_below seo s)
+  | Condition.And (p, q) -> Condition.And (expand_condition seo p, expand_condition seo q)
+  | Condition.Or (p, q) -> Condition.Or (expand_condition seo p, expand_condition seo q)
+  | Condition.Not p -> Condition.Not (expand_condition seo p)
+  | c -> c

@@ -1,0 +1,35 @@
+(** Pattern-tree to XPath rewriting (Section 6, phase i).
+
+    For every label of a pattern tree, builds the XPath query that fetches
+    its candidate nodes from the store: the location path follows the
+    pattern chain from the root (pc edges become [/], ad edges and the
+    root become [//]); node-local conjuncts become name tests and
+    predicates. Under {!Toss} mode, ontology and similarity conditions are
+    expanded through the SEO — a [~] condition becomes a disjunction of
+    exact tests over every co-similar term, an [isa]/[below]/[part_of]
+    condition a disjunction over the ontology's below-set — whereas
+    {!Tax} mode uses exact match for [~] and substring containment for the
+    ontology operators, exactly how the paper ran its baseline.
+
+    Rewriting is an optimization: conditions that cannot be pushed into
+    XPath (cross-label atoms, disjunctions, oversized expansions) are
+    simply left to the assembly phase, which re-checks the full condition. *)
+
+type mode = Tax | Toss
+
+val label_queries :
+  ?mode:mode ->
+  ?max_expansion:int ->
+  Seo.t ->
+  Toss_tax.Pattern.t ->
+  (int * Toss_store.Xpath.t) list
+(** One query per pattern label, in preorder. [max_expansion] (default 64)
+    caps the size of ontology expansions pushed into a predicate or name
+    test; larger expansions degrade to unconstrained steps. *)
+
+val expand_condition : Seo.t -> Toss_tax.Condition.t -> Toss_tax.Condition.t
+(** The condition with every [~] and [isa]-family atom over a constant
+    replaced by the equivalent disjunction of exact atoms — what
+    Section 3 calls transforming the user query to take the SEO into
+    account. Used for inspection and testing; the executor evaluates
+    conditions directly against the SEO instead. *)

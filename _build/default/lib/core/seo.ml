@@ -1,0 +1,99 @@
+module Hierarchy = Toss_hierarchy.Hierarchy
+module Metric = Toss_similarity.Metric
+module Sea = Toss_similarity.Sea
+module Levenshtein = Toss_similarity.Levenshtein
+module Ontology = Toss_ontology.Ontology
+module Maker = Toss_ontology.Maker
+module Fusion = Toss_ontology.Fusion
+
+type t = {
+  fused : Ontology.t;
+  enhancement : Sea.t option;
+  metric : Metric.t;
+  eps : float;
+  conversions : Conversion.t;
+}
+
+let create ?(conversions = Conversion.standard) ?(metric = Levenshtein.metric)
+    ?(eps = 0.) ontology =
+  if eps < 0. then Error "Seo.create: negative threshold"
+  else begin
+    let isa = Ontology.get Ontology.isa ontology in
+    let enhancement =
+      if eps = 0. then None
+      else
+        match Sea.enhance ~metric ~eps isa with
+        | Some e -> Some e
+        | None ->
+            (* Figure 12's existential edge lift found a cycle: the triple
+               is similarity inconsistent in the strict sense. Fall back
+               to the universal lift (the one Theorem 1's proof uses),
+               which keeps only the orderings every merged member agrees
+               on and therefore always yields a DAG. *)
+            Sea.enhance ~lift:Sea.Universal ~metric ~eps isa
+    in
+    Ok { fused = ontology; enhancement; metric; eps; conversions }
+  end
+
+let create_exn ?conversions ?metric ?eps ontology =
+  match create ?conversions ?metric ?eps ontology with
+  | Ok t -> t
+  | Error msg -> failwith msg
+
+let of_documents ?conversions ?metric ?eps ?lexicon ?content_tags ?max_content_terms
+    docs =
+  let ontologies = Maker.make_all ?lexicon ?content_tags ?max_content_terms docs in
+  let constraints = Maker.auto_constraints ?lexicon ontologies in
+  match Fusion.fuse_ontologies ontologies constraints with
+  | Error (rel, e) ->
+      Error (Format.asprintf "fusion failed on relation %s: %a" rel Fusion.pp_error e)
+  | Ok fused -> create ?conversions ?metric ?eps fused
+
+let eps t = t.eps
+let metric t = t.metric
+let conversions t = t.conversions
+let enhancement t = t.enhancement
+let ontology t = t.fused
+
+let isa_hierarchy t =
+  match t.enhancement with
+  | Some e -> e.Sea.hierarchy
+  | None -> Ontology.get Ontology.isa t.fused
+
+let part_of_hierarchy t = Ontology.get Ontology.part_of t.fused
+
+let similar t x y =
+  if x = y then true
+  else
+    match t.enhancement with
+    | Some e ->
+        let known s = Hierarchy.mem_term s e.Sea.hierarchy in
+        if known x && known y then Sea.similar e x y
+        else
+          (* Terms outside the ontology fall back to the raw measure. *)
+          Metric.within t.metric ~eps:t.eps x y
+    | None -> Metric.within t.metric ~eps:t.eps x y
+
+let similar_terms t x =
+  match t.enhancement with
+  | Some e -> (
+      match Sea.similar_terms e x with [] -> [ x ] | ts -> ts)
+  | None -> [ x ]
+
+let leq_isa t x y =
+  if x = y then true else Hierarchy.leq (isa_hierarchy t) x y
+
+let isa_below t x =
+  let h = isa_hierarchy t in
+  match Hierarchy.below x h with [] -> [ x ] | below -> below
+
+let leq_part t x y = if x = y then true else Hierarchy.leq (part_of_hierarchy t) x y
+
+let part_below t x =
+  match Hierarchy.below x (part_of_hierarchy t) with [] -> [ x ] | below -> below
+
+let knows_term t s = Hierarchy.mem_term s (isa_hierarchy t)
+
+let n_terms t =
+  List.length (Hierarchy.terms (isa_hierarchy t))
+  + List.length (Hierarchy.terms (part_of_hierarchy t))

@@ -1,0 +1,117 @@
+module Tree = Toss_xml.Tree
+module Doc = Tree.Doc
+module Collection = Toss_store.Collection
+module Database = Toss_store.Database
+module Metric = Toss_similarity.Metric
+module Levenshtein = Toss_similarity.Levenshtein
+
+type t = {
+  database : Database.t;
+  metric : Metric.t;
+  eps : float;
+  lexicon : Toss_ontology.Lexicon.t option;
+  content_tags : string list option;
+  max_content_terms : int option;
+  mutable cached_seo : (Seo.t, string) result option;
+}
+
+let create ?(metric = Levenshtein.metric) ?(eps = 2.0) ?lexicon ?content_tags
+    ?max_content_terms () =
+  {
+    database = Database.create ();
+    metric;
+    eps;
+    lexicon;
+    content_tags;
+    max_content_terms;
+    cached_seo = None;
+  }
+
+let invalidate t = t.cached_seo <- None
+
+let add_collection t name =
+  match Database.collection t.database name with
+  | Some c -> c
+  | None -> Database.create_collection t.database name
+
+let add_document t ~collection tree =
+  ignore (Collection.add_document (add_collection t collection) tree);
+  invalidate t
+
+let add_xml t ~collection xml =
+  match Collection.add_xml (add_collection t collection) xml with
+  | Ok _ ->
+      invalidate t;
+      Ok ()
+  | Error e -> Error e
+
+let collection t name = Database.collection t.database name
+let collection_names t = Database.collection_names t.database
+
+let all_docs t =
+  List.concat_map
+    (fun name ->
+      let c = Database.collection_exn t.database name in
+      List.map (fun id -> Collection.doc c id) (Collection.doc_ids c))
+    (collection_names t)
+
+let seo t =
+  match t.cached_seo with
+  | Some result -> result
+  | None ->
+      let result =
+        Seo.of_documents ~metric:t.metric ~eps:t.eps ?lexicon:t.lexicon
+          ?content_tags:t.content_tags ?max_content_terms:t.max_content_terms
+          (all_docs t)
+      in
+      t.cached_seo <- Some result;
+      result
+
+type answer = { trees : Tree.t list; stats : Executor.stats option }
+
+let with_query t text f =
+  match Tql.parse text with
+  | Error msg -> Error ("TQL: " ^ msg)
+  | Ok q -> (
+      match seo t with
+      | Error msg -> Error msg
+      | Ok context -> f q context)
+
+let query ?(mode = Executor.Toss) t ~collection:name text =
+  match Database.collection t.database name with
+  | None -> Error (Printf.sprintf "unknown collection %S" name)
+  | Some coll ->
+      with_query t text (fun q context ->
+          match q.Tql.target with
+          | Tql.Select sl ->
+              let trees, stats = Executor.select ~mode context coll ~pattern:q.Tql.pattern ~sl in
+              Ok { trees; stats = Some stats }
+          | Tql.Project pl ->
+              let eval =
+                match mode with
+                | Executor.Tax -> Toss_tax.Condition.eval_tax
+                | Executor.Toss -> Toss_condition.evaluator context
+              in
+              let inputs =
+                List.map
+                  (fun id -> Doc.to_tree (Collection.doc coll id))
+                  (Collection.doc_ids coll)
+              in
+              let trees =
+                Toss_tax.Algebra.project ~eval ~pattern:q.Tql.pattern ~pl inputs
+              in
+              Ok { trees; stats = None })
+
+let join ?(mode = Executor.Toss) t ~left ~right text =
+  match (Database.collection t.database left, Database.collection t.database right) with
+  | None, _ -> Error (Printf.sprintf "unknown collection %S" left)
+  | _, None -> Error (Printf.sprintf "unknown collection %S" right)
+  | Some l, Some r ->
+      with_query t text (fun q context ->
+          match q.Tql.target with
+          | Tql.Project _ -> Error "join does not support PROJECT"
+          | Tql.Select sl ->
+              let trees, stats =
+                Executor.join ~mode context l r ~pattern:q.Tql.pattern ~sl
+              in
+              Ok { trees; stats = Some stats })

@@ -1,0 +1,56 @@
+(** A TOSS session: the assembled system of the paper's Figure 8.
+
+    A session owns a set of named collections (the Xindice role), lazily
+    precomputes one similarity-enhanced fused ontology over everything
+    stored (Ontology Maker → fusion → SEA), and executes TQL queries in
+    either semantics. Adding documents invalidates the precomputed SEO;
+    it is rebuilt on the next query. *)
+
+type t
+
+val create :
+  ?metric:Toss_similarity.Metric.t ->
+  ?eps:float ->
+  ?lexicon:Toss_ontology.Lexicon.t ->
+  ?content_tags:string list ->
+  ?max_content_terms:int ->
+  unit ->
+  t
+(** The default measure is Levenshtein with [eps = 2]. *)
+
+val add_collection : t -> string -> Toss_store.Collection.t
+(** Creates (or returns) a named collection. *)
+
+val add_document : t -> collection:string -> Toss_xml.Tree.t -> unit
+val add_xml : t -> collection:string -> string -> (unit, Toss_xml.Parser.error) result
+val collection : t -> string -> Toss_store.Collection.t option
+val collection_names : t -> string list
+
+val seo : t -> (Seo.t, string) result
+(** The precomputed context, rebuilding it if documents changed since the
+    last call. *)
+
+type answer = {
+  trees : Toss_xml.Tree.t list;
+  stats : Executor.stats option;  (** [None] for projections *)
+}
+
+val query :
+  ?mode:Executor.mode -> t -> collection:string -> string -> (answer, string) result
+(** Parses a TQL string and runs it against one collection (selection
+    through the store executor, projection through the in-memory
+    algebra). *)
+
+val join :
+  ?mode:Executor.mode ->
+  t ->
+  left:string ->
+  right:string ->
+  string ->
+  (answer, string) result
+(** A TQL join across two collections; the TQL pattern's root must have
+    two children (see {!Executor.join}). *)
+
+val invalidate : t -> unit
+(** Forces the SEO to be rebuilt on next use (e.g. after editing the
+    lexicon-derived ontology externally). *)

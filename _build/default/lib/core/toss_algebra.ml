@@ -1,0 +1,18 @@
+module Algebra = Toss_tax.Algebra
+
+type collection = Toss_xml.Tree.t list
+
+let select seo ~pattern ~sl c =
+  Algebra.select ~eval:(Toss_condition.evaluator seo) ~pattern ~sl c
+
+let project seo ~pattern ~pl c =
+  Algebra.project ~eval:(Toss_condition.evaluator seo) ~pattern ~pl c
+
+let product = Algebra.product
+
+let join seo ~pattern ~sl c1 c2 =
+  Algebra.join ~eval:(Toss_condition.evaluator seo) ~pattern ~sl c1 c2
+
+let union = Algebra.union
+let intersect = Algebra.intersect
+let difference = Algebra.difference

@@ -1,0 +1,18 @@
+(** The TOSS algebra (Section 5.1.2): the TAX operators re-interpreted
+    over a similarity-enhanced ontology context.
+
+    Every answer TAX returns is also returned by TOSS (the ontology
+    semantics only widens atom satisfaction for positive conditions), and
+    at [ε = 0] with an empty ontology the two coincide — both properties
+    are exercised by the test suite. *)
+
+type collection = Toss_xml.Tree.t list
+
+val select : Seo.t -> pattern:Toss_tax.Pattern.t -> sl:int list -> collection -> collection
+val project : Seo.t -> pattern:Toss_tax.Pattern.t -> pl:int list -> collection -> collection
+val product : collection -> collection -> collection
+val join :
+  Seo.t -> pattern:Toss_tax.Pattern.t -> sl:int list -> collection -> collection -> collection
+val union : collection -> collection -> collection
+val intersect : collection -> collection -> collection
+val difference : collection -> collection -> collection

@@ -1,0 +1,75 @@
+module Condition = Toss_tax.Condition
+module Value_type = Toss_xml.Value_type
+
+let contains ~needle haystack =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else
+    let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+    go 0
+
+let compare_converted seo cmp a b =
+  let ta = Value_type.name (Value_type.infer a) in
+  let tb = Value_type.name (Value_type.infer b) in
+  let conversions = Seo.conversions seo in
+  let a', b' =
+    if ta = tb then (a, b)
+    else if Conversion.exists conversions ~from:ta ~into:tb then
+      (Option.value ~default:a (Conversion.convert conversions ~from:ta ~into:tb a), b)
+    else if Conversion.exists conversions ~from:tb ~into:ta then
+      (a, Option.value ~default:b (Conversion.convert conversions ~from:tb ~into:ta b))
+    else (a, b)
+  in
+  Condition.compare_values cmp a' b'
+
+(* X instance_of Y: X's value is below the type Y, or X's inferred
+   primitive type is Y (values of a type are types, Section 5). *)
+let instance_of seo x_value y_value =
+  Seo.leq_isa seo x_value y_value
+  || Value_type.name (Value_type.infer x_value) = y_value
+
+let subtype_of seo x_value y_value =
+  let h = Seo.isa_hierarchy seo in
+  Toss_hierarchy.Hierarchy.mem_term x_value h
+  && Toss_hierarchy.Hierarchy.mem_term y_value h
+  && Seo.leq_isa seo x_value y_value
+
+let below seo x y = instance_of seo x y || subtype_of seo x y
+
+let rec eval seo env c =
+  let value t = Condition.term_value env t in
+  let binary f x y =
+    match (value x, value y) with Some a, Some b -> f a b | _ -> false
+  in
+  match c with
+  | Condition.True -> true
+  | Condition.Cmp (x, cmp, y) -> binary (compare_converted seo cmp) x y
+  | Condition.Contains (x, s) -> (
+      match value x with Some a -> contains ~needle:s a | None -> false)
+  | Condition.Sim (x, y) -> binary (Seo.similar seo) x y
+  | Condition.Isa (x, y) -> binary (Seo.leq_isa seo) x y
+  | Condition.Part_of (x, y) -> binary (Seo.leq_part seo) x y
+  | Condition.Instance_of (x, y) -> binary (instance_of seo) x y
+  | Condition.Subtype_of (x, y) -> binary (subtype_of seo) x y
+  | Condition.Below (x, y) -> binary (below seo) x y
+  | Condition.Above (x, y) -> binary (fun a b -> below seo b a) x y
+  | Condition.And (p, q) -> eval seo env p && eval seo env q
+  | Condition.Or (p, q) -> eval seo env p || eval seo env q
+  | Condition.Not p -> not (eval seo env p)
+
+let evaluator seo env c = eval seo env c
+
+let well_typed seo c =
+  let convertible a b =
+    let ta = Value_type.name (Value_type.infer a) in
+    let tb = Value_type.name (Value_type.infer b) in
+    ta = tb
+    || Conversion.exists (Seo.conversions seo) ~from:ta ~into:tb
+    || Conversion.exists (Seo.conversions seo) ~from:tb ~into:ta
+  in
+  List.for_all
+    (fun atom ->
+      match atom with
+      | Condition.Cmp (Condition.Str a, _, Condition.Str b) -> convertible a b
+      | _ -> true)
+    (Condition.atoms c)

@@ -1,0 +1,29 @@
+(** TOSS satisfaction of selection conditions (Section 5.1.1).
+
+    Interprets the same condition AST as the TAX baseline, but against a
+    similarity-enhanced ontology context:
+
+    - [X ~ Y] holds iff some node of the similarity enhancement contains
+      both values;
+    - [X isa Y] / [X part_of Y] consult the (enhanced) hierarchies;
+    - [X instance_of Y] holds when X's value sits below the type Y in the
+      isa hierarchy or X's inferred primitive type is Y;
+    - [X subtype_of Y] requires both values to be ontology terms with
+      X at-or-below Y;
+    - [X below Y] is [instance_of or subtype_of]; [X above Y] is
+      [Y below X];
+    - comparisons convert both sides to a common type through the
+      context's conversion functions before comparing. *)
+
+val eval : Seo.t -> Toss_tax.Condition.env -> Toss_tax.Condition.t -> bool
+
+val evaluator : Seo.t -> Toss_tax.Algebra.evaluator
+(** Partial application of {!eval}, for plugging into the TAX operators. *)
+
+val well_typed : Seo.t -> Toss_tax.Condition.t -> bool
+(** A condition is well-typed when every comparison's two sides have
+    convertible primitive types (Section 5.1.1). Conditions over terms
+    whose types are only known per-binding are treated optimistically. *)
+
+val compare_converted : Seo.t -> Toss_tax.Condition.cmp -> string -> string -> bool
+(** The conversion-aware comparison used for [Cmp] atoms. *)

@@ -1,0 +1,1 @@
+lib/data/corpus.ml: Array Hashtbl List Names Printf Random Titles

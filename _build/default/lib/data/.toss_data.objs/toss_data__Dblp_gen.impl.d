@@ -1,0 +1,1 @@
+lib/data/dblp_gen.ml: Array Corpus List Printf Random Toss_xml Variant

@@ -1,0 +1,1 @@
+lib/data/dblp_gen.mli: Corpus Toss_xml Variant

@@ -1,0 +1,1 @@
+lib/data/names.mli: Format Random

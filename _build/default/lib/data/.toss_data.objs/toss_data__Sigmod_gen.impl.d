@@ -1,0 +1,1 @@
+lib/data/sigmod_gen.ml: Array Corpus Hashtbl List Option Random Titles Toss_xml Variant

@@ -1,0 +1,1 @@
+lib/data/sigmod_gen.mli: Corpus Toss_xml Variant

@@ -1,0 +1,1 @@
+lib/data/titles.ml: Array List Printf Random String

@@ -1,0 +1,1 @@
+lib/data/titles.mli: Random

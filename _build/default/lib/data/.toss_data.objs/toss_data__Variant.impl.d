@@ -1,0 +1,1 @@
+lib/data/variant.ml: Bytes Char Names Printf Random String

@@ -1,0 +1,1 @@
+lib/data/variant.mli: Names Random

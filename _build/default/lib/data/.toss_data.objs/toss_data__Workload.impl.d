@@ -1,0 +1,1 @@
+lib/data/workload.ml: Array Corpus Float Int List Printf String Toss_similarity Toss_tax Toss_xml Variant

@@ -1,0 +1,1 @@
+lib/data/workload.mli: Corpus Toss_similarity Toss_tax Toss_xml

@@ -1,0 +1,84 @@
+module Tree = Toss_xml.Tree
+
+type t = {
+  trees : Tree.t list;
+  author_strings : (string * int * string) list;
+  title_strings : (string * string) list;
+}
+
+let style_profile =
+  [
+    (Variant.First_initial, 0.75);
+    (Variant.Full, 0.10);
+    (Variant.Drop_middle, 0.08);
+    (Variant.Typo 1, 0.05);
+    (Variant.Typo 2, 0.02);
+  ]
+
+let draw_style rng profile =
+  let x = Random.State.float rng 1.0 in
+  let rec go acc = function
+    | [] -> Variant.First_initial
+    | (style, w) :: rest -> if x < acc +. w then style else go (acc +. w) rest
+  in
+  go 0. profile
+
+let render ?(seed = 0) ?venue_ids (corpus : Corpus.t) =
+  let rng = Random.State.make [| seed; corpus.Corpus.seed; 0x516 |] in
+  let author_strings = ref [] in
+  let title_strings = ref [] in
+  let wanted vid = match venue_ids with None -> true | Some ids -> List.mem vid ids in
+  (* Group papers by (venue, year). *)
+  let groups = Hashtbl.create 32 in
+  Array.iter
+    (fun (p : Corpus.paper) ->
+      if wanted p.Corpus.venue_id then begin
+        let k = (p.Corpus.venue_id, p.Corpus.year) in
+        Hashtbl.replace groups k
+          (p :: Option.value ~default:[] (Hashtbl.find_opt groups k))
+      end)
+    corpus.Corpus.papers;
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) groups [] |> List.sort compare in
+  let trees =
+    List.map
+      (fun (vid, year) ->
+        let venue = Corpus.venue corpus vid in
+        let papers = List.rev (Hashtbl.find groups (vid, year)) in
+        let articles =
+          List.map
+            (fun (p : Corpus.paper) ->
+              let title = Titles.abbreviate p.Corpus.title in
+              title_strings := (p.Corpus.key, title) :: !title_strings;
+              let authors =
+                List.map
+                  (fun aid ->
+                    let person = (Corpus.author corpus aid).Corpus.person in
+                    let style = draw_style rng style_profile in
+                    let s = Variant.render_with_rng rng person style in
+                    author_strings := (p.Corpus.key, aid, s) :: !author_strings;
+                    Tree.leaf "author" s)
+                  p.Corpus.author_ids
+              in
+              let first, last = p.Corpus.pages in
+              Tree.element ~attrs:[ ("key", p.Corpus.key) ] "article"
+                [
+                  Tree.leaf "title" title;
+                  Tree.element "authors" authors;
+                  Tree.leaf "initPage" (string_of_int first);
+                  Tree.leaf "endPage" (string_of_int last);
+                ])
+            papers
+        in
+        Tree.element "proceedings"
+          [
+            Tree.leaf "conference" venue.Corpus.full_name;
+            Tree.leaf "confYear" (string_of_int year);
+            Tree.element "articles" articles;
+          ])
+      keys
+  in
+  {
+    trees;
+    author_strings = List.rev !author_strings;
+    title_strings = List.rev !title_strings;
+  }

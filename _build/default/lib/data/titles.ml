@@ -1,0 +1,56 @@
+let adjectives =
+  [| "Efficient"; "Scalable"; "Adaptive"; "Incremental"; "Approximate";
+     "Distributed"; "Parallel"; "Robust"; "Optimal"; "Dynamic" |]
+
+let techniques =
+  [| "Indexing"; "Query Processing"; "Query Optimization"; "View Maintenance";
+     "Join Processing"; "Data Integration"; "Schema Matching"; "Clustering";
+     "Similarity Search"; "Transaction Management"; "Caching"; "Replication" |]
+
+let objects =
+  [| "XML Queries"; "Relational Data"; "Semistructured Data"; "Data Streams";
+     "Text Collections"; "Graph Data"; "Spatial Data"; "Temporal Data";
+     "Web Data"; "Sensor Data" |]
+
+let contexts =
+  [| "over Streams"; "in Distributed Systems"; "for the Web"; "at Scale";
+     "with Ontologies"; "under Updates"; "in Peer-to-Peer Networks";
+     "on Modern Hardware"; "with Limited Memory"; "in Data Warehouses" |]
+
+let pick rng arr = arr.(Random.State.int rng (Array.length arr))
+
+let generate rng serial =
+  Printf.sprintf "%s %s for %s %s [P%04d]" (pick rng adjectives) (pick rng techniques)
+    (pick rng objects) (pick rng contexts) serial
+
+let topic_of title =
+  Array.fold_left
+    (fun acc tech ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          let nh = String.length title and nn = String.length tech in
+          let rec go i =
+            i + nn <= nh && (String.sub title i nn = tech || go (i + 1))
+          in
+          if nn > 0 && go 0 then Some tech else None)
+    None techniques
+
+let abbreviations =
+  [
+    ("Efficient", "Eff."); ("Scalable", "Scal."); ("Distributed", "Distr.");
+    ("Management", "Mgmt."); ("Processing", "Proc."); ("Optimization", "Opt.");
+    ("Incremental", "Incr."); ("Approximate", "Approx.");
+  ]
+
+let abbreviate title =
+  List.fold_left
+    (fun t (long, short) ->
+      (* Replace the first occurrence of [long] by [short]. *)
+      let nl = String.length long in
+      let nt = String.length t in
+      let rec find i = if i + nl > nt then None else if String.sub t i nl = long then Some i else find (i + 1) in
+      match find 0 with
+      | None -> t
+      | Some i -> String.sub t 0 i ^ short ^ String.sub t (i + nl) (nt - i - nl))
+    title abbreviations

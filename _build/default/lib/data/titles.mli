@@ -1,0 +1,18 @@
+(** Paper-title generation.
+
+    Titles are built from topic/technique/context pools; every title ends
+    with a unique serial so that ground truth can key on it even across
+    the small typo variants the SIGMOD-style rendering injects. *)
+
+val generate : Random.State.t -> int -> string
+(** [generate rng serial]: a title like
+    "Efficient Indexing for XML Queries over Streams [P0042]". *)
+
+val topic_of : string -> string option
+(** The topic keyword the title was generated from (e.g. "Indexing"),
+    enabling topic-based isa queries. *)
+
+val abbreviate : string -> string
+(** The rendering used by the SIGMOD-style pages: common long words
+    shortened ("Efficient" -> "Eff.", "Management" -> "Mgmt."), as real
+    proceedings pages do. *)

@@ -1,0 +1,1 @@
+lib/eval/bench_util.ml: Float List Printf String Unix

@@ -1,0 +1,1 @@
+lib/eval/series.ml: Buffer Filename Fun List Printf String Sys

@@ -1,0 +1,43 @@
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let time_median ?(runs = 3) f =
+  let runs = max 1 runs in
+  let results = List.init runs (fun _ -> time f) in
+  let times = List.sort Float.compare (List.map snd results) in
+  let median = List.nth times (runs / 2) in
+  (fst (List.nth results (runs - 1)), median)
+
+let print_header title =
+  let rule = String.make (String.length title + 8) '=' in
+  Printf.printf "\n%s\n=== %s ===\n%s\n" rule title rule
+
+let print_table ~columns rows =
+  let all = columns :: rows in
+  let n_cols = List.length columns in
+  let widths =
+    List.init n_cols (fun i ->
+        List.fold_left
+          (fun w row ->
+            match List.nth_opt row i with
+            | Some cell -> max w (String.length cell)
+            | None -> w)
+          0 all)
+  in
+  let print_row row =
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        Printf.printf "%s%s  " cell (String.make (max 0 (w - String.length cell)) ' '))
+      row;
+    print_newline ()
+  in
+  print_row columns;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let fs t = Printf.sprintf "%.4f" t
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x

@@ -1,0 +1,23 @@
+(** Timing and table-printing utilities for the experiment harness. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Result and wall-clock seconds. *)
+
+val time_median : ?runs:int -> (unit -> 'a) -> 'a * float
+(** Runs the thunk [runs] times (default 3) and reports the median time
+    with the last result. *)
+
+val print_header : string -> unit
+(** A titled rule, e.g. ["=== Figure 15(a) ... ==="]. *)
+
+val print_table : columns:string list -> string list list -> unit
+(** Fixed-width table with a header row. *)
+
+val fs : float -> string
+(** Seconds with 4 decimals. *)
+
+val f2 : float -> string
+(** 2 decimals. *)
+
+val f3 : float -> string
+(** 3 decimals. *)

@@ -1,0 +1,1 @@
+lib/hierarchy/digraph.ml: Array Format Hashtbl List Map Option Queue Set

@@ -1,0 +1,1 @@
+lib/hierarchy/digraph.mli: Format Map Set

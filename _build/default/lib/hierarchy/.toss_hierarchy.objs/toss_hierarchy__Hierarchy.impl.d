@@ -1,0 +1,1 @@
+lib/hierarchy/hierarchy.ml: Buffer Digraph Format Hashtbl List Map Node Option Printf String

@@ -1,0 +1,1 @@
+lib/hierarchy/node.ml: Format List String

@@ -1,0 +1,1 @@
+lib/ontology/fusion.ml: Format Hashtbl Int Interop List Map Ontology Option String Toss_hierarchy

@@ -1,0 +1,1 @@
+lib/ontology/fusion.mli: Format Interop Ontology Stdlib Toss_hierarchy

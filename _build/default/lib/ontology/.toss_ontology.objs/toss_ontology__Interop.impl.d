@@ -1,0 +1,1 @@
+lib/ontology/interop.ml: Format List

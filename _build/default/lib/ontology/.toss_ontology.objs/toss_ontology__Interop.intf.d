@@ -1,0 +1,1 @@
+lib/ontology/interop.mli: Format

@@ -1,0 +1,1 @@
+lib/ontology/lexicon.ml: Array Int List Map Option Printf Random Set String Toss_hierarchy

@@ -1,0 +1,1 @@
+lib/ontology/lexicon.mli: Toss_hierarchy

@@ -1,0 +1,1 @@
+lib/ontology/maker.ml: Interop Lexicon List Ontology Set String Toss_hierarchy Toss_xml

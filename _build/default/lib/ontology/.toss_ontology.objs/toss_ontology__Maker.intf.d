@@ -1,0 +1,1 @@
+lib/ontology/maker.mli: Interop Lexicon Ontology Toss_hierarchy Toss_xml

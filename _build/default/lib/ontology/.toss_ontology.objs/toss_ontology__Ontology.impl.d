@@ -1,0 +1,1 @@
+lib/ontology/ontology.ml: Format List Map Option String Toss_hierarchy

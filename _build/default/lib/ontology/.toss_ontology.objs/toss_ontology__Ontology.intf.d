@@ -1,0 +1,1 @@
+lib/ontology/ontology.mli: Format Toss_hierarchy

@@ -1,0 +1,25 @@
+type qualified = { term : string; source : int }
+
+type t =
+  | Leq of qualified * qualified
+  | Eq of qualified * qualified
+  | Neq of qualified * qualified
+
+let q term source = { term; source }
+let leq (x, i) (y, j) = Leq (q x i, q y j)
+let eq (x, i) (y, j) = Eq (q x i, q y j)
+let neq (x, i) (y, j) = Neq (q x i, q y j)
+
+let expand cs =
+  List.concat_map
+    (function
+      | Eq (a, b) -> [ Leq (a, b); Leq (b, a) ]
+      | (Leq _ | Neq _) as c -> [ c ])
+    cs
+
+let pp_q ppf { term; source } = Format.fprintf ppf "%s:%d" term source
+
+let pp ppf = function
+  | Leq (a, b) -> Format.fprintf ppf "%a <= %a" pp_q a pp_q b
+  | Eq (a, b) -> Format.fprintf ppf "%a = %a" pp_q a pp_q b
+  | Neq (a, b) -> Format.fprintf ppf "%a <> %a" pp_q a pp_q b

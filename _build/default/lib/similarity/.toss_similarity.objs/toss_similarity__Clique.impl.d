@@ -1,0 +1,1 @@
+lib/similarity/clique.ml: Array Fun Int List Set

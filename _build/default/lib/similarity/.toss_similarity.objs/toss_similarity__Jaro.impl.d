@@ -1,0 +1,1 @@
+lib/similarity/jaro.ml: Array Metric String

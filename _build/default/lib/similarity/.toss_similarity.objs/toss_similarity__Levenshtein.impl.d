@@ -1,0 +1,1 @@
+lib/similarity/levenshtein.ml: Array Fun Metric String

@@ -1,0 +1,1 @@
+lib/similarity/levenshtein.mli: Metric

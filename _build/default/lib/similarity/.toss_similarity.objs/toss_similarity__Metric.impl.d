@@ -1,0 +1,1 @@
+lib/similarity/metric.ml: Float Format List Option Printf

@@ -1,0 +1,1 @@
+lib/similarity/metric.mli: Format

@@ -1,0 +1,1 @@
+lib/similarity/monge_elkan.ml: Float Jaro List Metric Token

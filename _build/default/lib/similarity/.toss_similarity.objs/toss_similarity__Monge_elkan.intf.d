@@ -1,0 +1,1 @@
+lib/similarity/monge_elkan.mli: Metric

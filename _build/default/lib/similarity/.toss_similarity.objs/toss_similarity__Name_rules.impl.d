@@ -1,0 +1,1 @@
+lib/similarity/name_rules.ml: Array Float Levenshtein List Metric String Token

@@ -1,0 +1,1 @@
+lib/similarity/name_rules.mli: Metric

@@ -1,0 +1,1 @@
+lib/similarity/node_dist.ml: Float List Metric Toss_hierarchy

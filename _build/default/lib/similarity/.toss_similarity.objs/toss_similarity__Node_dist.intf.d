@@ -1,0 +1,1 @@
+lib/similarity/node_dist.mli: Metric Toss_hierarchy

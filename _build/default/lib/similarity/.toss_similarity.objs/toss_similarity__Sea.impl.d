@@ -1,0 +1,1 @@
+lib/similarity/sea.ml: Array Clique Format List Map Metric Node_dist Option Printf String Toss_hierarchy

@@ -1,0 +1,1 @@
+lib/similarity/sea.mli: Metric Toss_hierarchy

@@ -1,0 +1,1 @@
+lib/similarity/text_rules.ml: Array Float Levenshtein Metric String Token

@@ -1,0 +1,1 @@
+lib/similarity/text_rules.mli: Metric

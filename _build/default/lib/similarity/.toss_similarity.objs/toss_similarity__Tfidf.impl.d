@@ -1,0 +1,1 @@
+lib/similarity/tfidf.ml: Float Jaro List Map Metric Option String Token

@@ -1,0 +1,1 @@
+lib/similarity/token.ml: Buffer List Map Metric Option Printf Set String

@@ -1,0 +1,1 @@
+lib/similarity/token.mli: Metric

@@ -1,0 +1,53 @@
+let jaro a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 && lb = 0 then 1.
+  else if la = 0 || lb = 0 then 0.
+  else begin
+    let window = max 0 ((max la lb / 2) - 1) in
+    let matched_a = Array.make la false in
+    let matched_b = Array.make lb false in
+    let matches = ref 0 in
+    for i = 0 to la - 1 do
+      let lo = max 0 (i - window) and hi = min (lb - 1) (i + window) in
+      let rec scan j =
+        if j > hi then ()
+        else if (not matched_b.(j)) && a.[i] = b.[j] then begin
+          matched_a.(i) <- true;
+          matched_b.(j) <- true;
+          incr matches
+        end
+        else scan (j + 1)
+      in
+      scan lo
+    done;
+    if !matches = 0 then 0.
+    else begin
+      (* Count transpositions between the two matched subsequences. *)
+      let transpositions = ref 0 in
+      let j = ref 0 in
+      for i = 0 to la - 1 do
+        if matched_a.(i) then begin
+          while not matched_b.(!j) do
+            incr j
+          done;
+          if a.[i] <> b.[!j] then incr transpositions;
+          incr j
+        end
+      done;
+      let m = float_of_int !matches in
+      let t = float_of_int (!transpositions / 2) in
+      ((m /. float_of_int la) +. (m /. float_of_int lb) +. ((m -. t) /. m)) /. 3.
+    end
+  end
+
+let jaro_winkler ?(prefix_scale = 0.1) a b =
+  if prefix_scale < 0. || prefix_scale > 0.25 then
+    invalid_arg "Jaro.jaro_winkler: prefix_scale out of [0, 0.25]";
+  let j = jaro a b in
+  let max_prefix = min 4 (min (String.length a) (String.length b)) in
+  let rec common i = if i < max_prefix && a.[i] = b.[i] then common (i + 1) else i in
+  let l = float_of_int (common 0) in
+  j +. (l *. prefix_scale *. (1. -. j))
+
+let metric = Metric.of_similarity ~name:"jaro" jaro
+let winkler_metric = Metric.of_similarity ~name:"jaro-winkler" (jaro_winkler ?prefix_scale:None)

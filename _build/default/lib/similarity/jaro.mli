@@ -1,0 +1,11 @@
+(** The Jaro metric and the Winkler prefix variant (paper reference [9]).
+
+    Both are similarity scores in [0, 1] with 1 meaning identical; the
+    corresponding {!Metric.t} values expose them as distances [1 - score]. *)
+
+val jaro : string -> string -> float
+val jaro_winkler : ?prefix_scale:float -> string -> string -> float
+(** [prefix_scale] defaults to the standard 0.1 and must lie in [0, 0.25]. *)
+
+val metric : Metric.t
+val winkler_metric : Metric.t

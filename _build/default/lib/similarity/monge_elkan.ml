@@ -1,0 +1,13 @@
+let directed inner ta tb =
+  match ta with
+  | [] -> if tb = [] then 1. else 0.
+  | _ ->
+      let best t = List.fold_left (fun acc u -> Float.max acc (inner t u)) 0. tb in
+      let sum = List.fold_left (fun acc t -> acc +. best t) 0. ta in
+      sum /. float_of_int (List.length ta)
+
+let similarity ?(inner = fun a b -> Jaro.jaro_winkler a b) a b =
+  let ta = Token.tokenize a and tb = Token.tokenize b in
+  (directed inner ta tb +. directed inner tb ta) /. 2.
+
+let metric = Metric.of_similarity ~name:"monge-elkan" (similarity ?inner:None)

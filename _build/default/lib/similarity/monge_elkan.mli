@@ -1,0 +1,11 @@
+(** The Monge–Elkan hybrid measure (paper reference [12]).
+
+    Each token of the first string is matched against its best-scoring
+    counterpart in the second; the scores are averaged. The inner score is
+    a similarity in [0, 1], by default Jaro–Winkler. *)
+
+val similarity : ?inner:(string -> string -> float) -> string -> string -> float
+(** Symmetrized: the mean of the two directed Monge–Elkan scores, so the
+    result is a valid (symmetric) similarity. *)
+
+val metric : Metric.t

@@ -1,0 +1,12 @@
+module Node = Toss_hierarchy.Node
+
+let distance m a b =
+  List.fold_left
+    (fun acc x ->
+      List.fold_left (fun acc y -> Float.min acc (Metric.dist m x y)) acc (Node.strings b))
+    infinity (Node.strings a)
+
+let within m ~eps a b =
+  List.exists
+    (fun x -> List.exists (fun y -> Metric.within m ~eps x y) (Node.strings b))
+    (Node.strings a)

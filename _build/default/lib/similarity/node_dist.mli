@@ -1,0 +1,14 @@
+(** Distance between hierarchy nodes (clusters of strings).
+
+    Per the paper, [d(A, B) = min] over the string pairs drawn from the two
+    clusters. Lemma 1 shows that for a strong measure any single pair gives
+    the same value (because co-clustered strings are at distance 0); in
+    general the clusters produced by ontology fusion contain strings merged
+    by interoperation constraints rather than by similarity, so we always
+    take the true minimum but short-circuit threshold tests. *)
+
+val distance : Metric.t -> Toss_hierarchy.Node.t -> Toss_hierarchy.Node.t -> float
+
+val within : Metric.t -> eps:float -> Toss_hierarchy.Node.t -> Toss_hierarchy.Node.t -> bool
+(** [within m ~eps a b] iff [distance m a b <= eps]; stops at the first
+    string pair within the threshold. *)

@@ -1,0 +1,68 @@
+module Smap = Map.Make (String)
+
+type corpus = { df : int Smap.t; n_docs : int }
+
+let corpus_of documents =
+  let df =
+    List.fold_left
+      (fun df doc ->
+        let tokens = List.sort_uniq String.compare (Token.tokenize doc) in
+        List.fold_left
+          (fun df tok -> Smap.update tok (fun c -> Some (1 + Option.value ~default:0 c)) df)
+          df tokens)
+      Smap.empty documents
+  in
+  { df; n_docs = List.length documents }
+
+let n_documents c = c.n_docs
+
+let idf c token =
+  let df = Option.value ~default:0 (Smap.find_opt token c.df) in
+  Float.max 0. (log (float_of_int (max 1 c.n_docs) /. float_of_int (1 + df)))
+
+(* TF-IDF vector of a string: token -> tf * idf, L2-normalized. *)
+let vector c s =
+  let tf =
+    List.fold_left
+      (fun m tok -> Smap.update tok (fun x -> Some (1. +. Option.value ~default:0. x)) m)
+      Smap.empty (Token.tokenize s)
+  in
+  let weighted = Smap.mapi (fun tok freq -> freq *. idf c tok) tf in
+  let norm = sqrt (Smap.fold (fun _ w acc -> acc +. (w *. w)) weighted 0.) in
+  if norm = 0. then weighted else Smap.map (fun w -> w /. norm) weighted
+
+let tfidf c a b =
+  if a = b then 1.
+  else begin
+    let va = vector c a and vb = vector c b in
+    Smap.fold
+      (fun tok wa acc ->
+        match Smap.find_opt tok vb with Some wb -> acc +. (wa *. wb) | None -> acc)
+      va 0.
+  end
+
+let directed_soft ~inner ~threshold va vb =
+  (* For each token of va, its best close counterpart in vb. *)
+  Smap.fold
+    (fun tok wa acc ->
+      let best =
+        Smap.fold
+          (fun tok' wb (best_sim, best_w) ->
+            let sim = if tok = tok' then 1.0 else inner tok tok' in
+            if sim > best_sim then (sim, wb) else (best_sim, best_w))
+          vb (0., 0.)
+      in
+      let sim, wb = best in
+      if sim >= threshold then acc +. (wa *. wb *. sim) else acc)
+    va 0.
+
+let soft_tfidf ?(inner = fun a b -> Jaro.jaro_winkler a b) ?(threshold = 0.9) c a b =
+  if a = b then 1.
+  else begin
+    let va = vector c a and vb = vector c b in
+    let s1 = directed_soft ~inner ~threshold va vb in
+    let s2 = directed_soft ~inner ~threshold vb va in
+    Float.min 1. ((s1 +. s2) /. 2.)
+  end
+
+let metric c = Metric.of_similarity ~name:"soft-tfidf" (soft_tfidf c)

@@ -1,0 +1,37 @@
+(** TF-IDF and Soft-TFIDF similarity (from the toolkit the paper cites as
+    reference [5]).
+
+    A corpus assigns each token an inverse-document-frequency weight;
+    strings compare by the cosine of their TF-IDF vectors. Soft-TFIDF
+    additionally matches tokens that are merely {e close} under a
+    secondary similarity (Jaro–Winkler by default), which handles typos
+    inside otherwise rare, highly discriminative tokens. *)
+
+type corpus
+
+val corpus_of : string list -> corpus
+(** Builds token document frequencies; each string is one document. *)
+
+val n_documents : corpus -> int
+
+val idf : corpus -> string -> float
+(** [log (N / (1 + df))], never negative; unseen tokens get the maximum
+    weight. *)
+
+val tfidf : corpus -> string -> string -> float
+(** Cosine similarity of TF-IDF vectors, in [0, 1]. *)
+
+val soft_tfidf :
+  ?inner:(string -> string -> float) ->
+  ?threshold:float ->
+  corpus ->
+  string ->
+  string ->
+  float
+(** Cohen et al.'s Soft-TFIDF: tokens of the first string match their
+    best counterpart in the second when the inner similarity exceeds
+    [threshold] (default 0.9, inner Jaro–Winkler); matched pairs
+    contribute their weights scaled by the inner score. Symmetrized. *)
+
+val metric : corpus -> Metric.t
+(** Soft-TFIDF as a distance ([1 - similarity]). *)

@@ -1,0 +1,1 @@
+lib/store/collection.ml: Array Fun Index Int Lazy List Toss_xml Xpath Xpath_parser

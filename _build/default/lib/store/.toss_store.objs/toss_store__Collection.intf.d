@@ -1,0 +1,1 @@
+lib/store/collection.mli: Index Toss_xml Xpath

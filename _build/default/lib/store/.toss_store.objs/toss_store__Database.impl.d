@@ -1,0 +1,1 @@
+lib/store/database.ml: Collection Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/store/database.mli: Collection Toss_xml

@@ -1,0 +1,1 @@
+lib/store/index.ml: Buffer Char Hashtbl List Option String Toss_xml

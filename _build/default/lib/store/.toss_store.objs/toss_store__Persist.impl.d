@@ -1,0 +1,1 @@
+lib/store/persist.ml: Array Collection Database Filename Format Fun List Printf String Sys Toss_xml

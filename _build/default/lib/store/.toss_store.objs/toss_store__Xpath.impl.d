@@ -1,0 +1,1 @@
+lib/store/xpath.ml: Format Int List Printf String Toss_xml

@@ -1,0 +1,1 @@
+lib/store/xpath.mli: Format Toss_xml

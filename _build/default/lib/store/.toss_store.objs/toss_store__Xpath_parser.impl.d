@@ -1,0 +1,1 @@
+lib/store/xpath_parser.ml: List Printf String Xpath

@@ -1,0 +1,1 @@
+lib/store/xpath_parser.mli: Xpath

@@ -1,0 +1,143 @@
+module Printer = Toss_xml.Printer
+module Parser = Toss_xml.Parser
+module Tree = Toss_xml.Tree
+module Doc = Tree.Doc
+
+type doc_id = int
+
+type entry = { frozen : Doc.t; idx : Index.t Lazy.t; bytes : int }
+
+type t = {
+  coll_name : string;
+  max_bytes : int option;
+  mutable entries : entry array;
+  mutable count : int;
+  mutable total_bytes : int;
+}
+
+exception Collection_full of { name : string; limit : int }
+
+let create ?max_bytes name =
+  { coll_name = name; max_bytes; entries = [||]; count = 0; total_bytes = 0 }
+
+let name t = t.coll_name
+
+let add_document t tree =
+  let bytes = Printer.byte_size tree in
+  (match t.max_bytes with
+  | Some limit when t.total_bytes + bytes > limit ->
+      raise (Collection_full { name = t.coll_name; limit })
+  | _ -> ());
+  let frozen = Doc.of_tree tree in
+  let entry = { frozen; idx = lazy (Index.build frozen); bytes } in
+  if t.count = Array.length t.entries then begin
+    let grown = Array.make (max 4 (2 * t.count)) entry in
+    Array.blit t.entries 0 grown 0 t.count;
+    t.entries <- grown
+  end;
+  t.entries.(t.count) <- entry;
+  t.count <- t.count + 1;
+  t.total_bytes <- t.total_bytes + bytes;
+  t.count - 1
+
+let add_xml t xml =
+  match Parser.parse xml with
+  | Ok tree -> Ok (add_document t tree)
+  | Error e -> Error e
+
+let entry t id = if id < 0 || id >= t.count then raise Not_found else t.entries.(id)
+let doc t id = (entry t id).frozen
+let index t id = Lazy.force (entry t id).idx
+let doc_ids t = List.init t.count Fun.id
+let n_documents t = t.count
+let size_bytes t = t.total_bytes
+
+let n_nodes t =
+  let total = ref 0 in
+  for i = 0 to t.count - 1 do
+    total := !total + Doc.size t.entries.(i).frozen
+  done;
+  !total
+
+(* With the index enabled, a query whose first step is [//tag] starts from
+   the tag index rather than enumerating every node. *)
+let eval_in_doc ~use_index d xpath =
+  if not use_index then Xpath.eval d xpath
+  else
+    let eval_path path =
+      match path with
+      | { Xpath.axis = Descendant; test = Tag tag; predicates } :: rest ->
+          let starts = Doc.by_tag d tag in
+          let starts =
+            List.fold_left
+              (fun nodes pred ->
+                match pred with
+                | Xpath.Position k -> (
+                    match List.nth_opt nodes (k - 1) with Some n -> [ n ] | None -> [])
+                | p -> List.filter (fun n -> Xpath.matches d n p) nodes)
+              starts predicates
+          in
+          List.concat_map
+            (fun start ->
+              (* Evaluate the remaining relative steps from this start. *)
+              let rec go contexts = function
+                | [] -> contexts
+                | (st : Xpath.step) :: more ->
+                    let nexts =
+                      List.concat_map
+                        (fun ctx ->
+                          let candidates =
+                            match st.Xpath.axis with
+                            | Xpath.Child ->
+                                List.filter
+                                  (fun n ->
+                                    match st.Xpath.test with
+                                    | Xpath.Any -> true
+                                    | Xpath.Tag tg -> Doc.tag d n = tg)
+                                  (Doc.children d ctx)
+                            | Xpath.Descendant ->
+                                List.filter
+                                  (fun n ->
+                                    match st.Xpath.test with
+                                    | Xpath.Any -> true
+                                    | Xpath.Tag tg -> Doc.tag d n = tg)
+                                  (Doc.descendants d ctx)
+                          in
+                          List.fold_left
+                            (fun nodes pred ->
+                              match pred with
+                              | Xpath.Position k -> (
+                                  match List.nth_opt nodes (k - 1) with
+                                  | Some n -> [ n ]
+                                  | None -> [])
+                              | p -> List.filter (fun n -> Xpath.matches d n p) nodes)
+                            candidates st.Xpath.predicates)
+                        contexts
+                    in
+                    go nexts more
+              in
+              go [ start ] rest)
+            starts
+      | _ -> Xpath.eval d [ path ]
+    in
+    List.concat_map eval_path xpath |> List.sort_uniq Int.compare
+
+let eval ?(use_index = true) t xpath =
+  let results = ref [] in
+  for id = t.count - 1 downto 0 do
+    let d = t.entries.(id).frozen in
+    let nodes = eval_in_doc ~use_index d xpath in
+    results := List.rev_append (List.rev_map (fun n -> (id, n)) nodes) !results
+  done;
+  !results
+
+let eval_string ?use_index t s = eval ?use_index t (Xpath_parser.parse_exn s)
+
+let eq_lookup t ~tag ~value =
+  List.concat
+    (List.map
+       (fun id ->
+         List.map (fun n -> (id, n)) (Index.eq_lookup (index t id) ~tag ~value))
+       (doc_ids t))
+
+let subtrees t results = List.map (fun (id, n) -> Doc.subtree (doc t id) n) results

@@ -1,0 +1,48 @@
+(** Document collections, in the style of Xindice.
+
+    A collection is a mutable, named set of XML documents. Documents are
+    frozen into {!Toss_xml.Tree.Doc.t} form and value-indexed at insertion time.
+    Xindice imposed a 5 MB data-size limit that shaped the paper's
+    experiments (they truncated DBLP to 4,753,774 bytes); [max_bytes]
+    reproduces that behaviour when set. *)
+
+type t
+
+type doc_id = int
+
+exception Collection_full of { name : string; limit : int }
+
+val create : ?max_bytes:int -> string -> t
+val name : t -> string
+
+val add_document : t -> Toss_xml.Tree.t -> doc_id
+(** @raise Collection_full when the size limit would be exceeded. *)
+
+val add_xml : t -> string -> (doc_id, Toss_xml.Parser.error) result
+(** Parses and inserts. *)
+
+val doc : t -> doc_id -> Toss_xml.Tree.Doc.t
+(** @raise Not_found for unknown ids. *)
+
+val index : t -> doc_id -> Index.t
+val doc_ids : t -> doc_id list
+val n_documents : t -> int
+val size_bytes : t -> int
+(** Total serialized size of all stored documents. *)
+
+val n_nodes : t -> int
+
+val eval : ?use_index:bool -> t -> Xpath.t -> (doc_id * Toss_xml.Tree.Doc.node) list
+(** Evaluates the query against every document, in insertion order. With
+    [use_index] (default true), leading [//tag] steps are answered from
+    the documents' tag indexes instead of scanning. *)
+
+val eval_string : ?use_index:bool -> t -> string -> (doc_id * Toss_xml.Tree.Doc.node) list
+(** Parses the XPath first.
+    @raise Xpath_parser.Error on syntax errors. *)
+
+val eq_lookup : t -> tag:string -> value:string -> (doc_id * Toss_xml.Tree.Doc.node) list
+(** Indexed exact-content lookup across all documents. *)
+
+val subtrees : t -> (doc_id * Toss_xml.Tree.Doc.node) list -> Toss_xml.Tree.t list
+(** Rematerializes result nodes as trees, preserving result order. *)

@@ -1,0 +1,24 @@
+type t = { collections : (string, Collection.t) Hashtbl.t }
+
+let create () = { collections = Hashtbl.create 8 }
+
+let create_collection ?max_bytes t name =
+  if Hashtbl.mem t.collections name then
+    invalid_arg (Printf.sprintf "Database.create_collection: %S already exists" name);
+  let c = Collection.create ?max_bytes name in
+  Hashtbl.add t.collections name c;
+  c
+
+let collection t name = Hashtbl.find_opt t.collections name
+
+let collection_exn t name =
+  match collection t name with Some c -> c | None -> raise Not_found
+
+let drop_collection t name = Hashtbl.remove t.collections name
+
+let collection_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.collections []
+  |> List.sort String.compare
+
+let query ?use_index t ~collection:name q =
+  Collection.eval_string ?use_index (collection_exn t name) q

@@ -1,0 +1,21 @@
+(** A named-collection database, mirroring the slice of Xindice's API the
+    paper's prototype uses: create a collection, insert documents, run an
+    XPath query against a collection. *)
+
+type t
+
+val create : unit -> t
+
+val create_collection : ?max_bytes:int -> t -> string -> Collection.t
+(** @raise Invalid_argument when the name is already taken. *)
+
+val collection : t -> string -> Collection.t option
+val collection_exn : t -> string -> Collection.t
+val drop_collection : t -> string -> unit
+val collection_names : t -> string list
+
+val query : ?use_index:bool -> t -> collection:string -> string ->
+  (Collection.doc_id * Toss_xml.Tree.Doc.node) list
+(** Parses and evaluates an XPath query against a collection.
+    @raise Not_found for an unknown collection
+    @raise Xpath_parser.Error on syntax errors. *)

@@ -1,0 +1,52 @@
+module Tree = Toss_xml.Tree
+module Doc = Tree.Doc
+
+type t = {
+  eq : (string * string, Doc.node list) Hashtbl.t;
+  tokens : (string * string, Doc.node list) Hashtbl.t;
+}
+
+let tokenize s =
+  let buf = Buffer.create 16 in
+  let out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      let c = Char.lowercase_ascii c in
+      if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then Buffer.add_char buf c
+      else flush ())
+    s;
+  flush ();
+  !out
+
+let push tbl key node =
+  Hashtbl.replace tbl key (node :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+
+let build doc =
+  let eq = Hashtbl.create 256 in
+  let tokens = Hashtbl.create 256 in
+  List.iter
+    (fun n ->
+      if Doc.children doc n = [] then begin
+        let tag = Doc.tag doc n in
+        let content = Doc.content doc n in
+        push eq (tag, content) n;
+        List.iter
+          (fun tok -> push tokens (tag, tok) n)
+          (List.sort_uniq String.compare (tokenize content))
+      end)
+    (Doc.nodes doc);
+  { eq; tokens }
+
+let eq_lookup t ~tag ~value =
+  List.rev (Option.value ~default:[] (Hashtbl.find_opt t.eq (tag, value)))
+
+let token_lookup t ~tag ~token =
+  List.rev (Option.value ~default:[] (Hashtbl.find_opt t.tokens (tag, token)))
+
+let n_entries t = Hashtbl.length t.eq + Hashtbl.length t.tokens

@@ -1,0 +1,22 @@
+(** Per-document value indexes.
+
+    Xindice lets the administrator declare value indexes on element
+    content; our store builds the equivalent structures at insertion time:
+    an exact-match index from [(tag, content)] to nodes and a token index
+    from [(tag, token)] to nodes, both restricted to {e leaf} elements
+    (elements without element children), which is where rewritten TAX and
+    TOSS conditions test content. *)
+
+type t
+
+val build : Toss_xml.Tree.Doc.t -> t
+
+val eq_lookup : t -> tag:string -> value:string -> Toss_xml.Tree.Doc.node list
+(** Leaf elements with the given tag whose content equals [value]. *)
+
+val token_lookup : t -> tag:string -> token:string -> Toss_xml.Tree.Doc.node list
+(** Leaf elements with the given tag whose content contains the (already
+    lowercased) token. A superset check: callers must still verify a
+    substring condition against the actual content. *)
+
+val n_entries : t -> int

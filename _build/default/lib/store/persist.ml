@@ -1,0 +1,86 @@
+module Tree = Toss_xml.Tree
+module Parser = Toss_xml.Parser
+module Printer = Toss_xml.Printer
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let doc_filename id = Printf.sprintf "%06d.xml" id
+
+let save_collection collection ~dir =
+  ensure_dir dir;
+  List.iter
+    (fun id ->
+      let tree = Tree.Doc.to_tree (Collection.doc collection id) in
+      let path = Filename.concat dir (doc_filename id) in
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Printer.to_string ~decl:true tree)))
+    (Collection.doc_ids collection)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_collection ?max_bytes ~name dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Error (Printf.sprintf "%s: not a directory" dir)
+  else begin
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".xml")
+      |> List.sort String.compare
+    in
+    let collection = Collection.create ?max_bytes name in
+    let rec load = function
+      | [] -> Ok collection
+      | file :: rest -> (
+          let path = Filename.concat dir file in
+          match Collection.add_xml collection (read_file path) with
+          | Ok _ -> load rest
+          | Error e -> Error (Format.asprintf "%s: %a" path Parser.pp_error e)
+          | exception Collection.Collection_full { limit; _ } ->
+              Error (Printf.sprintf "%s: collection size limit %d exceeded" path limit))
+    in
+    load files
+  end
+
+let save_database db ~dir =
+  ensure_dir dir;
+  List.iter
+    (fun name ->
+      match Database.collection db name with
+      | Some c -> save_collection c ~dir:(Filename.concat dir name)
+      | None -> ())
+    (Database.collection_names db)
+
+let load_database ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Error (Printf.sprintf "%s: not a directory" dir)
+  else begin
+    let subdirs =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun d -> Sys.is_directory (Filename.concat dir d))
+      |> List.sort String.compare
+    in
+    let db = Database.create () in
+    let rec load = function
+      | [] -> Ok db
+      | name :: rest -> (
+          match load_collection ~name (Filename.concat dir name) with
+          | Ok collection ->
+              (* Re-register under the database. *)
+              let target = Database.create_collection db name in
+              List.iter
+                (fun id ->
+                  ignore
+                    (Collection.add_document target
+                       (Tree.Doc.to_tree (Collection.doc collection id))))
+                (Collection.doc_ids collection);
+              load rest
+          | Error _ as e -> e)
+    in
+    load subdirs
+  end

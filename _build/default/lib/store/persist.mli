@@ -1,0 +1,22 @@
+(** Filesystem persistence for collections and databases.
+
+    Xindice stored collections as directories of XML documents; this
+    module provides the same durable layout: a collection becomes a
+    directory with one [NNNNNN.xml] file per document (zero-padded
+    insertion order), and a database a directory of collection
+    directories. Round-trips preserve document order and content up to
+    whitespace normalization. *)
+
+val save_collection : Collection.t -> dir:string -> unit
+(** Creates [dir] if needed and (re)writes every document.
+    @raise Sys_error on filesystem failures. *)
+
+val load_collection : ?max_bytes:int -> name:string -> string -> (Collection.t, string) result
+(** [load_collection ~name dir] loads every [*.xml] file of [dir] in
+    lexicographic (= insertion) order. *)
+
+val save_database : Database.t -> dir:string -> unit
+(** One subdirectory per collection, named after it. *)
+
+val load_database : dir:string -> (Database.t, string) result
+(** Every subdirectory becomes a collection. *)

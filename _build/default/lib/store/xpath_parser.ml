@@ -1,0 +1,189 @@
+exception Error of string
+
+type state = { input : string; mutable pos : int }
+
+let fail st msg = raise (Error (Printf.sprintf "at offset %d: %s" st.pos msg))
+let eof st = st.pos >= String.length st.input
+let peek st = if eof st then '\000' else st.input.[st.pos]
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  while (not (eof st)) && (peek st = ' ' || peek st = '\t' || peek st = '\n') do
+    advance st
+  done
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = s
+
+let expect st s =
+  if looking_at st s then st.pos <- st.pos + String.length s
+  else fail st (Printf.sprintf "expected %S" s)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = ':'
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let parse_name st =
+  if not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+let parse_string st =
+  expect st "'";
+  let start = st.pos in
+  while (not (eof st)) && peek st <> '\'' do
+    advance st
+  done;
+  if eof st then fail st "unterminated string literal";
+  let s = String.sub st.input start (st.pos - start) in
+  expect st "'";
+  s
+
+let parse_int st =
+  let start = st.pos in
+  while (not (eof st)) && peek st >= '0' && peek st <= '9' do
+    advance st
+  done;
+  if st.pos = start then fail st "expected an integer";
+  int_of_string (String.sub st.input start (st.pos - start))
+
+(* A name inside a predicate may start a comparison, a contains() call, or
+   stand alone as an existence test; 'and', 'or' and 'not' are keywords. *)
+let rec parse_or st =
+  let left = parse_and st in
+  skip_ws st;
+  if looking_at st "or " || looking_at st "or(" then begin
+    expect st "or";
+    skip_ws st;
+    Xpath.Or (left, parse_or st)
+  end
+  else left
+
+and parse_and st =
+  let left = parse_unary st in
+  skip_ws st;
+  if looking_at st "and " || looking_at st "and(" then begin
+    expect st "and";
+    skip_ws st;
+    Xpath.And (left, parse_and st)
+  end
+  else left
+
+and parse_unary st =
+  skip_ws st;
+  if looking_at st "not(" then begin
+    expect st "not(";
+    let inner = parse_or st in
+    skip_ws st;
+    expect st ")";
+    Xpath.Not inner
+  end
+  else if peek st = '(' then begin
+    expect st "(";
+    let inner = parse_or st in
+    skip_ws st;
+    expect st ")";
+    inner
+  end
+  else parse_atom st
+
+and parse_atom st =
+  skip_ws st;
+  if peek st >= '0' && peek st <= '9' then Xpath.Position (parse_int st)
+  else if peek st = '@' then begin
+    advance st;
+    let name = parse_name st in
+    skip_ws st;
+    expect st "=";
+    skip_ws st;
+    Xpath.Attr_eq (name, parse_string st)
+  end
+  else if peek st = '.' then begin
+    advance st;
+    skip_ws st;
+    expect st "=";
+    skip_ws st;
+    Xpath.Content_eq (parse_string st)
+  end
+  else if looking_at st "contains(" then begin
+    expect st "contains(";
+    skip_ws st;
+    let target = if peek st = '.' then (advance st; None) else Some (parse_name st) in
+    skip_ws st;
+    expect st ",";
+    skip_ws st;
+    let v = parse_string st in
+    skip_ws st;
+    expect st ")";
+    match target with
+    | None -> Xpath.Content_contains v
+    | Some t -> Xpath.Child_contains (t, v)
+  end
+  else begin
+    let name = parse_name st in
+    skip_ws st;
+    if peek st = '=' then begin
+      expect st "=";
+      skip_ws st;
+      Xpath.Child_eq (name, parse_string st)
+    end
+    else Xpath.Has_child name
+  end
+
+let parse_step st =
+  let axis =
+    if looking_at st "//" then begin
+      expect st "//";
+      Xpath.Descendant
+    end
+    else begin
+      expect st "/";
+      Xpath.Child
+    end
+  in
+  let test =
+    if peek st = '*' then begin
+      advance st;
+      Xpath.Any
+    end
+    else Xpath.Tag (parse_name st)
+  in
+  let predicates = ref [] in
+  while peek st = '[' do
+    expect st "[";
+    let p = parse_or st in
+    skip_ws st;
+    expect st "]";
+    predicates := p :: !predicates
+  done;
+  { Xpath.axis; test; predicates = List.rev !predicates }
+
+let parse_path st =
+  let steps = ref [ parse_step st ] in
+  while peek st = '/' do
+    steps := parse_step st :: !steps
+  done;
+  List.rev !steps
+
+let parse_exn input =
+  let st = { input; pos = 0 } in
+  skip_ws st;
+  let paths = ref [ parse_path st ] in
+  skip_ws st;
+  while peek st = '|' do
+    expect st "|";
+    skip_ws st;
+    paths := parse_path st :: !paths;
+    skip_ws st
+  done;
+  if not (eof st) then fail st "trailing input";
+  List.rev !paths
+
+let parse input =
+  match parse_exn input with t -> Ok t | exception Error msg -> Error msg

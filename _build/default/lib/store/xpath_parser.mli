@@ -1,0 +1,21 @@
+(** Parser for the XPath subset's concrete syntax.
+
+    Grammar (whitespace insensitive inside predicates):
+    {v
+    query := path ('|' path)*
+    path  := (('/' | '//') test pred* )+
+    test  := NAME | '*'
+    pred  := '[' or ']'
+    or    := and ('or' and)*
+    and   := unary ('and' unary)*
+    unary := 'not' '(' or ')' | '(' or ')' | atom
+    atom  := INT | '@' NAME '=' STR | '.' '=' STR
+           | 'contains' '(' ('.' | NAME) ',' STR ')'
+           | NAME '=' STR | NAME
+    STR   := single-quoted string
+    v} *)
+
+exception Error of string
+
+val parse : string -> (Xpath.t, string) result
+val parse_exn : string -> Xpath.t

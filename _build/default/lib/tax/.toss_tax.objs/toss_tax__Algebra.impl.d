@@ -1,0 +1,1 @@
+lib/tax/algebra.ml: Condition Embedding Hashtbl List Toss_xml Witness

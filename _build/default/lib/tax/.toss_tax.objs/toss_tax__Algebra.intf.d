@@ -1,0 +1,1 @@
+lib/tax/algebra.mli: Condition Embedding Pattern Toss_xml

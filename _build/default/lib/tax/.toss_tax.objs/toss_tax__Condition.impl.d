@@ -1,0 +1,1 @@
+lib/tax/condition.ml: Float Format List Option String Toss_xml

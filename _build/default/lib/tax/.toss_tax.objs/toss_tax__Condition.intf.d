@@ -1,0 +1,1 @@
+lib/tax/condition.mli: Format Toss_xml

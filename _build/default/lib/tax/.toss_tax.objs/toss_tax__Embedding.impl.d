@@ -1,0 +1,1 @@
+lib/tax/embedding.ml: Condition Hashtbl Int List Option Pattern Toss_xml

@@ -1,0 +1,1 @@
+lib/tax/embedding.mli: Condition Pattern Toss_xml

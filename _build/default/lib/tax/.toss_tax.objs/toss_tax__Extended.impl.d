@@ -1,0 +1,1 @@
+lib/tax/extended.ml: Condition Embedding Float Hashtbl List Option Printf String Toss_xml

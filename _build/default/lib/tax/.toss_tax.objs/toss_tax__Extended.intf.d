@@ -1,0 +1,1 @@
+lib/tax/extended.mli: Algebra Condition Pattern Toss_xml

@@ -1,0 +1,1 @@
+lib/tax/pattern.ml: Condition Format Int List

@@ -1,0 +1,1 @@
+lib/tax/pattern.mli: Condition Format

@@ -1,0 +1,1 @@
+lib/tax/witness.ml: Int List Printf Toss_xml

@@ -1,0 +1,1 @@
+lib/tax/witness.mli: Embedding Toss_xml

@@ -1,0 +1,81 @@
+module Doc = Toss_xml.Tree.Doc
+
+type binding = (int * Doc.node) list
+
+let env_of doc binding label =
+  Option.map (fun n -> (doc, n)) (List.assoc_opt label binding)
+
+(* Environment for prefiltering: only the node under consideration is
+   bound, to its own label. *)
+let single_env doc label node l = if l = label then Some (doc, node) else None
+
+let enumerate ?(candidates = fun _ -> None) ~eval doc (pattern : Pattern.t) =
+  let condition = pattern.Pattern.condition in
+  let local_ok label node =
+    List.for_all
+      (fun atom -> eval (single_env doc label node) atom)
+      (Condition.local_atoms condition label)
+  in
+  (* Candidate lists are turned into hash sets once per label so that
+     narrowing a structural candidate list costs O(1) per node. *)
+  let candidate_sets = Hashtbl.create 8 in
+  let candidate_set label =
+    match Hashtbl.find_opt candidate_sets label with
+    | Some set -> set
+    | None ->
+        let set =
+          Option.map
+            (fun allowed ->
+              let tbl = Hashtbl.create (List.length allowed) in
+              List.iter (fun n -> Hashtbl.replace tbl n ()) allowed;
+              tbl)
+            (candidates label)
+        in
+        Hashtbl.replace candidate_sets label set;
+        set
+  in
+  let narrowed label nodes =
+    match candidate_set label with
+    | None -> nodes
+    | Some allowed -> List.filter (fun n -> Hashtbl.mem allowed n) nodes
+  in
+  (* Enumerate structural embeddings by walking the pattern in preorder;
+     [binding] accumulates in reverse. *)
+  let rec extend binding (pnode : Pattern.node) image =
+    let binding = (pnode.Pattern.label, image) :: binding in
+    let rec over_children binding = function
+      | [] -> [ binding ]
+      | (kind, child) :: rest ->
+          let structural =
+            match (kind : Pattern.edge_kind) with
+            | Pattern.Pc -> Doc.children doc image
+            | Pattern.Ad -> Doc.descendants doc image
+          in
+          let options =
+            narrowed child.Pattern.label structural
+            |> List.filter (local_ok child.Pattern.label)
+          in
+          List.concat_map
+            (fun img ->
+              List.concat_map
+                (fun b -> over_children b rest)
+                (extend binding child img))
+            options
+    in
+    over_children binding pnode.Pattern.children
+  in
+  let root = pattern.Pattern.root in
+  let root_candidates =
+    (* A fetched candidate list for the root replaces the full node scan. *)
+    (match candidates root.Pattern.label with
+    | Some allowed -> List.sort_uniq Int.compare allowed
+    | None -> Doc.nodes doc)
+    |> List.filter (local_ok root.Pattern.label)
+  in
+  let structural =
+    List.concat_map (fun img -> extend [] root img) root_candidates
+  in
+  structural
+  |> List.rev_map List.rev
+  |> List.filter (fun binding -> eval (env_of doc binding) condition)
+  |> List.sort compare

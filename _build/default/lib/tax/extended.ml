@@ -1,0 +1,184 @@
+module Tree = Toss_xml.Tree
+module Doc = Tree.Doc
+
+type agg = Count | Sum | Avg | Min | Max
+
+let group_root_tag = "tax_group_root"
+
+let default_eval = Condition.eval_tax
+
+(* Values of a term under every embedding of the pattern into the tree. *)
+let term_values ~eval ~pattern term tree =
+  let doc = Doc.of_tree tree in
+  Embedding.enumerate ~eval doc pattern
+  |> List.filter_map (fun binding ->
+         Condition.term_value (Embedding.env_of doc binding) term)
+
+let group_by ?(eval = default_eval) ~pattern ~by collection =
+  let key_of tree =
+    let doc = Doc.of_tree tree in
+    match Embedding.enumerate ~eval doc pattern with
+    | [] -> []
+    | binding :: _ ->
+        List.map
+          (fun term ->
+            Option.value ~default:""
+              (Condition.term_value (Embedding.env_of doc binding) term))
+          by
+  in
+  let groups = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun tree ->
+      let key = key_of tree in
+      if not (Hashtbl.mem groups key) then order := key :: !order;
+      Hashtbl.replace groups key
+        (tree :: Option.value ~default:[] (Hashtbl.find_opt groups key)))
+    collection;
+  List.sort compare !order
+  |> List.map (fun key ->
+         let members = List.rev (Hashtbl.find groups key) in
+         Tree.element group_root_tag
+           [
+             Tree.element "group_key" (List.map (fun v -> Tree.leaf "key" v) key);
+             Tree.element "tax_group_subroot" members;
+           ])
+
+let numeric_values values = List.filter_map float_of_string_opt values
+
+let apply_agg agg values =
+  match agg with
+  | Count -> float_of_int (List.length values)
+  | Sum -> List.fold_left ( +. ) 0. (numeric_values values)
+  | Avg -> (
+      match numeric_values values with
+      | [] -> 0.
+      | nums -> List.fold_left ( +. ) 0. nums /. float_of_int (List.length nums))
+  | Min -> (
+      match numeric_values values with
+      | [] -> nan
+      | n :: ns -> List.fold_left Float.min n ns)
+  | Max -> (
+      match numeric_values values with
+      | [] -> nan
+      | n :: ns -> List.fold_left Float.max n ns)
+
+let aggregate ?(eval = default_eval) ~pattern ~agg ~over collection =
+  List.map
+    (fun tree -> (tree, apply_agg agg (term_values ~eval ~pattern over tree)))
+    collection
+
+let agg_name = function
+  | Count -> "count"
+  | Sum -> "sum"
+  | Avg -> "avg"
+  | Min -> "min"
+  | Max -> "max"
+
+let format_number x =
+  if Float.is_integer x && Float.abs x < 1e15 then string_of_int (int_of_float x)
+  else Printf.sprintf "%g" x
+
+let aggregate_trees ?(eval = default_eval) ~pattern ~agg ~over ?result_tag collection =
+  let tag = Option.value ~default:(agg_name agg) result_tag in
+  aggregate ~eval ~pattern ~agg ~over collection
+  |> List.map (fun (tree, value) ->
+         match tree with
+         | Tree.Element { tag = root_tag; attrs; children } ->
+             Tree.element ~attrs root_tag
+               (children @ [ Tree.leaf tag (format_number value) ])
+         | Tree.Text _ -> Tree.leaf tag (format_number value))
+
+(* Rebuild a tree, applying [f] at every element whose preorder id is in
+   [targets]. Preorder ids are assigned exactly as in Doc.of_tree, so the
+   embedding's node ids line up. *)
+let rewrite_matched tree targets f =
+  let counter = ref (-1) in
+  let rec go t =
+    match t with
+    | Tree.Text _ -> t
+    | Tree.Element { tag; attrs; children } ->
+        incr counter;
+        let id = !counter in
+        let children = List.map go children in
+        let rebuilt = Tree.element ~attrs tag children in
+        if Hashtbl.mem targets id then f rebuilt else rebuilt
+  in
+  go tree
+
+let matched_nodes ~eval ~pattern ~label tree =
+  let doc = Doc.of_tree tree in
+  let targets = Hashtbl.create 8 in
+  List.iter
+    (fun binding ->
+      match List.assoc_opt label binding with
+      | Some n -> Hashtbl.replace targets n ()
+      | None -> ())
+    (Embedding.enumerate ~eval doc pattern);
+  targets
+
+let rename ?(eval = default_eval) ~pattern ~label ~to_ collection =
+  List.map
+    (fun tree ->
+      let targets = matched_nodes ~eval ~pattern ~label tree in
+      rewrite_matched tree targets (fun t ->
+          match t with
+          | Tree.Element { attrs; children; _ } -> Tree.element ~attrs to_ children
+          | Tree.Text _ -> t))
+    collection
+
+(* Rebuild, DROPPING every element whose preorder id is matched; returns
+   None when the root itself was matched. *)
+let prune_matched tree targets =
+  let counter = ref (-1) in
+  let rec go t =
+    match t with
+    | Tree.Text _ -> Some t
+    | Tree.Element { tag; attrs; children } ->
+        incr counter;
+        let id = !counter in
+        let children = List.filter_map go children in
+        if Hashtbl.mem targets id then None else Some (Tree.element ~attrs tag children)
+  in
+  go tree
+
+let delete_matched ?(eval = default_eval) ~pattern ~label collection =
+  List.filter_map
+    (fun tree ->
+      let targets = matched_nodes ~eval ~pattern ~label tree in
+      if Hashtbl.length targets = 0 then Some tree else prune_matched tree targets)
+    collection
+
+let insert_child ?(eval = default_eval) ~pattern ~label ?(position = `Last) child
+    collection =
+  List.map
+    (fun tree ->
+      let targets = matched_nodes ~eval ~pattern ~label tree in
+      rewrite_matched tree targets (fun t ->
+          match t with
+          | Tree.Element { tag; attrs; children } ->
+              let children =
+                match position with
+                | `Last -> children @ [ child ]
+                | `First -> child :: children
+              in
+              Tree.element ~attrs tag children
+          | Tree.Text _ -> t))
+    collection
+
+let sort_children ?(eval = default_eval) ~pattern ~label ~key collection =
+  let key_of = function
+    | Tree.Element { tag; _ } as t -> (
+        match key with `Tag -> tag | `Content -> Tree.string_value t)
+    | Tree.Text s -> s
+  in
+  List.map
+    (fun tree ->
+      let targets = matched_nodes ~eval ~pattern ~label tree in
+      rewrite_matched tree targets (fun t ->
+          match t with
+          | Tree.Element { tag; attrs; children } ->
+              Tree.element ~attrs tag
+                (List.stable_sort (fun a b -> String.compare (key_of a) (key_of b)) children)
+          | Tree.Text _ -> t))
+    collection

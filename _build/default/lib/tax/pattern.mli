@@ -1,0 +1,31 @@
+(** Pattern trees (Definition 2).
+
+    A pattern tree is a node- and edge-labelled tree: every node carries a
+    distinct integer label, every edge is parent-child ([Pc]) or
+    ancestor-descendant ([Ad]), and a selection condition [F] applies to
+    the whole pattern. *)
+
+type edge_kind = Pc | Ad
+
+type node = { label : int; children : (edge_kind * node) list }
+
+type t = { root : node; condition : Condition.t }
+
+val node : int -> (edge_kind * node) list -> node
+val leaf : int -> node
+val pc : node -> edge_kind * node
+val ad : node -> edge_kind * node
+
+val v : node -> Condition.t -> t
+(** @raise Invalid_argument when node labels are not distinct. *)
+
+val labels : t -> int list
+(** All node labels, in preorder. *)
+
+val n_nodes : t -> int
+val find : t -> int -> node option
+val parent_label : t -> int -> (int * edge_kind) option
+(** The label of a node's parent in the pattern and the connecting edge
+    kind; [None] for the root. *)
+
+val pp : Format.formatter -> t -> unit

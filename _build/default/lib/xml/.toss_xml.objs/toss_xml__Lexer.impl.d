@@ -1,0 +1,1 @@
+lib/xml/lexer.ml: Buffer List Printf String Uchar

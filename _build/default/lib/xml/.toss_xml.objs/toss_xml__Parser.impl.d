@@ -1,0 +1,1 @@
+lib/xml/parser.ml: Buffer Format Lexer List Printf Tree

@@ -1,0 +1,1 @@
+lib/xml/value_type.ml: Format String

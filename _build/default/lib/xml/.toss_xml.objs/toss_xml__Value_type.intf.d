@@ -1,0 +1,1 @@
+lib/xml/value_type.mli: Format

@@ -1,0 +1,207 @@
+exception Lex_error of { line : int; column : int; message : string }
+
+type state = {
+  input : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of the beginning of the current line *)
+  keep_ws : bool;
+}
+
+let make ?(keep_whitespace = false) input =
+  { input; pos = 0; line = 1; bol = 0; keep_ws = keep_whitespace }
+
+let keep_whitespace st = st.keep_ws
+
+let fail st message =
+  raise (Lex_error { line = st.line; column = st.pos - st.bol + 1; message })
+
+let eof st = st.pos >= String.length st.input
+let peek st = if eof st then '\000' else st.input.[st.pos]
+
+let advance st =
+  if not (eof st) then begin
+    if st.input.[st.pos] = '\n' then begin
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+    end;
+    st.pos <- st.pos + 1
+  end
+
+let skip_whitespace st =
+  while
+    (not (eof st)) && (match peek st with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    advance st
+  done
+
+let looking_at st prefix =
+  let n = String.length prefix in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = prefix
+
+let expect st prefix =
+  if looking_at st prefix then
+    for _ = 1 to String.length prefix do
+      advance st
+    done
+  else fail st (Printf.sprintf "expected %S" prefix)
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let name st =
+  if not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+let entity st =
+  expect st "&";
+  let start = st.pos in
+  while (not (eof st)) && peek st <> ';' do
+    advance st
+  done;
+  if eof st then fail st "unterminated entity reference";
+  let body = String.sub st.input start (st.pos - start) in
+  expect st ";";
+  match body with
+  | "amp" -> "&"
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | _ ->
+      let numeric prefix base =
+        let digits =
+          String.sub body (String.length prefix) (String.length body - String.length prefix)
+        in
+        match int_of_string_opt (base ^ digits) with
+        | Some code when code >= 0 && code < 0x110000 ->
+            let b = Buffer.create 4 in
+            Buffer.add_utf_8_uchar b (Uchar.of_int code);
+            Some (Buffer.contents b)
+        | _ -> None
+      in
+      let resolved =
+        if String.length body > 2 && body.[0] = '#' && (body.[1] = 'x' || body.[1] = 'X')
+        then numeric "#x" "0x"
+        else if String.length body > 1 && body.[0] = '#' then numeric "#" ""
+        else None
+      in
+      (match resolved with
+      | Some s -> s
+      | None -> fail st (Printf.sprintf "unknown entity &%s;" body))
+
+let quoted_value st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected a quoted value";
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof st then fail st "unterminated attribute value"
+    else if peek st = quote then advance st
+    else if peek st = '&' then begin
+      Buffer.add_string buf (entity st);
+      go ()
+    end
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let attributes st =
+  let rec go acc =
+    skip_whitespace st;
+    if is_name_start (peek st) then begin
+      let attr_name = name st in
+      skip_whitespace st;
+      expect st "=";
+      skip_whitespace st;
+      let value = quoted_value st in
+      go ((attr_name, value) :: acc)
+    end
+    else List.rev acc
+  in
+  go []
+
+let skip_comment st =
+  expect st "<!--";
+  let rec go () =
+    if eof st then fail st "unterminated comment"
+    else if looking_at st "-->" then expect st "-->"
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let cdata st =
+  expect st "<![CDATA[";
+  let start = st.pos in
+  let rec go () =
+    if eof st then fail st "unterminated CDATA section"
+    else if looking_at st "]]>" then begin
+      let s = String.sub st.input start (st.pos - start) in
+      expect st "]]>";
+      s
+    end
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let skip_prolog st =
+  skip_whitespace st;
+  if looking_at st "<?" then begin
+    while (not (eof st)) && not (looking_at st "?>") do
+      advance st
+    done;
+    if eof st then fail st "unterminated XML declaration";
+    expect st "?>"
+  end;
+  skip_whitespace st;
+  while looking_at st "<!--" do
+    skip_comment st;
+    skip_whitespace st
+  done;
+  if looking_at st "<!DOCTYPE" then begin
+    (* Skip to the matching '>' (bracketed internal subsets included). *)
+    let depth = ref 0 in
+    let stop = ref false in
+    while not !stop do
+      if eof st then fail st "unterminated DOCTYPE";
+      (match peek st with
+      | '[' -> incr depth
+      | ']' -> decr depth
+      | '>' when !depth = 0 -> stop := true
+      | _ -> ());
+      advance st
+    done
+  end;
+  skip_whitespace st;
+  while looking_at st "<!--" do
+    skip_comment st;
+    skip_whitespace st
+  done
+
+let skip_trailing st =
+  skip_whitespace st;
+  while looking_at st "<!--" do
+    skip_comment st;
+    skip_whitespace st
+  done;
+  if not (eof st) then fail st "trailing content after the root element"
+
+let is_blank s =
+  String.for_all (function ' ' | '\t' | '\n' | '\r' -> true | _ -> false) s

@@ -1,0 +1,87 @@
+let escape ~quotes s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when quotes -> Buffer.add_string buf "&quot;"
+      | '\'' when quotes -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_text = escape ~quotes:false
+let escape_attr = escape ~quotes:true
+
+let add_attrs buf attrs =
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf k;
+      Buffer.add_string buf "=\"";
+      Buffer.add_string buf (escape_attr v);
+      Buffer.add_char buf '"')
+    attrs
+
+let declaration = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+
+let to_string ?(decl = false) tree =
+  let buf = Buffer.create 1024 in
+  if decl then Buffer.add_string buf declaration;
+  let rec go = function
+    | Tree.Text s -> Buffer.add_string buf (escape_text s)
+    | Tree.Element { tag; attrs; children } -> (
+        Buffer.add_char buf '<';
+        Buffer.add_string buf tag;
+        add_attrs buf attrs;
+        match children with
+        | [] -> Buffer.add_string buf "/>"
+        | _ ->
+            Buffer.add_char buf '>';
+            List.iter go children;
+            Buffer.add_string buf "</";
+            Buffer.add_string buf tag;
+            Buffer.add_char buf '>')
+  in
+  go tree;
+  Buffer.contents buf
+
+let to_pretty_string ?(decl = false) ?(indent = 2) tree =
+  let buf = Buffer.create 1024 in
+  if decl then Buffer.add_string buf declaration;
+  let pad depth = Buffer.add_string buf (String.make (depth * indent) ' ') in
+  let only_text children = List.for_all (function Tree.Text _ -> true | _ -> false) children in
+  let rec go depth = function
+    | Tree.Text s ->
+        pad depth;
+        Buffer.add_string buf (escape_text s);
+        Buffer.add_char buf '\n'
+    | Tree.Element { tag; attrs; children } -> (
+        pad depth;
+        Buffer.add_char buf '<';
+        Buffer.add_string buf tag;
+        add_attrs buf attrs;
+        match children with
+        | [] -> Buffer.add_string buf "/>\n"
+        | _ when only_text children ->
+            Buffer.add_char buf '>';
+            List.iter
+              (function Tree.Text s -> Buffer.add_string buf (escape_text s) | _ -> ())
+              children;
+            Buffer.add_string buf "</";
+            Buffer.add_string buf tag;
+            Buffer.add_string buf ">\n"
+        | _ ->
+            Buffer.add_string buf ">\n";
+            List.iter (go (depth + 1)) children;
+            pad depth;
+            Buffer.add_string buf "</";
+            Buffer.add_string buf tag;
+            Buffer.add_string buf ">\n")
+  in
+  go 0 tree;
+  Buffer.contents buf
+
+let byte_size tree = String.length (to_string tree)

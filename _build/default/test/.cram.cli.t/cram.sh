@@ -1,0 +1,7 @@
+  $ toss generate --papers 8 --seed 3 -o demo.xml
+  $ toss info demo.xml
+  $ toss xpath demo.xml "//inproceedings[1]/title"
+  $ toss ontology demo.xml --relation part-of | head -3
+  $ toss query demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | head -1 | cut -d' ' -f1-2
+  $ toss query --mode tax demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | head -1 | cut -d' ' -f1-2
+  $ toss dot demo.xml | head -1

@@ -1,0 +1,36 @@
+The toss CLI end to end: generate a small deterministic bibliography,
+inspect it, and query it under both semantics.
+
+  $ toss generate --papers 8 --seed 3 -o demo.xml
+  $ toss info demo.xml
+  root tag:  dblp
+  elements:  61
+  bytes:     2174
+  tags:      author, booktitle, dblp, inproceedings, pages, title, year
+
+XPath goes straight to the store:
+
+  $ toss xpath demo.xml "//inproceedings[1]/title"
+  1 node(s)
+  <title>Scalable Indexing for Graph Data in Peer-to-Peer Networks [P0000]</title>
+
+The Ontology Maker derives part-of from nesting:
+
+  $ toss ontology demo.xml --relation part-of | head -3
+  part-of hierarchy: 14 nodes, 6 edges
+    {author, writer} <= {conference paper, inproceedings}
+    {booktitle, conference, venue} <= {conference paper, inproceedings}
+
+A TQL query under TOSS reaches venues through the isa hierarchy; the
+same query under TAX returns nothing (no stored venue literally contains
+the words "database conference"):
+
+  $ toss query demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | head -1 | cut -d' ' -f1-2
+  6 result(s)
+  $ toss query --mode tax demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | head -1 | cut -d' ' -f1-2
+  0 result(s)
+
+Graphviz export:
+
+  $ toss dot demo.xml | head -1
+  digraph "isa" {

@@ -1,0 +1,139 @@
+(* Tests for precision / recall / quality metrics and the bench helpers. *)
+
+module Metrics = Toss_eval.Metrics
+module Bench_util = Toss_eval.Bench_util
+
+let checkf = Alcotest.(check (float 1e-9))
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_counts () =
+  let c = Metrics.counts ~correct:[ "a"; "b"; "c" ] ~returned:[ "b"; "c"; "d" ] in
+  checki "tp" 2 c.Metrics.tp;
+  checki "fp" 1 c.Metrics.fp;
+  checki "fn" 1 c.Metrics.fn
+
+let test_counts_dedup () =
+  let c = Metrics.counts ~correct:[ "a"; "a" ] ~returned:[ "a"; "a"; "a" ] in
+  checki "tp deduped" 1 c.Metrics.tp;
+  checki "fp deduped" 0 c.Metrics.fp
+
+let test_precision_recall () =
+  checkf "precision" (2. /. 3.)
+    (Metrics.precision ~correct:[ "a"; "b"; "c" ] ~returned:[ "b"; "c"; "d" ]);
+  checkf "recall" (2. /. 3.)
+    (Metrics.recall ~correct:[ "a"; "b"; "c" ] ~returned:[ "b"; "c"; "d" ]);
+  checkf "perfect" 1.0 (Metrics.precision ~correct:[ "a" ] ~returned:[ "a" ]);
+  checkf "all wrong" 0.0 (Metrics.precision ~correct:[ "a" ] ~returned:[ "b" ])
+
+let test_edge_conventions () =
+  (* TAX's empty answers must read as precision 1 (the paper's headline
+     "TAX always gets 100% precision"). *)
+  checkf "empty answer precision 1" 1.0 (Metrics.precision ~correct:[ "a" ] ~returned:[]);
+  checkf "empty answer recall 0" 0.0 (Metrics.recall ~correct:[ "a" ] ~returned:[]);
+  checkf "nothing correct recall 1" 1.0 (Metrics.recall ~correct:[] ~returned:[ "x" ]);
+  checkf "nothing correct precision 0" 0.0 (Metrics.precision ~correct:[] ~returned:[ "x" ])
+
+let test_quality () =
+  checkf "geometric mean" (sqrt 0.5) (Metrics.quality ~precision:1.0 ~recall:0.5);
+  checkf "zero recall" 0.0 (Metrics.quality ~precision:1.0 ~recall:0.0);
+  let p, r, q = Metrics.evaluate ~correct:[ "a"; "b" ] ~returned:[ "a" ] in
+  checkf "evaluate precision" 1.0 p;
+  checkf "evaluate recall" 0.5 r;
+  checkf "evaluate quality" (sqrt 0.5) q
+
+let test_f1 () =
+  checkf "balanced" 0.5 (Metrics.f1 ~precision:0.5 ~recall:0.5);
+  checkf "degenerate" 0.0 (Metrics.f1 ~precision:0.0 ~recall:0.0)
+
+let test_mean () =
+  checkf "empty" 0.0 (Metrics.mean []);
+  checkf "values" 2.0 (Metrics.mean [ 1.0; 2.0; 3.0 ])
+
+let test_time () =
+  let x, t = Bench_util.time (fun () -> 42) in
+  checki "result passed through" 42 x;
+  checkb "non-negative" true (t >= 0.);
+  let x, t = Bench_util.time_median ~runs:3 (fun () -> 7) in
+  checki "median result" 7 x;
+  checkb "median non-negative" true (t >= 0.)
+
+let test_formatting () =
+  Alcotest.(check string) "seconds" "0.1235" (Bench_util.fs 0.12345);
+  Alcotest.(check string) "two decimals" "3.14" (Bench_util.f2 3.14159);
+  Alcotest.(check string) "three decimals" "0.333" (Bench_util.f3 (1. /. 3.))
+
+module Series = Toss_eval.Series
+
+let sample_series =
+  Series.v ~name:"fig"
+    ~columns:[ "x"; "tax"; "toss" ]
+    [ [ "1"; "0.1"; "0.2" ]; [ "2"; "0.3"; "0.4" ] ]
+
+let test_series_csv () =
+  Alcotest.(check string) "csv" "x,tax,toss\n1,0.1,0.2\n2,0.3,0.4\n"
+    (Series.to_csv sample_series)
+
+let test_series_escaping () =
+  let s =
+    Series.v ~name:"esc" ~columns:[ "a" ] [ [ "plain" ]; [ "with,comma" ]; [ "say \"hi\"" ] ]
+  in
+  Alcotest.(check string) "quoted fields" "a\nplain\n\"with,comma\"\n\"say \"\"hi\"\"\"\n"
+    (Series.to_csv s)
+
+let test_series_validation () =
+  Alcotest.check_raises "ragged row"
+    (Invalid_argument "Series.v: row 0 has 1 fields, header has 2") (fun () ->
+      ignore (Series.v ~name:"x" ~columns:[ "a"; "b" ] [ [ "1" ] ]));
+  Alcotest.check_raises "empty name" (Invalid_argument "Series.v: empty name")
+    (fun () -> ignore (Series.v ~name:"" ~columns:[] []))
+
+let temp_dir () =
+  let dir = Filename.temp_file "toss_eval" "" in
+  Sys.remove dir;
+  dir
+
+let test_series_save () =
+  let dir = temp_dir () in
+  let path = Series.save_csv ~dir sample_series in
+  checkb "file exists" true (Sys.file_exists path);
+  let paths = Series.save_all ~dir [ sample_series ] in
+  checki "csv and gp" 2 (List.length paths)
+
+let test_series_gnuplot () =
+  let gp = Series.gnuplot_script sample_series in
+  let has needle =
+    let nh = String.length gp and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub gp i nn = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "reads the csv" true (has "fig.csv");
+  checkb "plots both value columns" true (has "using 1:2" && has "using 1:3")
+
+let () =
+  Alcotest.run "toss_eval"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counts" `Quick test_counts;
+          Alcotest.test_case "set semantics" `Quick test_counts_dedup;
+          Alcotest.test_case "precision and recall" `Quick test_precision_recall;
+          Alcotest.test_case "edge conventions" `Quick test_edge_conventions;
+          Alcotest.test_case "quality" `Quick test_quality;
+          Alcotest.test_case "f1" `Quick test_f1;
+          Alcotest.test_case "mean" `Quick test_mean;
+        ] );
+      ( "bench utilities",
+        [
+          Alcotest.test_case "timing" `Quick test_time;
+          Alcotest.test_case "formatting" `Quick test_formatting;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "csv rendering" `Quick test_series_csv;
+          Alcotest.test_case "csv escaping" `Quick test_series_escaping;
+          Alcotest.test_case "validation" `Quick test_series_validation;
+          Alcotest.test_case "save" `Quick test_series_save;
+          Alcotest.test_case "gnuplot script" `Quick test_series_gnuplot;
+        ] );
+    ]
