@@ -40,10 +40,16 @@ let metric = Workload.experiment_metric
    directory, so figures can be re-plotted from a run's artifacts. *)
 let results_dir = "bench_results"
 
+(* Each experiment's JSON artifact embeds the metrics accumulated since
+   the previous [emit], so a row's timings come with the index hit rates,
+   rewrite fan-outs and embedding counts that explain them; the registry
+   is then reset to scope the next experiment's snapshot. *)
 let emit name ~columns rows =
   B.print_table ~columns rows;
   let series = Toss_eval.Series.v ~name ~columns rows in
-  let paths = Toss_eval.Series.save_all ~dir:results_dir [ series ] in
+  let metrics = Toss_obs.Metrics.to_json (Toss_obs.Metrics.snapshot ()) in
+  let paths = Toss_eval.Series.save_all ~dir:results_dir ~metrics [ series ] in
+  Toss_obs.Metrics.reset ();
   Printf.printf "(artifacts: %s)\n" (String.concat ", " paths)
 
 (* ------------------------------------------------------------------ *)

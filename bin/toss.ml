@@ -203,7 +203,30 @@ let dot_cmd =
 
 (* ----------------------------- query ------------------------------ *)
 
-let query files query mode eps show_xpath =
+(* The per-phase breakdown, printed from the trace; because the stats
+   phases are themselves a view over the same trace, the totals shown
+   here agree with [Executor.total_s stats.phases] exactly. *)
+let print_phase_table oc (stats : Executor.stats) =
+  let total = Executor.total_s stats.Executor.phases in
+  let share s = if total > 0. then 100. *. s /. total else 0. in
+  Printf.fprintf oc "phase breakdown:\n";
+  Printf.fprintf oc "  %-10s %12s %7s\n" "phase" "seconds" "share";
+  List.iter
+    (fun (name, s) ->
+      Printf.fprintf oc "  %-10s %12.6f %6.1f%%\n" name s (share s))
+    [
+      ("rewrite", stats.Executor.phases.Executor.rewrite_s);
+      ("execute", stats.Executor.phases.Executor.execute_s);
+      ("assemble", stats.Executor.phases.Executor.assemble_s);
+    ];
+  Printf.fprintf oc "  %-10s %12.6f\n" "total" total
+
+let print_trace oc (stats : Executor.stats) =
+  print_phase_table oc stats;
+  Printf.fprintf oc "trace:\n%s" (Toss_obs.Span.to_string stats.Executor.trace)
+
+let query files query mode eps show_xpath trace show_stats =
+  if trace then Toss_obs.Span.set_enabled true;
   let trees = List.map load_doc files in
   let coll = Collection.create "cli" in
   List.iter (fun t -> ignore (Collection.add_document coll t)) trees;
@@ -214,7 +237,6 @@ let query files query mode eps show_xpath =
       match Seo.of_documents ~metric:Workload.experiment_metric ~eps docs with
       | Error msg -> `Error (false, msg)
       | Ok seo ->
-          let mode = if mode = "tax" then Executor.Tax else Executor.Toss in
           if show_xpath then
             prerr_endline
               (Toss_core.Explain.to_string
@@ -236,7 +258,11 @@ let query files query mode eps show_xpath =
               let results, stats = Executor.select ~mode seo coll ~pattern:q.Tql.pattern ~sl in
               Printf.printf "%d result(s) in %.4fs\n" (List.length results)
                 (Executor.total_s stats.Executor.phases);
-              List.iter (fun t -> print_string (Printer.to_pretty_string t)) results);
+              List.iter (fun t -> print_string (Printer.to_pretty_string t)) results;
+              if trace then print_trace stderr stats);
+          if show_stats then
+            output_string stderr
+              (Toss_obs.Metrics.to_table (Toss_obs.Metrics.snapshot ()));
           `Ok ())
 
 let query_cmd =
@@ -245,8 +271,9 @@ let query_cmd =
   in
   let q = Arg.(required & pos ~rev:true 0 (some string) None & info [] ~docv:"TQL") in
   let mode =
-    Arg.(value & opt string "toss" & info [ "mode" ] ~docv:"MODE"
-           ~doc:"Semantics: toss (default) or tax.")
+    Arg.(value
+         & opt (enum [ ("toss", Executor.Toss); ("tax", Executor.Tax) ]) Executor.Toss
+         & info [ "mode" ] ~docv:"MODE" ~doc:"Semantics: toss (default) or tax.")
   in
   let eps =
     Arg.(value & opt float 2.0 & info [ "eps" ] ~docv:"EPS"
@@ -256,10 +283,71 @@ let query_cmd =
     Arg.(value & flag & info [ "show-xpath" ]
            ~doc:"Print the rewritten XPath queries to stderr.")
   in
+  let trace =
+    Arg.(value & flag & info [ "trace" ]
+           ~doc:"Print the per-phase breakdown and the nested execution \
+                 span tree (with allocation deltas) to stderr.")
+  in
+  let show_stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print the metrics-registry snapshot (index hit rates, \
+                 rewrite fan-out, embedding counts) to stderr.")
+  in
   Cmd.v
     (Cmd.info "query"
        ~doc:"Run a TQL pattern-tree query over one or more documents.")
-    Term.(ret (const query $ files $ q $ mode $ eps $ show_xpath))
+    Term.(ret (const query $ files $ q $ mode $ eps $ show_xpath $ trace $ show_stats))
+
+(* ----------------------------- stats ------------------------------ *)
+
+(* [toss stats] = run a selection with tracing on and report only the
+   observability side: phase table, span tree, metrics snapshot. *)
+let stats_run files query mode eps =
+  Toss_obs.Span.set_enabled true;
+  let trees = List.map load_doc files in
+  let coll = Collection.create "cli" in
+  List.iter (fun t -> ignore (Collection.add_document coll t)) trees;
+  match Tql.parse query with
+  | Error msg -> `Error (false, "TQL syntax error: " ^ msg)
+  | Ok q -> (
+      let docs = List.map Doc.of_tree trees in
+      match Seo.of_documents ~metric:Workload.experiment_metric ~eps docs with
+      | Error msg -> `Error (false, msg)
+      | Ok seo -> (
+          match q.Tql.target with
+          | Tql.Project _ -> `Error (false, "toss stats: SELECT queries only")
+          | Tql.Select sl ->
+              let results, stats =
+                Executor.select ~mode seo coll ~pattern:q.Tql.pattern ~sl
+              in
+              Printf.printf "%d result(s): %d candidate(s) -> %d embedding(s) -> %d witness(es)\n"
+                (List.length results) stats.Executor.n_candidates
+                stats.Executor.n_embeddings stats.Executor.n_results;
+              print_trace stdout stats;
+              print_string "metrics:\n";
+              print_string
+                (Toss_obs.Metrics.to_table (Toss_obs.Metrics.snapshot ()));
+              `Ok ()))
+
+let stats_cmd =
+  let files =
+    Arg.(non_empty & pos_left ~rev:true 0 file [] & info [] ~docv:"FILE")
+  in
+  let q = Arg.(required & pos ~rev:true 0 (some string) None & info [] ~docv:"TQL") in
+  let mode =
+    Arg.(value
+         & opt (enum [ ("toss", Executor.Toss); ("tax", Executor.Tax) ]) Executor.Toss
+         & info [ "mode" ] ~docv:"MODE" ~doc:"Semantics: toss (default) or tax.")
+  in
+  let eps =
+    Arg.(value & opt float 2.0 & info [ "eps" ] ~docv:"EPS"
+           ~doc:"Similarity threshold.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a TQL selection and report its trace and metrics instead \
+             of its results.")
+    Term.(ret (const stats_run $ files $ q $ mode $ eps))
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -270,4 +358,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ generate_cmd; info_cmd; xpath_cmd; ontology_cmd; clusters_cmd; dot_cmd; query_cmd ]))
+          [ generate_cmd; info_cmd; xpath_cmd; ontology_cmd; clusters_cmd; dot_cmd;
+            query_cmd; stats_cmd ]))

@@ -7,6 +7,8 @@ module Collection = Toss_store.Collection
 module Xpath = Toss_store.Xpath
 module Tree = Toss_xml.Tree
 module Doc = Tree.Doc
+module Metrics = Toss_obs.Metrics
+module Span = Toss_obs.Span
 
 type mode = Rewrite.mode = Tax | Toss
 
@@ -18,11 +20,37 @@ type stats = {
   n_embeddings : int;
   n_results : int;
   queries : (int * string) list;
+  trace : Span.t;
 }
 
 let total_s p = p.rewrite_s +. p.execute_s +. p.assemble_s
 
-let now = Unix.gettimeofday
+(* The phase record is a view over the span tree, so the per-phase
+   breakdown printed from the trace and the [stats] fields agree by
+   construction. *)
+let phases_of_trace trace =
+  let dur name =
+    match Span.find trace name with Some s -> s.Span.elapsed_s | None -> 0.
+  in
+  { rewrite_s = dur "rewrite"; execute_s = dur "execute"; assemble_s = dur "assemble" }
+
+let m_selects = Metrics.counter "executor.select.total"
+let m_joins = Metrics.counter "executor.join.total"
+let m_candidates = Metrics.histogram "executor.candidates"
+let m_embeddings = Metrics.histogram "executor.embeddings"
+let m_results = Metrics.histogram "executor.results"
+
+let phase_seconds = Metrics.histogram "executor.phase.seconds"
+
+let note_phases p =
+  Metrics.observe phase_seconds p.rewrite_s;
+  Metrics.observe phase_seconds p.execute_s;
+  Metrics.observe phase_seconds p.assemble_s
+
+let note_sizes ~candidates ~embeddings ~results =
+  Metrics.observe_int m_candidates candidates;
+  Metrics.observe_int m_embeddings embeddings;
+  Metrics.observe_int m_results results
 
 let evaluator_of mode seo =
   match mode with Tax -> Condition.eval_tax | Toss -> Toss_condition.evaluator seo
@@ -60,37 +88,42 @@ let fetch ~use_index collection queries =
   (lookup, !total)
 
 let select ?(mode = Toss) ?(use_index = true) ?max_expansion seo collection ~pattern ~sl =
+  Metrics.incr m_selects;
   let eval = evaluator_of mode seo in
-  (* Phase i: rewrite. *)
-  let t0 = now () in
-  let queries = Rewrite.label_queries ~mode ?max_expansion seo pattern in
-  let query_strings = List.map (fun (l, q) -> (l, Xpath.to_string q)) queries in
-  let t1 = now () in
-  (* Phase ii: execute against the store. *)
-  let lookup, n_candidates = fetch ~use_index collection queries in
-  let t2 = now () in
-  (* Phase iii: assemble witness trees. *)
-  let n_embeddings = ref 0 in
-  let results =
-    List.concat_map
-      (fun doc_id ->
-        let doc = Collection.doc collection doc_id in
-        let bindings =
-          Embedding.enumerate ~candidates:(lookup doc_id) ~eval doc pattern
+  let (results, query_strings, n_candidates, n_embeddings), trace =
+    Span.run "executor.select" (fun () ->
+        (* Phase i: rewrite. *)
+        let queries, query_strings =
+          Span.with_ "rewrite" (fun () ->
+              let queries = Rewrite.label_queries ~mode ?max_expansion seo pattern in
+              (queries, List.map (fun (l, q) -> (l, Xpath.to_string q)) queries))
         in
-        n_embeddings := !n_embeddings + List.length bindings;
-        dedup (List.map (fun b -> Witness.of_binding doc b ~sl) bindings))
-      (Collection.doc_ids collection)
+        (* Phase ii: execute against the store. *)
+        let lookup, n_candidates =
+          Span.with_ "execute" (fun () -> fetch ~use_index collection queries)
+        in
+        (* Phase iii: assemble witness trees. *)
+        let n_embeddings = ref 0 in
+        let results =
+          Span.with_ "assemble" (fun () ->
+              List.concat_map
+                (fun doc_id ->
+                  let doc = Collection.doc collection doc_id in
+                  let bindings =
+                    Embedding.enumerate ~candidates:(lookup doc_id) ~eval doc pattern
+                  in
+                  n_embeddings := !n_embeddings + List.length bindings;
+                  dedup (List.map (fun b -> Witness.of_binding doc b ~sl) bindings))
+                (Collection.doc_ids collection))
+        in
+        (results, query_strings, n_candidates, !n_embeddings))
   in
-  let t3 = now () in
+  let phases = phases_of_trace trace in
+  let n_results = List.length results in
+  note_phases phases;
+  note_sizes ~candidates:n_candidates ~embeddings:n_embeddings ~results:n_results;
   ( results,
-    {
-      phases = { rewrite_s = t1 -. t0; execute_s = t2 -. t1; assemble_s = t3 -. t2 };
-      n_candidates;
-      n_embeddings = !n_embeddings;
-      n_results = List.length results;
-      queries = query_strings;
-    } )
+    { phases; n_candidates; n_embeddings; n_results; queries = query_strings; trace } )
 
 (* The sub-pattern rooted at a child of the join pattern's root, with the
    original condition restricted to the conjuncts local to that side. *)
@@ -114,6 +147,7 @@ let side_pattern (pattern : Pattern.t) (child : Pattern.node) =
 
 let join ?(mode = Toss) ?(use_index = true) ?max_expansion seo left_coll right_coll
     ~pattern ~sl =
+  Metrics.incr m_joins;
   let eval = evaluator_of mode seo in
   let root = pattern.Pattern.root in
   let (left_kind, left_child), (right_kind, right_child) =
@@ -121,20 +155,29 @@ let join ?(mode = Toss) ?(use_index = true) ?max_expansion seo left_coll right_c
     | [ l; r ] -> (l, r)
     | _ -> invalid_arg "Executor.join: the pattern root must have exactly two children"
   in
+  let (results, query_strings, n_candidates, n_embeddings), trace =
+    Span.run "executor.join" (fun () ->
   (* Phase i. *)
-  let t0 = now () in
-  let left_pattern, left_labels = side_pattern pattern left_child in
-  let right_pattern, right_labels = side_pattern pattern right_child in
-  let left_queries = Rewrite.label_queries ~mode ?max_expansion seo left_pattern in
-  let right_queries = Rewrite.label_queries ~mode ?max_expansion seo right_pattern in
-  let query_strings =
-    List.map (fun (l, q) -> (l, Xpath.to_string q)) (left_queries @ right_queries)
+  let (left_pattern, left_labels, right_pattern, right_labels, left_queries,
+       right_queries, query_strings) =
+    Span.with_ "rewrite" (fun () ->
+        let left_pattern, left_labels = side_pattern pattern left_child in
+        let right_pattern, right_labels = side_pattern pattern right_child in
+        let left_queries = Rewrite.label_queries ~mode ?max_expansion seo left_pattern in
+        let right_queries = Rewrite.label_queries ~mode ?max_expansion seo right_pattern in
+        let query_strings =
+          List.map (fun (l, q) -> (l, Xpath.to_string q)) (left_queries @ right_queries)
+        in
+        (left_pattern, left_labels, right_pattern, right_labels, left_queries,
+         right_queries, query_strings))
   in
-  let t1 = now () in
   (* Phase ii. *)
-  let left_lookup, n_left = fetch ~use_index left_coll left_queries in
-  let right_lookup, n_right = fetch ~use_index right_coll right_queries in
-  let t2 = now () in
+  let (left_lookup, n_left), (right_lookup, n_right) =
+    Span.with_ "execute" (fun () ->
+        ( fetch ~use_index left_coll left_queries,
+          fetch ~use_index right_coll right_queries ))
+  in
+  Span.with_ "assemble" (fun () ->
   (* Phase iii: embed each side, then pair and check the full condition. *)
   (* A pc edge from the product root pins the side's root to the document
      root (the product's direct child); an ad edge lets it match anywhere,
@@ -201,12 +244,14 @@ let join ?(mode = Toss) ?(use_index = true) ?max_expansion seo left_coll right_c
       lefts
     |> dedup
   in
-  let t3 = now () in
   ( results,
-    {
-      phases = { rewrite_s = t1 -. t0; execute_s = t2 -. t1; assemble_s = t3 -. t2 };
-      n_candidates = n_left + n_right;
-      n_embeddings = List.length lefts + List.length rights;
-      n_results = List.length results;
-      queries = query_strings;
-    } )
+    query_strings,
+    n_left + n_right,
+    List.length lefts + List.length rights )))
+  in
+  let phases = phases_of_trace trace in
+  let n_results = List.length results in
+  note_phases phases;
+  note_sizes ~candidates:n_candidates ~embeddings:n_embeddings ~results:n_results;
+  ( results,
+    { phases; n_candidates; n_embeddings; n_results; queries = query_strings; trace } )

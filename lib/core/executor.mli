@@ -20,12 +20,19 @@ type phases = {
 type stats = {
   phases : phases;
   n_candidates : int;  (** candidate nodes fetched across labels *)
-  n_embeddings : int;
-  n_results : int;
+  n_embeddings : int;  (** pattern embeddings found during assembly *)
+  n_results : int;  (** witness trees returned (after deduplication) *)
   queries : (int * string) list;  (** label -> XPath sent to the store *)
+  trace : Toss_obs.Span.t;
+      (** the full span tree of this run; [phases] is a view over its
+          [rewrite]/[execute]/[assemble] children, so the two always
+          agree. Allocation deltas are populated when
+          [Toss_obs.Span.set_enabled true] was called beforehand. *)
 }
 
 val total_s : phases -> float
+(** Sum of the three phase durations — the end-to-end query time the
+    paper reports. *)
 
 val select :
   ?mode:mode ->

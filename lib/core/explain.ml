@@ -9,6 +9,7 @@ type t = {
   label_queries : (int * string) list;
   expansions : expansion list;
   residual_atoms : string list;
+  trace : Toss_obs.Span.t option;
 }
 
 let atom_to_string atom = Format.asprintf "%a" Condition.pp atom
@@ -44,7 +45,10 @@ let explain ?(mode = Rewrite.Toss) ?max_expansion seo pattern =
     label_queries = List.map (fun (l, q) -> (l, Xpath.to_string q)) queries;
     expansions = expansions_of ~mode seo pattern;
     residual_atoms = List.map atom_to_string (residual_atoms_of pattern);
+    trace = None;
   }
+
+let with_trace t trace = { t with trace = Some trace }
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>mode: %s@,"
@@ -65,6 +69,10 @@ let pp ppf t =
     Format.fprintf ppf "re-checked during assembly:@,";
     List.iter (fun a -> Format.fprintf ppf "  %s@," a) t.residual_atoms
   end;
+  (match t.trace with
+  | None -> ()
+  | Some trace ->
+      Format.fprintf ppf "execution trace:@,%a@," Toss_obs.Span.pp trace);
   Format.fprintf ppf "@]"
 
 let to_string t = Format.asprintf "%a" pp t

@@ -19,9 +19,20 @@ type t = {
   expansions : expansion list;
   residual_atoms : string list;
       (** atoms re-checked during assembly (cross-label or unpushable) *)
+  trace : Toss_obs.Span.t option;
+      (** the execution trace, when the plan was paired with a run via
+          {!with_trace}; [None] for a purely static plan *)
 }
 
 val explain : ?mode:Rewrite.mode -> ?max_expansion:int -> Seo.t -> Toss_tax.Pattern.t -> t
+(** The static plan for a pattern under the given SEO (no query is run). *)
+
+val with_trace : t -> Toss_obs.Span.t -> t
+(** Attaches an execution trace (e.g. [stats.trace] from
+    {!Executor.select}) so {!pp} also renders the observed span tree. *)
 
 val pp : Format.formatter -> t -> unit
+(** Renders the plan: store queries, expansions, residual atoms, and —
+    when present — the execution span tree. *)
+
 val to_string : t -> string

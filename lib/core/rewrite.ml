@@ -1,8 +1,26 @@
 module Pattern = Toss_tax.Pattern
 module Condition = Toss_tax.Condition
 module Xpath = Toss_store.Xpath
+module Metrics = Toss_obs.Metrics
 
 type mode = Tax | Toss
+
+let m_rewrites = Metrics.counter "rewrite.patterns"
+let m_queries = Metrics.counter "rewrite.label_queries"
+let m_degraded = Metrics.counter "rewrite.degraded"
+
+(* Cache-ability: a label query built from purely structural atoms (tags,
+   content equality, containment) is valid under any SEO, so a rewrite
+   cache could keep it across ontology rebuilds; one that consulted the
+   SEO must be invalidated with it. *)
+let m_seo_dependent = Metrics.counter "rewrite.queries.seo_dependent"
+let m_cacheable = Metrics.counter "rewrite.queries.seo_independent"
+
+let atom_consults_seo = function
+  | Condition.Sim _ | Condition.Isa _ | Condition.Below _ | Condition.Above _
+  | Condition.Part_of _ | Condition.Instance_of _ | Condition.Subtype_of _ ->
+      true
+  | _ -> false
 
 (* Tag alternatives for one pattern node: [None] = unconstrained. *)
 let tag_options ~mode ~max_expansion seo atoms =
@@ -88,6 +106,7 @@ let chain_to (pattern : Pattern.t) label =
   search pattern.Pattern.root
 
 let label_queries ?(mode = Toss) ?(max_expansion = 64) seo (pattern : Pattern.t) =
+  Metrics.incr m_rewrites;
   let condition = pattern.Pattern.condition in
   let step_of (node : Pattern.node) axis =
     let atoms = Condition.local_atoms condition node.Pattern.label in
@@ -102,9 +121,29 @@ let label_queries ?(mode = Toss) ?(max_expansion = 64) seo (pattern : Pattern.t)
     (axis, tags, predicates)
   in
   let query_for label =
+    Metrics.incr m_queries;
+    let note_cacheability nodes =
+      let consults_seo =
+        mode = Toss
+        && List.exists
+             (fun (n : Pattern.node) ->
+               List.exists atom_consults_seo
+                 (Condition.local_atoms condition n.Pattern.label))
+             nodes
+      in
+      Metrics.incr (if consults_seo then m_seo_dependent else m_cacheable)
+    in
+    let note_fanout n =
+      Metrics.observe_h ~labels:[ ("label", string_of_int label) ] "rewrite.fanout"
+        (float_of_int n)
+    in
     match chain_to pattern label with
-    | None -> Xpath.path [ Xpath.any ~axis:Xpath.Descendant () ]
+    | None ->
+        note_cacheability [];
+        note_fanout 1;
+        Xpath.path [ Xpath.any ~axis:Xpath.Descendant () ]
     | Some (nodes, kinds) ->
+        note_cacheability nodes;
         (* First node uses the descendant axis (a pattern can embed
            anywhere); subsequent axes follow the edge kinds. *)
         let axes =
@@ -128,10 +167,13 @@ let label_queries ?(mode = Toss) ?(max_expansion = 64) seo (pattern : Pattern.t)
             [ [] ] steps
         in
         let paths = List.map List.rev paths in
-        if List.length paths > max_expansion then
+        note_fanout (List.length paths);
+        if List.length paths > max_expansion then begin
           (* Too many alternatives: drop the name tests, keep structure. *)
+          Metrics.incr m_degraded;
           Xpath.path
             (List.map (fun (axis, _, predicates) -> Xpath.any ~axis ~predicates ()) steps)
+        end
         else paths
   in
   List.map (fun label -> (label, query_for label)) (Pattern.labels pattern)

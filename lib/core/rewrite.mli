@@ -15,7 +15,9 @@
     XPath (cross-label atoms, disjunctions, oversized expansions) are
     simply left to the assembly phase, which re-checks the full condition. *)
 
-type mode = Tax | Toss
+type mode =
+  | Tax  (** the paper's baseline: exact [~], substring ontology operators *)
+  | Toss  (** SEO-expanded semantics *)
 
 val label_queries :
   ?mode:mode ->

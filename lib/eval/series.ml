@@ -63,7 +63,47 @@ let gnuplot_script t =
   Buffer.add_string buf ("plot " ^ String.concat ", \\\n     " plots ^ "\n");
   Buffer.contents buf
 
-let save_all ~dir series =
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json ?metrics t =
+  let str s = "\"" ^ json_escape s ^ "\"" in
+  let arr items = "[" ^ String.concat "," items ^ "]" in
+  let fields =
+    [
+      ("name", str t.name);
+      ("columns", arr (List.map str t.columns));
+      ("rows", arr (List.map (fun row -> arr (List.map str row)) t.rows));
+    ]
+    @ match metrics with None -> [] | Some m -> [ ("metrics", m) ]
+  in
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields)
+  ^ "}"
+
+let save_json ~dir ?metrics t =
+  ensure_dir dir;
+  let path = Filename.concat dir (t.name ^ ".json") in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_json ?metrics t));
+  path
+
+let save_all ~dir ?metrics series =
   List.concat_map
     (fun t ->
       let csv = save_csv ~dir t in
@@ -72,5 +112,6 @@ let save_all ~dir series =
       Fun.protect
         ~finally:(fun () -> close_out_noerr oc)
         (fun () -> output_string oc (gnuplot_script t));
-      [ csv; gp ])
+      let json = save_json ~dir ?metrics t in
+      [ csv; gp; json ])
     series

@@ -22,5 +22,16 @@ val gnuplot_script : t -> string
     [<name>.csv]; a convenience for regenerating the paper's line
     figures. *)
 
-val save_all : dir:string -> t list -> string list
-(** CSVs plus one [.gp] per series; returns all written paths. *)
+val to_json : ?metrics:string -> t -> string
+(** The series as a JSON object [{"name", "columns", "rows"}]. [metrics],
+    when given, must be a pre-rendered JSON value (e.g.
+    [Toss_obs.Metrics.to_json] of a snapshot) and is embedded verbatim
+    under a ["metrics"] key, so a run's artifact carries the
+    observability counters that produced it. *)
+
+val save_json : dir:string -> ?metrics:string -> t -> string
+(** Writes [<dir>/<name>.json] (creating [dir]) and returns the path. *)
+
+val save_all : dir:string -> ?metrics:string -> t list -> string list
+(** CSVs plus one [.gp] and one [.json] per series; returns all written
+    paths. [metrics] is embedded in each JSON artifact. *)

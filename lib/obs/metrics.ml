@@ -1,0 +1,259 @@
+type labels = (string * string) list
+
+let bucket_bounds =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10.; 100.; 1_000.; 10_000.; infinity |]
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  mutable count : int;
+  mutable sum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+  bucket_counts : int array;  (* non-cumulative; cumulated at snapshot time *)
+}
+
+type cell = C of counter | G of gauge | H of histogram
+
+(* The process-wide registry, keyed by (name, sorted labels). *)
+let registry : (string * labels, cell) Hashtbl.t = Hashtbl.create 64
+
+let normalize labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let register ?(labels = []) name make describe =
+  let key = (name, normalize labels) in
+  match Hashtbl.find_opt registry key with
+  | Some cell -> cell
+  | None ->
+      (* A name must keep one kind across all label sets. *)
+      Hashtbl.iter
+        (fun (n, _) cell ->
+          if n = name && kind_name cell <> describe then
+            invalid_arg
+              (Printf.sprintf "Metrics: %S already registered as a %s" name
+                 (kind_name cell)))
+        registry;
+      let cell = make () in
+      Hashtbl.replace registry key cell;
+      cell
+
+let counter ?labels name =
+  match register ?labels name (fun () -> C { c = 0 }) "counter" with
+  | C c -> c
+  | _ -> invalid_arg (Printf.sprintf "Metrics: %S is not a counter" name)
+
+let gauge ?labels name =
+  match register ?labels name (fun () -> G { g = 0. }) "gauge" with
+  | G g -> g
+  | _ -> invalid_arg (Printf.sprintf "Metrics: %S is not a gauge" name)
+
+let new_histogram () =
+  {
+    count = 0;
+    sum = 0.;
+    hmin = nan;
+    hmax = nan;
+    bucket_counts = Array.make (Array.length bucket_bounds) 0;
+  }
+
+let histogram ?labels name =
+  match register ?labels name (fun () -> H (new_histogram ())) "histogram" with
+  | H h -> h
+  | _ -> invalid_arg (Printf.sprintf "Metrics: %S is not a histogram" name)
+
+let incr ?(by = 1) c =
+  if by < 0 then invalid_arg "Metrics.incr: counters only go up";
+  c.c <- c.c + by
+
+let set g v = g.g <- v
+
+let bucket_index v =
+  let rec go i = if v <= bucket_bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  h.count <- h.count + 1;
+  h.sum <- h.sum +. v;
+  if h.count = 1 then begin
+    h.hmin <- v;
+    h.hmax <- v
+  end
+  else begin
+    if v < h.hmin then h.hmin <- v;
+    if v > h.hmax then h.hmax <- v
+  end;
+  let i = bucket_index v in
+  h.bucket_counts.(i) <- h.bucket_counts.(i) + 1
+
+let observe_int h v = observe h (float_of_int v)
+
+let incr_c ?labels ?by name = incr ?by (counter ?labels name)
+let set_g ?labels name v = set (gauge ?labels name) v
+let observe_h ?labels name v = observe (histogram ?labels name) v
+
+type histogram_stats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : (float * int) list;
+}
+
+type value = Counter of int | Gauge of float | Histogram of histogram_stats
+
+type snapshot = (string * labels * value) list
+
+let stats_of (h : histogram) =
+  let cumulative = ref 0 in
+  let buckets =
+    Array.to_list
+      (Array.mapi
+         (fun i bound ->
+           cumulative := !cumulative + h.bucket_counts.(i);
+           (bound, !cumulative))
+         bucket_bounds)
+  in
+  { count = h.count; sum = h.sum; min = h.hmin; max = h.hmax; buckets }
+
+let snapshot () =
+  Hashtbl.fold
+    (fun (name, labels) cell acc ->
+      let value =
+        match cell with
+        | C c -> Counter c.c
+        | G g -> Gauge g.g
+        | H h -> Histogram (stats_of h)
+      in
+      (name, labels, value) :: acc)
+    registry []
+  |> List.sort compare
+
+let reset () =
+  Hashtbl.iter
+    (fun _ cell ->
+      match cell with
+      | C c -> c.c <- 0
+      | G g -> g.g <- 0.
+      | H h ->
+          h.count <- 0;
+          h.sum <- 0.;
+          h.hmin <- nan;
+          h.hmax <- nan;
+          Array.fill h.bucket_counts 0 (Array.length h.bucket_counts) 0)
+    registry
+
+let names snap =
+  List.sort_uniq String.compare (List.map (fun (n, _, _) -> n) snap)
+
+let find_counter snap ?(labels = []) name =
+  let labels = normalize labels in
+  List.find_map
+    (function
+      | n, l, Counter v when n = name && l = labels -> Some v | _ -> None)
+    snap
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+      ^ "}"
+
+let to_table snap =
+  let lines =
+    List.map
+      (fun (name, labels, value) ->
+        let key = name ^ render_labels labels in
+        let rendered =
+          match value with
+          | Counter c -> string_of_int c
+          | Gauge g -> Printf.sprintf "%g" g
+          | Histogram { count = 0; _ } -> "count=0"
+          | Histogram h ->
+              Printf.sprintf "count=%d mean=%g max=%g" h.count
+                (h.sum /. float_of_int h.count)
+                h.max
+        in
+        (key, rendered))
+      snap
+  in
+  let width = List.fold_left (fun w (k, _) -> Stdlib.max w (String.length k)) 0 lines in
+  String.concat ""
+    (List.map (fun (k, v) -> Printf.sprintf "%-*s  %s\n" width k v) lines)
+
+(* -------------------------------- JSON -------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.9g" f
+
+let json_obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%S:%s" k v) fields) ^ "}"
+
+let to_json snap =
+  let keyed f =
+    List.filter_map
+      (fun (name, labels, value) ->
+        Option.map (fun v -> (name ^ render_labels labels, v)) (f value))
+      snap
+  in
+  let counters =
+    keyed (function Counter c -> Some (string_of_int c) | _ -> None)
+  in
+  let gauges = keyed (function Gauge g -> Some (json_float g) | _ -> None) in
+  let histograms =
+    keyed (function
+      | Histogram h ->
+          let buckets =
+            List.map
+              (fun (bound, count) ->
+                ( (if bound = infinity then "+inf" else Printf.sprintf "%g" bound),
+                  string_of_int count ))
+              h.buckets
+          in
+          Some
+            (json_obj
+               [
+                 ("count", string_of_int h.count);
+                 ("sum", json_float h.sum);
+                 ("min", json_float h.min);
+                 ("max", json_float h.max);
+                 ("buckets", json_obj buckets);
+               ])
+      | _ -> None)
+  in
+  let section kvs =
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) v) kvs)
+    ^ "}"
+  in
+  json_obj
+    [
+      ("counters", section counters);
+      ("gauges", section gauges);
+      ("histograms", section histograms);
+    ]

@@ -1,0 +1,107 @@
+(** Process-wide metrics registry.
+
+    A single global registry of named, labelled series — counters, gauges
+    and histograms — in the style of a Prometheus client, sized for a
+    single-process OCaml server: registration returns a typed handle whose
+    update operations are plain field mutations, so instrumenting a hot
+    path costs a few nanoseconds and never allocates. The registry can be
+    snapshotted at any time; snapshots render as an aligned text table
+    (for the CLI) or as JSON (for the bench harness artifacts).
+
+    Series identity is the [(name, labels)] pair: registering the same
+    pair twice returns the same handle, so modules can register their
+    instruments at top level without coordination. Registering a name
+    under two different kinds raises [Invalid_argument].
+
+    The registry is not thread-safe; TOSS is single-threaded today, and
+    the executor owns all instrumentation. *)
+
+type labels = (string * string) list
+(** Label pairs, e.g. [["phase", "execute"]]. Order-insensitive:
+    labels are sorted at registration. *)
+
+(** {1 Typed handles} *)
+
+type counter
+(** Monotonically increasing integer. *)
+
+type gauge
+(** A float free to go up and down. *)
+
+type histogram
+(** Distribution summary: count, sum, min, max, and counts in
+    log-scaled buckets (decade upper bounds from [1e-6] to [1e4],
+    plus +inf) — wide enough for both second-scale durations and
+    fan-out counts. *)
+
+val counter : ?labels:labels -> string -> counter
+(** Registers (or retrieves) the counter [(name, labels)]. *)
+
+val gauge : ?labels:labels -> string -> gauge
+(** Registers (or retrieves) the gauge [(name, labels)]. *)
+
+val histogram : ?labels:labels -> string -> histogram
+(** Registers (or retrieves) the histogram [(name, labels)]. *)
+
+val incr : ?by:int -> counter -> unit
+(** Adds [by] (default 1) to the counter. Negative [by] raises
+    [Invalid_argument]: counters only go up. *)
+
+val set : gauge -> float -> unit
+(** Sets the gauge's current value. *)
+
+val observe : histogram -> float -> unit
+(** Records one observation. *)
+
+val observe_int : histogram -> int -> unit
+(** [observe] of an integer quantity (fan-outs, candidate counts). *)
+
+(** {1 Dynamic-label conveniences}
+
+    For call sites whose labels vary per call (e.g. a per-pattern-label
+    fan-out). These pay one hash lookup per call; prefer the typed
+    handles on hot paths. *)
+
+val incr_c : ?labels:labels -> ?by:int -> string -> unit
+val set_g : ?labels:labels -> string -> float -> unit
+val observe_h : ?labels:labels -> string -> float -> unit
+
+(** {1 Snapshots} *)
+
+type histogram_stats = {
+  count : int;
+  sum : float;
+  min : float;  (** [nan] when [count = 0] *)
+  max : float;  (** [nan] when [count = 0] *)
+  buckets : (float * int) list;
+      (** [(upper_bound, cumulative_count)] per bucket; the last bound is
+          [infinity], whose count equals [count]. *)
+}
+
+type value = Counter of int | Gauge of float | Histogram of histogram_stats
+
+type snapshot = (string * labels * value) list
+(** Sorted by name, then labels, for deterministic output. *)
+
+val snapshot : unit -> snapshot
+(** A consistent copy of every registered series. *)
+
+val reset : unit -> unit
+(** Zeroes every series in place (registrations and handles survive).
+    Used by the bench harness to scope a snapshot to one experiment and
+    by tests for isolation. *)
+
+val names : snapshot -> string list
+(** The distinct series names of a snapshot, sorted. *)
+
+val find_counter : snapshot -> ?labels:labels -> string -> int option
+(** The counter's value in the snapshot, if that series exists. *)
+
+val to_table : snapshot -> string
+(** An aligned, human-readable table: one line per series; histograms
+    show count/mean/max. *)
+
+val to_json : snapshot -> string
+(** Compact JSON object with ["counters"], ["gauges"] and ["histograms"]
+    sub-objects keyed by [name{k="v",...}]. Keys and strings are
+    JSON-escaped. *)

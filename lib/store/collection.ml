@@ -2,6 +2,14 @@ module Printer = Toss_xml.Printer
 module Parser = Toss_xml.Parser
 module Tree = Toss_xml.Tree
 module Doc = Tree.Doc
+module Metrics = Toss_obs.Metrics
+
+let m_evals = Metrics.counter "store.eval.queries"
+let m_indexed_paths = Metrics.counter "store.eval.indexed_paths"
+let m_scanned_paths = Metrics.counter "store.eval.scanned_paths"
+let m_index_starts = Metrics.histogram "store.eval.index_starts"
+let m_results = Metrics.histogram "store.eval.results"
+let m_docs = Metrics.counter "store.documents.added"
 
 type doc_id = int
 
@@ -38,6 +46,7 @@ let add_document t tree =
   t.entries.(t.count) <- entry;
   t.count <- t.count + 1;
   t.total_bytes <- t.total_bytes + bytes;
+  Metrics.incr m_docs;
   t.count - 1
 
 let add_xml t xml =
@@ -62,12 +71,17 @@ let n_nodes t =
 (* With the index enabled, a query whose first step is [//tag] starts from
    the tag index rather than enumerating every node. *)
 let eval_in_doc ~use_index d xpath =
-  if not use_index then Xpath.eval d xpath
+  if not use_index then begin
+    Metrics.incr ~by:(List.length xpath) m_scanned_paths;
+    Xpath.eval d xpath
+  end
   else
     let eval_path path =
       match path with
       | { Xpath.axis = Descendant; test = Tag tag; predicates } :: rest ->
+          Metrics.incr m_indexed_paths;
           let starts = Doc.by_tag d tag in
+          Metrics.observe_int m_index_starts (List.length starts);
           let starts =
             List.fold_left
               (fun nodes pred ->
@@ -118,17 +132,21 @@ let eval_in_doc ~use_index d xpath =
               in
               go [ start ] rest)
             starts
-      | _ -> Xpath.eval d [ path ]
+      | _ ->
+          Metrics.incr m_scanned_paths;
+          Xpath.eval d [ path ]
     in
     List.concat_map eval_path xpath |> List.sort_uniq Int.compare
 
 let eval ?(use_index = true) t xpath =
+  Metrics.incr m_evals;
   let results = ref [] in
   for id = t.count - 1 downto 0 do
     let d = t.entries.(id).frozen in
     let nodes = eval_in_doc ~use_index d xpath in
     results := List.rev_append (List.rev_map (fun n -> (id, n)) nodes) !results
   done;
+  Metrics.observe_int m_results (List.length !results);
   !results
 
 let eval_string ?use_index t s = eval ?use_index t (Xpath_parser.parse_exn s)

@@ -13,10 +13,16 @@ type doc_id = int
 exception Collection_full of { name : string; limit : int }
 
 val create : ?max_bytes:int -> string -> t
+(** An empty named collection, optionally capped at [max_bytes] of
+    serialized document data. *)
+
 val name : t -> string
+(** The name given at {!create}. *)
 
 val add_document : t -> Toss_xml.Tree.t -> doc_id
-(** @raise Collection_full when the size limit would be exceeded. *)
+(** Freezes and stores the tree, returning its id (ids are dense,
+    starting at 0, in insertion order).
+    @raise Collection_full when the size limit would be exceeded. *)
 
 val add_xml : t -> string -> (doc_id, Toss_xml.Parser.error) result
 (** Parses and inserts. *)
@@ -25,12 +31,20 @@ val doc : t -> doc_id -> Toss_xml.Tree.Doc.t
 (** @raise Not_found for unknown ids. *)
 
 val index : t -> doc_id -> Index.t
+(** The document's value index, built lazily on first use.
+    @raise Not_found for unknown ids. *)
+
 val doc_ids : t -> doc_id list
+(** Every stored id, in insertion order. *)
+
 val n_documents : t -> int
+(** Number of stored documents. *)
+
 val size_bytes : t -> int
 (** Total serialized size of all stored documents. *)
 
 val n_nodes : t -> int
+(** Total element count across all stored documents. *)
 
 val eval : ?use_index:bool -> t -> Xpath.t -> (doc_id * Toss_xml.Tree.Doc.node) list
 (** Evaluates the query against every document, in insertion order. With

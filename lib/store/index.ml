@@ -1,5 +1,12 @@
 module Tree = Toss_xml.Tree
 module Doc = Tree.Doc
+module Metrics = Toss_obs.Metrics
+
+let m_builds = Metrics.counter "store.index.builds"
+let m_eq_lookups = Metrics.counter "store.index.eq_lookups"
+let m_eq_hits = Metrics.counter "store.index.eq_hits"
+let m_token_lookups = Metrics.counter "store.index.token_lookups"
+let m_token_hits = Metrics.counter "store.index.token_hits"
 
 type t = {
   eq : (string * string, Doc.node list) Hashtbl.t;
@@ -28,6 +35,7 @@ let push tbl key node =
   Hashtbl.replace tbl key (node :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
 
 let build doc =
+  Metrics.incr m_builds;
   let eq = Hashtbl.create 256 in
   let tokens = Hashtbl.create 256 in
   List.iter
@@ -44,9 +52,19 @@ let build doc =
   { eq; tokens }
 
 let eq_lookup t ~tag ~value =
-  List.rev (Option.value ~default:[] (Hashtbl.find_opt t.eq (tag, value)))
+  Metrics.incr m_eq_lookups;
+  match Hashtbl.find_opt t.eq (tag, value) with
+  | None -> []
+  | Some nodes ->
+      Metrics.incr m_eq_hits;
+      List.rev nodes
 
 let token_lookup t ~tag ~token =
-  List.rev (Option.value ~default:[] (Hashtbl.find_opt t.tokens (tag, token)))
+  Metrics.incr m_token_lookups;
+  match Hashtbl.find_opt t.tokens (tag, token) with
+  | None -> []
+  | Some nodes ->
+      Metrics.incr m_token_hits;
+      List.rev nodes
 
 let n_entries t = Hashtbl.length t.eq + Hashtbl.length t.tokens

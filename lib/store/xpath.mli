@@ -36,9 +36,16 @@ type t = path list
 (** Union query ([p1 | p2 | ...]). Must be non-empty to select anything. *)
 
 val path : step list -> t
+(** A single-path query. *)
+
 val union : t list -> t
+(** Concatenates the alternatives of several queries into one. *)
+
 val step : ?axis:axis -> ?predicates:predicate list -> string -> step
+(** A step testing for the given tag (default axis {!Child}). *)
+
 val any : ?axis:axis -> ?predicates:predicate list -> unit -> step
+(** A wildcard ([*]) step (default axis {!Child}). *)
 
 val eval : Toss_xml.Tree.Doc.t -> t -> Toss_xml.Tree.Doc.node list
 (** All matching nodes, deduplicated, in document order. *)
@@ -51,3 +58,4 @@ val to_string : t -> string
 (** Concrete syntax; parses back with {!Xpath_parser.parse}. *)
 
 val pp : Format.formatter -> t -> unit
+(** Pretty-printer for the concrete syntax of {!to_string}. *)

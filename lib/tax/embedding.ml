@@ -1,4 +1,10 @@
 module Doc = Toss_xml.Tree.Doc
+module Metrics = Toss_obs.Metrics
+
+let m_enumerations = Metrics.counter "tax.embed.enumerations"
+let m_candidates = Metrics.histogram "tax.embed.candidates_considered"
+let m_structural = Metrics.histogram "tax.embed.structural_bindings"
+let m_embeddings = Metrics.histogram "tax.embed.embeddings"
 
 type binding = (int * Doc.node) list
 
@@ -10,6 +16,8 @@ let env_of doc binding label =
 let single_env doc label node l = if l = label then Some (doc, node) else None
 
 let enumerate ?(candidates = fun _ -> None) ~eval doc (pattern : Pattern.t) =
+  Metrics.incr m_enumerations;
+  let n_considered = ref 0 in
   let condition = pattern.Pattern.condition in
   let local_ok label node =
     List.for_all
@@ -52,8 +60,9 @@ let enumerate ?(candidates = fun _ -> None) ~eval doc (pattern : Pattern.t) =
             | Pattern.Ad -> Doc.descendants doc image
           in
           let options =
-            narrowed child.Pattern.label structural
-            |> List.filter (local_ok child.Pattern.label)
+            let narrowed = narrowed child.Pattern.label structural in
+            n_considered := !n_considered + List.length narrowed;
+            List.filter (local_ok child.Pattern.label) narrowed
           in
           List.concat_map
             (fun img ->
@@ -67,15 +76,24 @@ let enumerate ?(candidates = fun _ -> None) ~eval doc (pattern : Pattern.t) =
   let root = pattern.Pattern.root in
   let root_candidates =
     (* A fetched candidate list for the root replaces the full node scan. *)
-    (match candidates root.Pattern.label with
-    | Some allowed -> List.sort_uniq Int.compare allowed
-    | None -> Doc.nodes doc)
-    |> List.filter (local_ok root.Pattern.label)
+    let scanned =
+      match candidates root.Pattern.label with
+      | Some allowed -> List.sort_uniq Int.compare allowed
+      | None -> Doc.nodes doc
+    in
+    n_considered := !n_considered + List.length scanned;
+    List.filter (local_ok root.Pattern.label) scanned
   in
   let structural =
     List.concat_map (fun img -> extend [] root img) root_candidates
   in
-  structural
-  |> List.rev_map List.rev
-  |> List.filter (fun binding -> eval (env_of doc binding) condition)
-  |> List.sort compare
+  let embeddings =
+    structural
+    |> List.rev_map List.rev
+    |> List.filter (fun binding -> eval (env_of doc binding) condition)
+    |> List.sort compare
+  in
+  Metrics.observe_int m_candidates !n_considered;
+  Metrics.observe_int m_structural (List.length structural);
+  Metrics.observe_int m_embeddings (List.length embeddings);
+  embeddings

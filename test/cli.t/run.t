@@ -34,3 +34,55 @@ Graphviz export:
 
   $ toss dot demo.xml | head -1
   digraph "isa" {
+
+Tracing: the per-phase breakdown and nested span tree (times stripped
+for determinism — the span names and nesting are the contract):
+
+  $ toss query --trace demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' 2>&1 >/dev/null | awk '{print $1}'
+  phase
+  phase
+  rewrite
+  execute
+  assemble
+  total
+  trace:
+  executor.select
+  rewrite
+  execute
+  assemble
+
+The stats command reports the executor's funnel and the metrics
+registry instead of results:
+
+  $ toss stats demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | head -1
+  6 result(s): 14 candidate(s) -> 6 embedding(s) -> 6 witness(es)
+  $ toss stats demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | sed -n '/^metrics:/,$p' | awk '{print $1}'
+  metrics:
+  executor.candidates
+  executor.embeddings
+  executor.join.total
+  executor.phase.seconds
+  executor.results
+  executor.select.total
+  rewrite.degraded
+  rewrite.fanout{label="1"}
+  rewrite.fanout{label="2"}
+  rewrite.label_queries
+  rewrite.patterns
+  rewrite.queries.seo_dependent
+  rewrite.queries.seo_independent
+  store.documents.added
+  store.eval.index_starts
+  store.eval.indexed_paths
+  store.eval.queries
+  store.eval.results
+  store.eval.scanned_paths
+  store.index.builds
+  store.index.eq_hits
+  store.index.eq_lookups
+  store.index.token_hits
+  store.index.token_lookups
+  tax.embed.candidates_considered
+  tax.embed.embeddings
+  tax.embed.enumerations
+  tax.embed.structural_bindings

@@ -98,7 +98,9 @@ let test_series_save () =
   let path = Series.save_csv ~dir sample_series in
   checkb "file exists" true (Sys.file_exists path);
   let paths = Series.save_all ~dir [ sample_series ] in
-  checki "csv and gp" 2 (List.length paths)
+  checki "csv, gp and json" 3 (List.length paths);
+  checkb "writes the json" true
+    (List.exists (fun p -> Filename.check_suffix p ".json") paths)
 
 let test_series_gnuplot () =
   let gp = Series.gnuplot_script sample_series in

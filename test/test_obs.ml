@@ -1,0 +1,346 @@
+(* Tests for the observability layer: metrics-registry semantics, span
+   nesting, and a golden test asserting that the executor's hot paths
+   emit the expected metric series. *)
+
+module Metrics = Toss_obs.Metrics
+module Span = Toss_obs.Span
+module Tree = Toss_xml.Tree
+module Doc = Tree.Doc
+module Pattern = Toss_tax.Pattern
+module Condition = Toss_tax.Condition
+module Collection = Toss_store.Collection
+module Seo = Toss_core.Seo
+module Executor = Toss_core.Executor
+module Workload = Toss_data.Workload
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_basics () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.counter" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  checki "accumulates" 5
+    (Option.get (Metrics.find_counter (Metrics.snapshot ()) "test.counter"));
+  Alcotest.check_raises "counters only go up"
+    (Invalid_argument "Metrics.incr: counters only go up") (fun () ->
+      Metrics.incr ~by:(-1) c)
+
+let test_counter_identity () =
+  Metrics.reset ();
+  let a = Metrics.counter "test.same" in
+  let b = Metrics.counter "test.same" in
+  Metrics.incr a;
+  Metrics.incr b;
+  checki "same (name, labels) is one series" 2
+    (Option.get (Metrics.find_counter (Metrics.snapshot ()) "test.same"))
+
+let test_counter_labels () =
+  Metrics.reset ();
+  let x = Metrics.counter ~labels:[ ("k", "x") ] "test.labelled" in
+  let y = Metrics.counter ~labels:[ ("k", "y") ] "test.labelled" in
+  Metrics.incr x;
+  Metrics.incr ~by:2 y;
+  let snap = Metrics.snapshot () in
+  checki "series x" 1
+    (Option.get (Metrics.find_counter snap ~labels:[ ("k", "x") ] "test.labelled"));
+  checki "series y" 2
+    (Option.get (Metrics.find_counter snap ~labels:[ ("k", "y") ] "test.labelled"));
+  checkb "unlabelled series distinct" true
+    (Metrics.find_counter snap "test.labelled" = None)
+
+let test_kind_conflict () =
+  ignore (Metrics.counter "test.kind");
+  checkb "re-registering a counter name as a gauge raises" true
+    (match Metrics.gauge "test.kind" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_reset_keeps_handles () =
+  let c = Metrics.counter "test.reset" in
+  Metrics.incr ~by:7 c;
+  Metrics.reset ();
+  checki "zeroed" 0
+    (Option.get (Metrics.find_counter (Metrics.snapshot ()) "test.reset"));
+  Metrics.incr c;
+  checki "handle still live" 1
+    (Option.get (Metrics.find_counter (Metrics.snapshot ()) "test.reset"))
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let histo_stats name =
+  let snap = Metrics.snapshot () in
+  match
+    List.find_map
+      (function
+        | n, _, Metrics.Histogram h when n = name -> Some h | _ -> None)
+      snap
+  with
+  | Some h -> h
+  | None -> Alcotest.failf "histogram %s not in snapshot" name
+
+let test_histogram_summary () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.histo" in
+  List.iter (Metrics.observe h) [ 0.5; 1.5; 100. ];
+  let s = histo_stats "test.histo" in
+  checki "count" 3 s.Metrics.count;
+  checkf "sum" 102. s.Metrics.sum;
+  checkf "min" 0.5 s.Metrics.min;
+  checkf "max" 100. s.Metrics.max
+
+let test_histogram_buckets () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.buckets" in
+  List.iter (Metrics.observe_int h) [ 1; 5; 50; 5000 ];
+  let s = histo_stats "test.buckets" in
+  let cum bound =
+    match List.assoc_opt bound s.Metrics.buckets with
+    | Some c -> c
+    | None -> Alcotest.failf "no bucket with bound %g" bound
+  in
+  (* Buckets are cumulative: le(1) sees only the 1, le(10) adds the 5,
+     le(100) the 50, and +inf everything. *)
+  checki "le 1" 1 (cum 1.);
+  checki "le 10" 2 (cum 10.);
+  checki "le 100" 3 (cum 100.);
+  checki "le +inf = count" 4 (cum infinity)
+
+let test_histogram_empty () =
+  Metrics.reset ();
+  ignore (Metrics.histogram "test.empty");
+  let s = histo_stats "test.empty" in
+  checki "count 0" 0 s.Metrics.count;
+  checkb "min is nan" true (Float.is_nan s.Metrics.min)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_json_export () =
+  Metrics.reset ();
+  Metrics.incr ~by:3 (Metrics.counter "test.json.counter");
+  Metrics.set (Metrics.gauge "test.json.gauge") 2.5;
+  Metrics.observe (Metrics.histogram "test.json.histo") 1.0;
+  let json = Metrics.to_json (Metrics.snapshot ()) in
+  checkb "counter serialized" true
+    (contains ~needle:"\"test.json.counter\":3" json);
+  checkb "gauge serialized" true (contains ~needle:"\"test.json.gauge\":2.5" json);
+  checkb "histogram count serialized" true (contains ~needle:"\"count\":1" json)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  Span.set_enabled false;
+  let v, root =
+    Span.run "outer" (fun () ->
+        let a = Span.with_ "first" (fun () -> 1) in
+        let b = Span.with_ "second" (fun () -> Span.with_ "inner" (fun () -> 10)) in
+        a + b)
+  in
+  checki "value passed through" 11 v;
+  checks "root name" "outer" root.Span.name;
+  Alcotest.(check (list string))
+    "children in execution order" [ "first"; "second" ]
+    (List.map (fun c -> c.Span.name) root.Span.children);
+  let second = List.nth root.Span.children 1 in
+  Alcotest.(check (list string))
+    "grandchild" [ "inner" ]
+    (List.map (fun c -> c.Span.name) second.Span.children);
+  checkb "find reaches grandchild" true (Span.find root "inner" <> None);
+  checkb "parent covers children" true
+    (root.Span.elapsed_s
+    >= List.fold_left (fun acc c -> acc +. c.Span.elapsed_s) 0. root.Span.children);
+  checkb "self time non-negative" true (Span.self_s root >= 0.)
+
+let test_span_exception_safety () =
+  let fired = ref false in
+  (try
+     ignore
+       (Span.with_ "failing" (fun () ->
+            fired := true;
+            failwith "boom"))
+   with Failure _ -> ());
+  checkb "body ran" true !fired;
+  (* The stack must be balanced again: a fresh root works normally. *)
+  let _, root = Span.run "after" (fun () -> ()) in
+  checkb "no stale children leak in" true (root.Span.children = [])
+
+let test_span_ring_buffer () =
+  Span.set_enabled true;
+  Span.clear_recent ();
+  Fun.protect
+    ~finally:(fun () -> Span.set_enabled false)
+    (fun () ->
+      ignore (Span.with_ "trace-1" (fun () -> ()));
+      ignore (Span.with_ "trace-2" (fun () -> ()));
+      Alcotest.(check (list string))
+        "newest first"
+        [ "trace-2"; "trace-1" ]
+        (List.map (fun s -> s.Span.name) (Span.recent ()));
+      checkb "alloc tracked when enabled" true
+        (List.for_all (fun s -> s.Span.alloc_bytes >= 0.) (Span.recent ())));
+  Span.clear_recent ();
+  ignore (Span.with_ "untraced" (fun () -> ()));
+  checkb "nothing recorded when disabled" true (Span.recent () = [])
+
+let test_span_capacity () =
+  Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Span.set_enabled false;
+      Span.set_capacity 32)
+    (fun () ->
+      Span.set_capacity 2;
+      List.iter
+        (fun n -> ignore (Span.with_ n (fun () -> ())))
+        [ "a"; "b"; "c" ];
+      Alcotest.(check (list string))
+        "oldest dropped" [ "c"; "b" ]
+        (List.map (fun s -> s.Span.name) (Span.recent ())))
+
+(* ------------------------------------------------------------------ *)
+(* Golden test: the executor emits the expected series                  *)
+(* ------------------------------------------------------------------ *)
+
+let db =
+  Toss_xml.Parser.parse_exn
+    {|<dblp>
+        <inproceedings key="u1">
+          <author>Jeffrey D. Ullman</author>
+          <title>Principles of Database Systems</title>
+          <booktitle>PODS</booktitle><year>1998</year>
+        </inproceedings>
+        <inproceedings key="w1">
+          <author>Jennifer Widom</author>
+          <title>Active Database Systems</title>
+          <booktitle>SIGMOD Conference</booktitle><year>1999</year>
+        </inproceedings>
+      </dblp>|}
+
+let ullman_pattern =
+  Pattern.v
+    (Pattern.node 1 [ Pattern.pc (Pattern.leaf 2) ])
+    (Condition.conj
+       [
+         Condition.tag_eq 1 "inproceedings";
+         Condition.tag_eq 2 "author";
+         Condition.content_sim 2 "Jeffrey D. Ullman";
+       ])
+
+let expected_series =
+  [
+    "executor.candidates";
+    "executor.embeddings";
+    "executor.phase.seconds";
+    "executor.results";
+    "executor.select.total";
+    "rewrite.fanout";
+    "rewrite.label_queries";
+    "rewrite.patterns";
+    "store.eval.queries";
+    "store.eval.results";
+    "tax.embed.candidates_considered";
+    "tax.embed.embeddings";
+    "tax.embed.enumerations";
+  ]
+
+let test_executor_emits_metrics () =
+  Metrics.reset ();
+  let seo =
+    match
+      Seo.of_documents ~metric:Workload.experiment_metric ~eps:2.0
+        [ Doc.of_tree db ]
+    with
+    | Ok seo -> seo
+    | Error msg -> failwith msg
+  in
+  Metrics.reset ();
+  let coll = Collection.create "golden" in
+  ignore (Collection.add_document coll db);
+  let results, stats = Executor.select seo coll ~pattern:ullman_pattern ~sl:[ 1 ] in
+  checki "query finds the paper" 1 (List.length results);
+  let snap = Metrics.snapshot () in
+  let names = Metrics.names snap in
+  List.iter
+    (fun expected ->
+      checkb (Printf.sprintf "series %s emitted" expected) true
+        (List.mem expected names))
+    expected_series;
+  checki "one select" 1
+    (Option.get (Metrics.find_counter snap "executor.select.total"));
+  (* The sizes in the registry agree with the stats record. *)
+  let histo_sum name =
+    let h = histo_stats name in
+    int_of_float h.Metrics.sum
+  in
+  checki "candidates agree" stats.Executor.n_candidates
+    (histo_sum "executor.candidates");
+  checki "results agree" stats.Executor.n_results (histo_sum "executor.results")
+
+let test_stats_phases_are_trace_view () =
+  let seo =
+    match
+      Seo.of_documents ~metric:Workload.experiment_metric ~eps:2.0
+        [ Doc.of_tree db ]
+    with
+    | Ok seo -> seo
+    | Error msg -> failwith msg
+  in
+  let coll = Collection.create "view" in
+  ignore (Collection.add_document coll db);
+  let _, stats = Executor.select seo coll ~pattern:ullman_pattern ~sl:[ 1 ] in
+  let trace = stats.Executor.trace in
+  checks "root span" "executor.select" trace.Span.name;
+  let dur name =
+    match Span.find trace name with
+    | Some s -> s.Span.elapsed_s
+    | None -> Alcotest.failf "phase span %s missing" name
+  in
+  checkf "rewrite agrees" stats.Executor.phases.Executor.rewrite_s (dur "rewrite");
+  checkf "execute agrees" stats.Executor.phases.Executor.execute_s (dur "execute");
+  checkf "assemble agrees" stats.Executor.phases.Executor.assemble_s (dur "assemble")
+
+let () =
+  Alcotest.run "toss_obs"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "basics" `Quick test_counter_basics;
+          Alcotest.test_case "identity" `Quick test_counter_identity;
+          Alcotest.test_case "labels" `Quick test_counter_labels;
+          Alcotest.test_case "kind conflict" `Quick test_kind_conflict;
+          Alcotest.test_case "reset keeps handles" `Quick test_reset_keeps_handles;
+        ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "summary" `Quick test_histogram_summary;
+          Alcotest.test_case "buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "json export" `Quick test_json_export;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safety;
+          Alcotest.test_case "ring buffer" `Quick test_span_ring_buffer;
+          Alcotest.test_case "capacity" `Quick test_span_capacity;
+        ] );
+      ( "executor integration",
+        [
+          Alcotest.test_case "golden metric names" `Quick test_executor_emits_metrics;
+          Alcotest.test_case "phases = trace view" `Quick test_stats_phases_are_trace_view;
+        ] );
+    ]
