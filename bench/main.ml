@@ -536,6 +536,121 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* The perf suite and its regression gate                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A small, fast, deterministic suite over the same kernels as [micro],
+   measured as wall-clock medians so runs are comparable across commits.
+   [--quick] records its medians as the baseline artifact (BENCH_2.json
+   at the repo root); [--check] re-measures and fails the process when
+   any median regressed beyond the tolerance. *)
+module Baseline = Toss_eval.Baseline
+
+let baseline_label = "toss-perf-suite"
+let default_baseline_path = "BENCH_2.json"
+
+let perf_suite ~slowdown () =
+  B.print_header "Perf suite (wall-clock medians for the regression gate)";
+  let corpus = Corpus.generate ~seed:77 ~n_papers:100 () in
+  let rendered = Dblp_gen.render ~seed:77 corpus in
+  let doc = Doc.of_tree rendered.Dblp_gen.tree in
+  let coll = collection_of_tree "dblp" rendered.Dblp_gen.tree in
+  let seo = seo_of_docs ~eps:2.0 [ doc ] in
+  let q = List.hd (Workload.selection_queries ~n:1 corpus) in
+  let sel_pattern, sel_sl = Workload.scalability_selection () in
+  let small = Corpus.generate ~seed:78 ~n_papers:30 () in
+  let sd = Dblp_gen.render ~seed:78 small in
+  let ss = Sigmod_gen.render ~seed:78 small in
+  let left = collection_of_tree "dblp" sd.Dblp_gen.tree in
+  let right = collection_of_trees "sigmod" ss.Sigmod_gen.trees in
+  let join_docs =
+    Doc.of_tree sd.Dblp_gen.tree :: List.map Doc.of_tree ss.Sigmod_gen.trees
+  in
+  let join_seo =
+    seo_of_docs ~content_tags:[ "booktitle"; "conference" ] ~eps:2.0 join_docs
+  in
+  let join_pattern, join_sl = Workload.join_query () in
+  let sea_h = Lexicon.isa_hierarchy (Lexicon.synthetic ~seed:9 ~n_terms:200) in
+  let runs = 5 in
+  let kernels =
+    [
+      ("select-toss", fun () ->
+          ignore
+            (Executor.select ~mode:Executor.Toss seo coll ~pattern:q.Workload.pattern
+               ~sl:q.Workload.sl));
+      ("select-tax", fun () ->
+          ignore
+            (Executor.select ~mode:Executor.Tax seo coll ~pattern:q.Workload.pattern
+               ~sl:q.Workload.sl));
+      ("select-scal", fun () ->
+          ignore
+            (Executor.select ~mode:Executor.Toss seo coll ~pattern:sel_pattern
+               ~sl:sel_sl));
+      ("join", fun () ->
+          ignore
+            (Executor.join ~mode:Executor.Toss join_seo left right
+               ~pattern:join_pattern ~sl:join_sl));
+      ("xpath-eval", fun () ->
+          ignore (Collection.eval_string coll "//inproceedings[booktitle='VLDB']/author"));
+      ("sea-enhance", fun () ->
+          ignore (Sea.enhance ~metric:Levenshtein.metric ~eps:2.0 sea_h));
+    ]
+  in
+  let entries =
+    List.map
+      (fun (name, kernel) ->
+        kernel ();  (* warm caches and indexes out of the measurement *)
+        let (), median_s = B.time_median ~runs kernel in
+        let median_s = median_s *. slowdown in
+        Printf.printf "  %-14s median %10.3f ms over %d runs\n" name
+          (1000. *. median_s) runs;
+        (name, { Baseline.median_s; runs }))
+      kernels
+  in
+  Baseline.v ~label:baseline_label entries
+
+(* [--quick]: run the suite and record BENCH_2.json (or --out FILE).
+   [--quick --check]: run the suite, save the current measurements to
+   bench_results/ (never clobbering the committed baseline), and exit
+   non-zero when the gate fails. [--slowdown F] multiplies the measured
+   medians -- a self-test hook so the gate's failure path can be
+   exercised deterministically ([--check --slowdown 2] must fail). *)
+let gate ~check ~baseline_path ~out ~tolerance ~slowdown () =
+  let current = perf_suite ~slowdown () in
+  if not check then begin
+    let path = Option.value out ~default:default_baseline_path in
+    Baseline.save ~path current;
+    Printf.printf "baseline recorded: %s\n" path;
+    0
+  end
+  else
+    match Baseline.load ~path:baseline_path with
+    | Error msg ->
+        Printf.eprintf "cannot load baseline %s: %s\n" baseline_path msg;
+        1
+    | Ok baseline ->
+        let out_path =
+          Option.value out ~default:(Filename.concat results_dir "bench_current.json")
+        in
+        (match Sys.is_directory results_dir with
+        | true -> ()
+        | false | (exception Sys_error _) -> Sys.mkdir results_dir 0o755);
+        Baseline.save ~path:out_path current;
+        let verdicts, ok = Baseline.compare_runs ~tolerance ~baseline ~current () in
+        Printf.printf "\ngate (tolerance %+.0f%%) against %s:\n"
+          (100. *. tolerance) baseline_path;
+        Format.printf "%a@." Baseline.pp_verdicts verdicts;
+        Printf.printf "current run saved: %s\n" out_path;
+        if ok then begin
+          Printf.printf "gate: PASS\n";
+          0
+        end
+        else begin
+          Printf.printf "gate: FAIL (median latency regressed beyond tolerance)\n";
+          1
+        end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -553,20 +668,56 @@ let experiments =
     ("micro", micro);
   ]
 
+let usage () =
+  Printf.eprintf
+    "usage: bench [EXPERIMENT...]\n\
+    \       bench --quick [--out FILE]                 record BENCH_2.json\n\
+    \       bench --quick --check [--baseline FILE]    gate against a baseline\n\
+    \            [--tolerance X] [--slowdown F] [--out FILE]\n\
+     experiments: %s\n"
+    (String.concat ", " (List.map fst experiments))
+
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+  let quick = ref false in
+  let check = ref false in
+  let baseline_path = ref default_baseline_path in
+  let out = ref None in
+  let tolerance = ref 0.2 in
+  let slowdown = ref 1.0 in
+  let names = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest -> quick := true; parse rest
+    | "--check" :: rest -> quick := true; check := true; parse rest
+    | "--baseline" :: path :: rest -> baseline_path := path; parse rest
+    | "--out" :: path :: rest -> out := Some path; parse rest
+    | "--tolerance" :: x :: rest -> tolerance := float_of_string x; parse rest
+    | "--slowdown" :: f :: rest -> slowdown := float_of_string f; parse rest
+    | ("--help" | "-h") :: _ -> usage (); exit 0
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+        Printf.eprintf "unknown option %S\n" arg;
+        usage ();
+        exit 1
+    | name :: rest -> names := name :: !names; parse rest
   in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name experiments with
-      | Some f ->
-          let (), t = B.time f in
-          Printf.printf "[%s completed in %.1fs]\n" name t
-      | None ->
-          Printf.eprintf "unknown experiment %S; available: %s\n" name
-            (String.concat ", " (List.map fst experiments));
-          exit 1)
-    requested
+  parse (List.tl (Array.to_list Sys.argv));
+  if !quick then
+    exit
+      (gate ~check:!check ~baseline_path:!baseline_path ~out:!out
+         ~tolerance:!tolerance ~slowdown:!slowdown ())
+  else begin
+    let requested =
+      match List.rev !names with [] -> List.map fst experiments | names -> names
+    in
+    List.iter
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f ->
+            let (), t = B.time f in
+            Printf.printf "[%s completed in %.1fs]\n" name t
+        | None ->
+            Printf.eprintf "unknown experiment %S; available: %s\n" name
+              (String.concat ", " (List.map fst experiments));
+            exit 1)
+      requested
+  end

@@ -225,8 +225,30 @@ let print_trace oc (stats : Executor.stats) =
   print_phase_table oc stats;
   Printf.fprintf oc "trace:\n%s" (Toss_obs.Span.to_string stats.Executor.trace)
 
-let query files query mode eps show_xpath trace show_stats =
-  if trace then Toss_obs.Span.set_enabled true;
+let query files query mode eps show_xpath trace show_stats explain_analyze
+    analyze_json profile slow_ms =
+  (* EXPLAIN ANALYZE implies tracing: the analyzed plan is the span tree
+     with its per-operator actuals (and allocation deltas). *)
+  if trace || explain_analyze || analyze_json <> None then
+    Toss_obs.Span.set_enabled true;
+  (* Profiler sinks. [--profile] streams every event as JSONL to a file;
+     [--slow-ms] writes one slow-query record (full event stream + span
+     tree) to stderr per query at or over the threshold. *)
+  let profile_oc = Option.map open_out profile in
+  Option.iter
+    (fun oc -> Toss_obs.Event.install (Toss_obs.Event.jsonl_to_channel oc))
+    profile_oc;
+  Option.iter
+    (fun ms ->
+      Toss_obs.Event.install
+        (Toss_obs.Event.slow_query ~threshold_s:(float_of_int ms /. 1000.)
+           ~write:(fun line ->
+             output_string stderr line;
+             output_char stderr '\n';
+             flush stderr)))
+    slow_ms;
+  Fun.protect ~finally:(fun () -> Option.iter close_out_noerr profile_oc)
+  @@ fun () ->
   let trees = List.map load_doc files in
   let coll = Collection.create "cli" in
   List.iter (fun t -> ignore (Collection.add_document coll t)) trees;
@@ -259,10 +281,27 @@ let query files query mode eps show_xpath trace show_stats =
               Printf.printf "%d result(s) in %.4fs\n" (List.length results)
                 (Executor.total_s stats.Executor.phases);
               List.iter (fun t -> print_string (Printer.to_pretty_string t)) results;
-              if trace then print_trace stderr stats);
+              (* Observability output goes to stdout, like the results it
+                 annotates (and like [toss stats]); stderr is reserved
+                 for errors and the slow-query log. *)
+              if trace then print_trace stdout stats;
+              if explain_analyze || analyze_json <> None then begin
+                let plan =
+                  Toss_core.Explain.with_trace
+                    (Toss_core.Explain.explain ~mode seo q.Tql.pattern)
+                    stats.Executor.trace
+                in
+                if explain_analyze then begin
+                  print_string "EXPLAIN ANALYZE\n";
+                  print_string (Toss_core.Explain.to_string plan)
+                end;
+                Option.iter
+                  (fun path ->
+                    write_out (Some path) (Toss_core.Explain.to_json plan ^ "\n"))
+                  analyze_json
+              end);
           if show_stats then
-            output_string stderr
-              (Toss_obs.Metrics.to_table (Toss_obs.Metrics.snapshot ()));
+            print_string (Toss_obs.Metrics.to_table (Toss_obs.Metrics.snapshot ()));
           `Ok ())
 
 let query_cmd =
@@ -286,17 +325,43 @@ let query_cmd =
   let trace =
     Arg.(value & flag & info [ "trace" ]
            ~doc:"Print the per-phase breakdown and the nested execution \
-                 span tree (with allocation deltas) to stderr.")
+                 span tree (with allocation deltas) after the results.")
   in
   let show_stats =
     Arg.(value & flag & info [ "stats" ]
            ~doc:"Print the metrics-registry snapshot (index hit rates, \
-                 rewrite fan-out, embedding counts) to stderr.")
+                 rewrite fan-out, embedding counts) after the results.")
+  in
+  let explain_analyze =
+    Arg.(value & flag & info [ "explain-analyze" ]
+           ~doc:"Run the query, then print the plan annotated with \
+                 per-operator actuals: rows in/out of every rewritten \
+                 XPath step, per-document embedding counts, and wall \
+                 time per phase.")
+  in
+  let analyze_json =
+    Arg.(value & opt (some string) None & info [ "analyze-json" ] ~docv:"FILE"
+           ~doc:"Write the analyzed plan (as printed by \
+                 $(b,--explain-analyze)) as JSON to $(docv).")
+  in
+  let profile =
+    Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE"
+           ~doc:"Stream the structured profiler events of this run \
+                 (query_start, rewrite_done, xpath_exec, embed_done, \
+                 query_end) as line-delimited JSON to $(docv).")
+  in
+  let slow_ms =
+    Arg.(value & opt (some int) None & info [ "slow-ms" ] ~docv:"MS"
+           ~doc:"Slow-query log: if the query takes at least $(docv) \
+                 milliseconds, write one JSON record with its full \
+                 event stream and span tree to stderr.")
   in
   Cmd.v
     (Cmd.info "query"
        ~doc:"Run a TQL pattern-tree query over one or more documents.")
-    Term.(ret (const query $ files $ q $ mode $ eps $ show_xpath $ trace $ show_stats))
+    Term.(ret
+            (const query $ files $ q $ mode $ eps $ show_xpath $ trace
+             $ show_stats $ explain_analyze $ analyze_json $ profile $ slow_ms))
 
 (* ----------------------------- stats ------------------------------ *)
 

@@ -9,6 +9,7 @@ module Tree = Toss_xml.Tree
 module Doc = Tree.Doc
 module Metrics = Toss_obs.Metrics
 module Span = Toss_obs.Span
+module Event = Toss_obs.Event
 
 type mode = Rewrite.mode = Tax | Toss
 
@@ -55,6 +56,39 @@ let note_sizes ~candidates ~embeddings ~results =
 let evaluator_of mode seo =
   match mode with Tax -> Condition.eval_tax | Toss -> Toss_condition.evaluator seo
 
+let mode_name = function Tax -> "tax" | Toss -> "toss"
+
+(* Event-log boundaries of one executor run. Payload construction is
+   guarded on [Event.active] so the uninstrumented path allocates
+   nothing. *)
+let event_query_start ~op ~mode collection =
+  if Event.active () then
+    Event.emit Event.Query_start
+      ~payload:
+        [
+          ("op", Event.Str op);
+          ("mode", Event.Str (mode_name mode));
+          ("collection", Event.Str (Collection.name collection));
+        ]
+
+let event_rewrite_done ~op queries =
+  if Event.active () then
+    Event.emit Event.Rewrite_done
+      ~payload:
+        [ ("op", Event.Str op); ("queries", Event.Int (List.length queries)) ]
+
+let event_query_end ~op ~trace ~phases ~stats:(n_candidates, n_embeddings, n_results) =
+  if Event.active () then
+    Event.emit Event.Query_end ~trace
+      ~payload:
+        [
+          ("op", Event.Str op);
+          ("results", Event.Int n_results);
+          ("candidates", Event.Int n_candidates);
+          ("embeddings", Event.Int n_embeddings);
+          ("elapsed_s", Event.Float (total_s phases));
+        ]
+
 (* Set semantics preserving first-occurrence (document) order. *)
 let dedup trees =
   let seen = Hashtbl.create 64 in
@@ -68,27 +102,63 @@ let dedup trees =
     trees
 
 (* Fetch candidates for every label; returns a lookup
-   doc_id -> label -> node list, plus the total candidate count. *)
+   doc_id -> label -> node list, plus the total candidate count. Each
+   label query runs in its own [xpath] span (annotated by the store with
+   rows / index hit counts) and emits an [Xpath_exec] event, so EXPLAIN
+   ANALYZE and the profiler see one operator per store round-trip. *)
 let fetch ~use_index collection queries =
   let table : (int * int, Doc.node list) Hashtbl.t = Hashtbl.create 64 in
   let total = ref 0 in
   List.iter
     (fun (label, xpath) ->
-      List.iter
-        (fun (doc_id, node) ->
-          incr total;
-          let key = (doc_id, label) in
-          Hashtbl.replace table key
-            (node :: Option.value ~default:[] (Hashtbl.find_opt table key)))
-        (Collection.eval ~use_index collection xpath))
+      Span.with_ ~meta:[ ("label", string_of_int label) ] "xpath" (fun () ->
+          let t0 = Unix.gettimeofday () in
+          let hits = Collection.eval ~use_index collection xpath in
+          (if Event.active () then
+             Event.emit Event.Xpath_exec
+               ~payload:
+                 [
+                   ("label", Event.Int label);
+                   ("xpath", Event.Str (Xpath.to_string xpath));
+                   ("rows", Event.Int (List.length hits));
+                   ("elapsed_s", Event.Float (Unix.gettimeofday () -. t0));
+                 ]);
+          List.iter
+            (fun (doc_id, node) ->
+              incr total;
+              let key = (doc_id, label) in
+              Hashtbl.replace table key
+                (node :: Option.value ~default:[] (Hashtbl.find_opt table key)))
+            hits))
     queries;
   let lookup doc_id label =
     Some (List.rev (Option.value ~default:[] (Hashtbl.find_opt table (doc_id, label))))
   in
   (lookup, !total)
 
+(* One document's share of phase iii, in its own [embed] span: enumerate
+   embeddings (the embedder annotates the span with its funnel), build
+   witnesses, and emit an [Embed_done] event. *)
+let assemble_doc ~eval ~lookup collection pattern ~sl n_embeddings doc_id =
+  Span.with_ ~meta:[ ("doc", string_of_int doc_id) ] "embed" (fun () ->
+      let doc = Collection.doc collection doc_id in
+      let bindings = Embedding.enumerate ~candidates:(lookup doc_id) ~eval doc pattern in
+      n_embeddings := !n_embeddings + List.length bindings;
+      let witnesses = dedup (List.map (fun b -> Witness.of_binding doc b ~sl) bindings) in
+      Span.annotate [ ("witnesses", string_of_int (List.length witnesses)) ];
+      (if Event.active () then
+         Event.emit Event.Embed_done
+           ~payload:
+             [
+               ("doc", Event.Int doc_id);
+               ("embeddings", Event.Int (List.length bindings));
+               ("witnesses", Event.Int (List.length witnesses));
+             ]);
+      witnesses)
+
 let select ?(mode = Toss) ?(use_index = true) ?max_expansion seo collection ~pattern ~sl =
   Metrics.incr m_selects;
+  event_query_start ~op:"select" ~mode collection;
   let eval = evaluator_of mode seo in
   let (results, query_strings, n_candidates, n_embeddings), trace =
     Span.run "executor.select" (fun () ->
@@ -98,6 +168,7 @@ let select ?(mode = Toss) ?(use_index = true) ?max_expansion seo collection ~pat
               let queries = Rewrite.label_queries ~mode ?max_expansion seo pattern in
               (queries, List.map (fun (l, q) -> (l, Xpath.to_string q)) queries))
         in
+        event_rewrite_done ~op:"select" queries;
         (* Phase ii: execute against the store. *)
         let lookup, n_candidates =
           Span.with_ "execute" (fun () -> fetch ~use_index collection queries)
@@ -107,13 +178,7 @@ let select ?(mode = Toss) ?(use_index = true) ?max_expansion seo collection ~pat
         let results =
           Span.with_ "assemble" (fun () ->
               List.concat_map
-                (fun doc_id ->
-                  let doc = Collection.doc collection doc_id in
-                  let bindings =
-                    Embedding.enumerate ~candidates:(lookup doc_id) ~eval doc pattern
-                  in
-                  n_embeddings := !n_embeddings + List.length bindings;
-                  dedup (List.map (fun b -> Witness.of_binding doc b ~sl) bindings))
+                (assemble_doc ~eval ~lookup collection pattern ~sl n_embeddings)
                 (Collection.doc_ids collection))
         in
         (results, query_strings, n_candidates, !n_embeddings))
@@ -122,6 +187,8 @@ let select ?(mode = Toss) ?(use_index = true) ?max_expansion seo collection ~pat
   let n_results = List.length results in
   note_phases phases;
   note_sizes ~candidates:n_candidates ~embeddings:n_embeddings ~results:n_results;
+  event_query_end ~op:"select" ~trace ~phases
+    ~stats:(n_candidates, n_embeddings, n_results);
   ( results,
     { phases; n_candidates; n_embeddings; n_results; queries = query_strings; trace } )
 
@@ -148,6 +215,7 @@ let side_pattern (pattern : Pattern.t) (child : Pattern.node) =
 let join ?(mode = Toss) ?(use_index = true) ?max_expansion seo left_coll right_coll
     ~pattern ~sl =
   Metrics.incr m_joins;
+  event_query_start ~op:"join" ~mode left_coll;
   let eval = evaluator_of mode seo in
   let root = pattern.Pattern.root in
   let (left_kind, left_child), (right_kind, right_child) =
@@ -171,6 +239,7 @@ let join ?(mode = Toss) ?(use_index = true) ?max_expansion seo left_coll right_c
         (left_pattern, left_labels, right_pattern, right_labels, left_queries,
          right_queries, query_strings))
   in
+  event_rewrite_done ~op:"join" (left_queries @ right_queries);
   (* Phase ii. *)
   let (left_lookup, n_left), (right_lookup, n_right) =
     Span.with_ "execute" (fun () ->
@@ -182,28 +251,39 @@ let join ?(mode = Toss) ?(use_index = true) ?max_expansion seo left_coll right_c
   (* A pc edge from the product root pins the side's root to the document
      root (the product's direct child); an ad edge lets it match anywhere,
      as in the paper's Figure 14. *)
-  let embeddings_of coll lookup (sub_pattern : Pattern.t) kind =
+  let embeddings_of side coll lookup (sub_pattern : Pattern.t) kind =
     let side_root = sub_pattern.Pattern.root.Pattern.label in
     List.concat_map
       (fun doc_id ->
-        let doc = Collection.doc coll doc_id in
-        let candidates label =
-          let fetched = lookup doc_id label in
-          match (kind, label = side_root) with
-          | Pattern.Pc, true ->
-              Some
-                (List.filter
-                   (Int.equal (Doc.root doc))
-                   (Option.value ~default:[] fetched))
-          | _ -> fetched
-        in
-        List.map
-          (fun b -> (doc, b))
-          (Embedding.enumerate ~candidates ~eval doc sub_pattern))
+        Span.with_
+          ~meta:[ ("side", side); ("doc", string_of_int doc_id) ]
+          "embed"
+          (fun () ->
+            let doc = Collection.doc coll doc_id in
+            let candidates label =
+              let fetched = lookup doc_id label in
+              match (kind, label = side_root) with
+              | Pattern.Pc, true ->
+                  Some
+                    (List.filter
+                       (Int.equal (Doc.root doc))
+                       (Option.value ~default:[] fetched))
+              | _ -> fetched
+            in
+            let bindings = Embedding.enumerate ~candidates ~eval doc sub_pattern in
+            (if Event.active () then
+               Event.emit Event.Embed_done
+                 ~payload:
+                   [
+                     ("side", Event.Str side);
+                     ("doc", Event.Int doc_id);
+                     ("embeddings", Event.Int (List.length bindings));
+                   ]);
+            List.map (fun b -> (doc, b)) bindings))
       (Collection.doc_ids coll)
   in
-  let lefts = embeddings_of left_coll left_lookup left_pattern left_kind in
-  let rights = embeddings_of right_coll right_lookup right_pattern right_kind in
+  let lefts = embeddings_of "left" left_coll left_lookup left_pattern left_kind in
+  let rights = embeddings_of "right" right_coll right_lookup right_pattern right_kind in
   (* Conjuncts mentioning the product root (e.g. #0.tag = tax_prod_root)
      describe the synthetic product node and are dropped; they hold by
      construction of the result. *)
@@ -253,5 +333,7 @@ let join ?(mode = Toss) ?(use_index = true) ?max_expansion seo left_coll right_c
   let n_results = List.length results in
   note_phases phases;
   note_sizes ~candidates:n_candidates ~embeddings:n_embeddings ~results:n_results;
+  event_query_end ~op:"join" ~trace ~phases
+    ~stats:(n_candidates, n_embeddings, n_results);
   ( results,
     { phases; n_candidates; n_embeddings; n_results; queries = query_strings; trace } )

@@ -26,8 +26,17 @@ type stats = {
   trace : Toss_obs.Span.t;
       (** the full span tree of this run; [phases] is a view over its
           [rewrite]/[execute]/[assemble] children, so the two always
-          agree. Allocation deltas are populated when
-          [Toss_obs.Span.set_enabled true] was called beforehand. *)
+          agree. Under [execute] there is one [xpath] span per label
+          query (annotated with [rows]/[indexed]/[scanned] by the store)
+          and under [assemble] one [embed] span per document (annotated
+          with the enumeration funnel) — the operators EXPLAIN ANALYZE
+          renders. Allocation deltas are populated when
+          [Toss_obs.Span.set_enabled true] was called beforehand.
+
+          When a [Toss_obs.Event] sink is installed, a run additionally
+          emits the event stream [query_start], [rewrite_done], one
+          [xpath_exec] per label query, one [embed_done] per document,
+          and [query_end] (carrying this trace). *)
 }
 
 val total_s : phases -> float

@@ -76,3 +76,44 @@ let pp ppf t =
   Format.fprintf ppf "@]"
 
 let to_string t = Format.asprintf "%a" pp t
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let str s = "\"" ^ json_escape s ^ "\"" in
+  let arr items = "[" ^ String.concat "," items ^ "]" in
+  let queries =
+    List.map
+      (fun (label, q) -> Printf.sprintf "{\"label\":%d,\"xpath\":%s}" label (str q))
+      t.label_queries
+  in
+  let expansions =
+    List.map
+      (fun e ->
+        Printf.sprintf "{\"operator\":%s,\"constant\":%s,\"terms\":%s}"
+          (str e.operator) (str e.constant)
+          (arr (List.map str e.terms)))
+      t.expansions
+  in
+  Printf.sprintf
+    "{\"mode\":%s,\"label_queries\":%s,\"expansions\":%s,\"residual_atoms\":%s%s}"
+    (str (match t.mode with Rewrite.Tax -> "tax" | Rewrite.Toss -> "toss"))
+    (arr queries) (arr expansions)
+    (arr (List.map str t.residual_atoms))
+    (match t.trace with
+    | None -> ""
+    | Some trace -> ",\"trace\":" ^ Toss_obs.Span.to_json trace)

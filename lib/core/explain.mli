@@ -29,10 +29,22 @@ val explain : ?mode:Rewrite.mode -> ?max_expansion:int -> Seo.t -> Toss_tax.Patt
 
 val with_trace : t -> Toss_obs.Span.t -> t
 (** Attaches an execution trace (e.g. [stats.trace] from
-    {!Executor.select}) so {!pp} also renders the observed span tree. *)
+    {!Executor.select}) so {!pp} and {!to_json} also render the observed
+    span tree. A plan paired with its run's trace is EXPLAIN ANALYZE:
+    the trace's [xpath] spans carry actual [rows]/[indexed]/[scanned]
+    per label query and its [embed] spans the per-document assembly
+    funnel, and the [rewrite]/[execute]/[assemble] phase durations are
+    the very spans [Executor.stats.phases] is a view over, so the
+    rendered totals always equal the stats. *)
 
 val pp : Format.formatter -> t -> unit
 (** Renders the plan: store queries, expansions, residual atoms, and —
-    when present — the execution span tree. *)
+    when present — the execution span tree with its per-operator
+    actuals (the CLI's [--explain-analyze]). *)
 
 val to_string : t -> string
+
+val to_json : t -> string
+(** The plan as a JSON object ([mode], [label_queries], [expansions],
+    [residual_atoms], plus [trace] when attached) — the machine-readable
+    EXPLAIN ANALYZE. *)

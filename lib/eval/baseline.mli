@@ -1,0 +1,45 @@
+(** Bench baselines and the perf regression gate.
+
+    A baseline is the committed JSON artifact of one perf-suite run
+    ([BENCH_2.json] at the repo root): per-experiment median latencies.
+    The gate ({!compare_runs}) re-measures the same suite and fails any
+    experiment whose median regressed beyond a tolerance (default 20%,
+    the ISSUE's threshold), so later PRs cannot silently slow the
+    rewrite→execute→assemble hot path. *)
+
+type entry = { median_s : float; runs : int }
+
+type t = {
+  label : string;  (** suite identity, e.g. ["toss-perf-suite"] *)
+  entries : (string * entry) list;  (** experiment name -> measurement *)
+}
+
+val v : label:string -> (string * entry) list -> t
+
+val to_json : t -> string
+(** [{"bench":label,"experiments":{name:{"median_s":…,"runs":…},…}}]. *)
+
+val of_json : string -> (t, string) result
+val save : path:string -> t -> unit
+val load : path:string -> (t, string) result
+
+(** {1 The gate} *)
+
+type verdict = {
+  name : string;
+  baseline_s : float;
+  current_s : float;  (** [nan] when the experiment was not re-measured *)
+  ratio : float;  (** [current_s / baseline_s]; [nan] when missing *)
+  ok : bool;
+}
+
+val compare_runs : ?tolerance:float -> baseline:t -> current:t -> unit -> verdict list * bool
+(** One verdict per baseline experiment, in baseline order. An
+    experiment passes when its ratio is at most [1. +. tolerance]
+    (default [0.2]); one missing from [current] fails. Experiments only
+    in [current] are ignored (they have nothing to regress against).
+    The [bool] is the conjunction — [true] means the gate passes. *)
+
+val pp_verdicts : Format.formatter -> verdict list -> unit
+(** An aligned table: name, baseline/current milliseconds, ratio, and
+    ok/FAIL per row. *)

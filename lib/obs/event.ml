@@ -1,0 +1,192 @@
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type kind =
+  | Query_start
+  | Rewrite_done
+  | Xpath_exec
+  | Embed_done
+  | Query_end
+  | Custom of string
+
+let kind_name = function
+  | Query_start -> "query_start"
+  | Rewrite_done -> "rewrite_done"
+  | Xpath_exec -> "xpath_exec"
+  | Embed_done -> "embed_done"
+  | Query_end -> "query_end"
+  | Custom name -> name
+
+type t = {
+  seq : int;
+  ts_s : float;
+  kind : kind;
+  payload : (string * value) list;
+  trace : Span.t option;
+}
+
+let payload_int e key =
+  match List.assoc_opt key e.payload with Some (Int i) -> Some i | _ -> None
+
+let payload_str e key =
+  match List.assoc_opt key e.payload with Some (Str s) -> Some s | _ -> None
+
+let payload_float e key =
+  match List.assoc_opt key e.payload with
+  | Some (Float f) -> Some f
+  | Some (Int i) -> Some (float_of_int i)
+  | _ -> None
+
+(* -------------------------------- JSON -------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_value = function
+  | Str s -> "\"" ^ json_escape s ^ "\""
+  | Int i -> string_of_int i
+  | Float f -> if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
+  | Bool b -> if b then "true" else "false"
+
+let to_json e =
+  let payload =
+    String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) (json_value v))
+         e.payload)
+  in
+  let trace =
+    match e.trace with
+    | None -> ""
+    | Some t -> ",\"trace\":" ^ Span.to_json t
+  in
+  Printf.sprintf "{\"seq\":%d,\"ts_s\":%.6f,\"kind\":\"%s\",\"payload\":{%s}%s}"
+    e.seq e.ts_s (json_escape (kind_name e.kind)) payload trace
+
+(* -------------------------------- Sinks ------------------------------- *)
+
+type sink_impl =
+  | Null
+  | Memory of { capacity : int; q : t Queue.t }
+  | Jsonl of (string -> unit)
+  | Slow of {
+      threshold_s : float;
+      write : string -> unit;
+      buf : t Queue.t;
+      mutable in_query : bool;
+    }
+
+type sink = { id : int; impl : sink_impl }
+
+let next_sink_id = ref 0
+
+let make impl =
+  incr next_sink_id;
+  { id = !next_sink_id; impl }
+
+let null = make Null
+let memory ?(capacity = 1024) () =
+  if capacity < 1 then invalid_arg "Event.memory: capacity must be positive";
+  make (Memory { capacity; q = Queue.create () })
+
+let events sink =
+  match sink.impl with
+  | Memory { q; _ } -> List.of_seq (Queue.to_seq q)
+  | _ -> []
+
+let jsonl write = make (Jsonl write)
+
+let jsonl_to_channel oc =
+  jsonl (fun line ->
+      output_string oc line;
+      output_char oc '\n';
+      flush oc)
+
+let slow_query ~threshold_s ~write =
+  make (Slow { threshold_s; write; buf = Queue.create (); in_query = false })
+
+let sinks : sink list ref = ref []
+let install sink = if not (List.memq sink !sinks) then sinks := !sinks @ [ sink ]
+let remove sink = sinks := List.filter (fun s -> s.id <> sink.id) !sinks
+let clear_sinks () = sinks := []
+let active () = !sinks <> []
+
+(* ------------------------------ Emission ------------------------------ *)
+
+let seq = ref 0
+let t0 = Unix.gettimeofday ()
+let last_ts = ref 0.
+
+(* Wall-clock can step backwards (NTP); event time must not. *)
+let now () =
+  let t = Unix.gettimeofday () -. t0 in
+  let t = if t < !last_ts then !last_ts else t in
+  last_ts := t;
+  t
+
+let flush_slow (s : sink_impl) =
+  match s with
+  | Slow slow ->
+      let evs = List.of_seq (Queue.to_seq slow.buf) in
+      Queue.clear slow.buf;
+      slow.in_query <- false;
+      (match (evs, List.rev evs) with
+      | first :: _, last :: _ ->
+          let elapsed =
+            match payload_float last "elapsed_s" with
+            | Some e -> e
+            | None -> last.ts_s -. first.ts_s
+          in
+          if elapsed >= slow.threshold_s then begin
+            let op =
+              match payload_str last "op" with Some op -> op | None -> "?"
+            in
+            slow.write
+              (Printf.sprintf
+                 "{\"type\":\"slow_query\",\"threshold_s\":%.6f,\"elapsed_s\":%.6f,\"op\":\"%s\",\"n_events\":%d,\"events\":[%s]}"
+                 slow.threshold_s elapsed (json_escape op) (List.length evs)
+                 (String.concat "," (List.map to_json evs)))
+          end
+      | _ -> ())
+  | _ -> ()
+
+let deliver sink e =
+  match sink.impl with
+  | Null -> ()
+  | Memory { capacity; q } ->
+      Queue.push e q;
+      if Queue.length q > capacity then ignore (Queue.pop q)
+  | Jsonl write -> write (to_json e)
+  | Slow slow -> (
+      match e.kind with
+      | Query_start ->
+          (* A start with a stale open query: drop the orphaned stream. *)
+          Queue.clear slow.buf;
+          slow.in_query <- true;
+          Queue.push e slow.buf
+      | Query_end ->
+          if slow.in_query then begin
+            Queue.push e slow.buf;
+            flush_slow sink.impl
+          end
+      | _ -> if slow.in_query then Queue.push e slow.buf)
+
+let emit ?(payload = []) ?trace kind =
+  match !sinks with
+  | [] -> ()
+  | sinks ->
+      incr seq;
+      let e = { seq = !seq; ts_s = now (); kind; payload; trace } in
+      List.iter (fun s -> deliver s e) sinks

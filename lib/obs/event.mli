@@ -1,0 +1,106 @@
+(** Structured per-query event log.
+
+    Where {!Metrics} aggregates across queries and {!Span} times one
+    query's phases, the event log answers "what happened, in order,
+    while this query ran": each instrumentation point emits a typed
+    event with a monotonic timestamp and a key/value payload, and every
+    installed sink sees every event. Sinks are pluggable: a null sink, a
+    bounded in-memory ring (tests, ad-hoc inspection), a line-delimited
+    JSON writer (the CLI's [--profile file.jsonl]), and a slow-query
+    sink that buffers each query's full event stream and flushes it —
+    span tree included — as one JSONL record when the query exceeds a
+    latency threshold (the CLI's [--slow-ms]).
+
+    Emission is free when no sink is installed ({!emit} returns before
+    allocating anything); instrumented code should guard payload
+    construction with {!active}. Like the metrics registry, the sink
+    list is process-global and not thread-safe. *)
+
+(** {1 Events} *)
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+(** The typed event vocabulary of the query pipeline. [Custom] names an
+    event outside the built-in vocabulary (rendered verbatim). *)
+type kind =
+  | Query_start  (** executor entered; payload: [op], [mode], [collection] *)
+  | Rewrite_done  (** phase (i) finished; payload: [op], [queries] *)
+  | Xpath_exec
+      (** one label query answered by the store; payload: [label],
+          [xpath], [rows], [elapsed_s] *)
+  | Embed_done
+      (** one document's assembly finished; payload: [doc],
+          [embeddings], [witnesses] *)
+  | Query_end
+      (** executor returned; payload: [op], [results], [candidates],
+          [embeddings], [elapsed_s]; carries the query's span tree *)
+  | Custom of string
+
+val kind_name : kind -> string
+(** ["query_start"], ["rewrite_done"], … ; a [Custom] name verbatim. *)
+
+type t = {
+  seq : int;  (** strictly increasing across the process *)
+  ts_s : float;
+      (** seconds since the module was loaded; forced non-decreasing, so
+          sorting by [ts_s] (ties broken by [seq]) is event order *)
+  kind : kind;
+  payload : (string * value) list;
+  trace : Span.t option;  (** span tree attached to a [Query_end] *)
+}
+
+val payload_int : t -> string -> int option
+val payload_str : t -> string -> string option
+val payload_float : t -> string -> float option
+(** Typed payload lookups ([payload_float] also reads an [Int]). *)
+
+val to_json : t -> string
+(** One-line JSON object: [{"seq":…,"ts_s":…,"kind":"…","payload":{…}}]
+    plus a ["trace"] key (the {!Span.to_json} tree) when present. *)
+
+(** {1 Sinks} *)
+
+type sink
+
+val null : sink
+(** Discards every event (an installed-but-off placeholder: unlike an
+    empty sink list, it keeps {!active} true). *)
+
+val memory : ?capacity:int -> unit -> sink
+(** A bounded ring keeping the last [capacity] (default 1024) events. *)
+
+val events : sink -> t list
+(** The events a {!memory} sink retained, oldest first; [[]] for every
+    other sink kind. *)
+
+val jsonl : (string -> unit) -> sink
+(** Calls the writer with one JSON line ({!to_json}, no newline) per
+    event. *)
+
+val jsonl_to_channel : out_channel -> sink
+(** {!jsonl} writing [line ^ "\n"] to the channel, flushing per line so
+    the log can be tailed while a query runs. *)
+
+val slow_query : threshold_s:float -> write:(string -> unit) -> sink
+(** Buffers events from each [Query_start] to the matching [Query_end];
+    if the query's duration (the [Query_end]'s [elapsed_s] payload, else
+    the start/end timestamp difference) is at least [threshold_s], the
+    whole stream — including the [Query_end]'s span tree — is written as
+    one JSON line: [{"type":"slow_query","threshold_s":…,"elapsed_s":…,
+    "op":…,"n_events":…,"events":[…]}]. Events outside a query are
+    dropped. [threshold_s = 0.] logs every query. *)
+
+val install : sink -> unit
+(** Adds the sink to the process-global list (idempotent per sink). *)
+
+val remove : sink -> unit
+
+val clear_sinks : unit -> unit
+
+val active : unit -> bool
+(** Whether at least one sink is installed — guard payload construction
+    on hot paths with this. *)
+
+val emit : ?payload:(string * value) list -> ?trace:Span.t -> kind -> unit
+(** Delivers one event to every installed sink; a no-op (no allocation,
+    no timestamp read) when none is installed. *)

@@ -156,6 +156,43 @@ let find_counter snap ?(labels = []) name =
       | n, l, Counter v when n = name && l = labels -> Some v | _ -> None)
     snap
 
+let find_gauge snap ?(labels = []) name =
+  let labels = normalize labels in
+  List.find_map
+    (function n, l, Gauge v when n = name && l = labels -> Some v | _ -> None)
+    snap
+
+let find_histogram snap ?(labels = []) name =
+  let labels = normalize labels in
+  List.find_map
+    (function
+      | n, l, Histogram h when n = name && l = labels -> Some h | _ -> None)
+    snap
+
+let quantile (s : histogram_stats) q =
+  if s.count = 0 then nan
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let target = q *. float_of_int s.count in
+    let clamp v = Float.max s.min (Float.min s.max v) in
+    let rec go prev_bound prev_cum = function
+      | [] -> s.max
+      | (bound, cum) :: rest ->
+          (* Skip empty buckets and those entirely below the target rank. *)
+          if cum = prev_cum || float_of_int cum < target then go bound cum rest
+          else begin
+            let lower = clamp prev_bound in
+            let upper = clamp bound in
+            let frac =
+              (target -. float_of_int prev_cum)
+              /. float_of_int (cum - prev_cum)
+            in
+            lower +. (frac *. (upper -. lower))
+          end
+    in
+    go 0. 0 s.buckets
+  end
+
 let render_labels = function
   | [] -> ""
   | labels ->
@@ -175,9 +212,10 @@ let to_table snap =
           | Gauge g -> Printf.sprintf "%g" g
           | Histogram { count = 0; _ } -> "count=0"
           | Histogram h ->
-              Printf.sprintf "count=%d mean=%g max=%g" h.count
+              Printf.sprintf "count=%d mean=%g p50=%g p95=%g p99=%g max=%g"
+                h.count
                 (h.sum /. float_of_int h.count)
-                h.max
+                (quantile h 0.5) (quantile h 0.95) (quantile h 0.99) h.max
         in
         (key, rendered))
       snap
@@ -241,6 +279,9 @@ let to_json snap =
                  ("sum", json_float h.sum);
                  ("min", json_float h.min);
                  ("max", json_float h.max);
+                 ("p50", json_float (quantile h 0.5));
+                 ("p95", json_float (quantile h 0.95));
+                 ("p99", json_float (quantile h 0.99));
                  ("buckets", json_obj buckets);
                ])
       | _ -> None)

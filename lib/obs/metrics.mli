@@ -87,9 +87,14 @@ val snapshot : unit -> snapshot
 (** A consistent copy of every registered series. *)
 
 val reset : unit -> unit
-(** Zeroes every series in place (registrations and handles survive).
-    Used by the bench harness to scope a snapshot to one experiment and
-    by tests for isolation. *)
+(** Zeroes every series {e in place}: registrations survive, and —
+    because a handle aliases the registered cell rather than a copy — a
+    [counter]/[gauge]/[histogram] handle obtained {e before} the reset
+    keeps recording into the same (now zeroed) series afterwards. There
+    is no stale-handle hazard: modules may register their instruments
+    once at load time no matter how often the registry is reset. Used by
+    the bench harness to scope a snapshot to one experiment and by tests
+    for isolation. *)
 
 val names : snapshot -> string list
 (** The distinct series names of a snapshot, sorted. *)
@@ -97,11 +102,26 @@ val names : snapshot -> string list
 val find_counter : snapshot -> ?labels:labels -> string -> int option
 (** The counter's value in the snapshot, if that series exists. *)
 
+val find_gauge : snapshot -> ?labels:labels -> string -> float option
+(** The gauge's value in the snapshot, if that series exists. *)
+
+val find_histogram : snapshot -> ?labels:labels -> string -> histogram_stats option
+(** The histogram's summary in the snapshot, if that series exists. *)
+
+val quantile : histogram_stats -> float -> float
+(** [quantile stats q] estimates the [q]-quantile ([q] clamped to
+    [0, 1]) by linear interpolation inside the log-scaled bucket holding
+    the target rank, clamped to the observed [min]/[max]. Exact when
+    every observation is equal (the interpolation interval collapses to
+    that value); otherwise accurate to within the bucket's decade.
+    [nan] when the histogram is empty. *)
+
 val to_table : snapshot -> string
 (** An aligned, human-readable table: one line per series; histograms
-    show count/mean/max. *)
+    show count/mean/p50/p95/p99/max ({!quantile} estimates). *)
 
 val to_json : snapshot -> string
 (** Compact JSON object with ["counters"], ["gauges"] and ["histograms"]
-    sub-objects keyed by [name{k="v",...}]. Keys and strings are
-    JSON-escaped. *)
+    sub-objects keyed by [name{k="v",...}]; histogram objects carry
+    count/sum/min/max, the {!quantile} estimates ["p50"]/["p95"]/["p99"],
+    and the cumulative buckets. Keys and strings are JSON-escaped. *)

@@ -13,7 +13,7 @@ let enabled () = !tracing
 (* An open span under construction; children accumulate in reverse. *)
 type frame = {
   fname : string;
-  fmeta : (string * string) list;
+  mutable fmeta : (string * string) list;
   start_s : float;
   start_alloc : float;  (* words; 0 when tracing is disabled *)
   mutable rev_children : t list;
@@ -94,6 +94,11 @@ let exec ?(meta = []) name fn =
   | exception e ->
       ignore (close ());
       raise e
+
+let annotate kvs =
+  match !stack with
+  | [] -> ()
+  | frame :: _ -> frame.fmeta <- frame.fmeta @ kvs
 
 let with_ ?meta name fn = fst (exec ?meta name fn)
 

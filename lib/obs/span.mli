@@ -35,6 +35,15 @@ val with_ : ?meta:(string * string) list -> string -> (unit -> 'a) -> 'a
     tracing is enabled, is pushed to {!recent} on completion. The span is
     finished (and recorded) even when [fn] raises. *)
 
+val annotate : (string * string) list -> unit
+(** Appends key/value pairs to the {e innermost open} span's [meta]
+    (after any pairs given at {!with_} time); a no-op when no span is
+    open. This is how an operator attaches actuals that are only known
+    once it has run — the store annotates the executor's per-label
+    [xpath] span with [rows]/[indexed]/[scanned], the embedder its
+    [embed] span with candidate counts — which is what the CLI's
+    [--explain-analyze] tree renders. *)
+
 val run : ?meta:(string * string) list -> string -> (unit -> 'a) -> 'a * t
 (** Like {!with_}, but also returns the finished span — how the executor
     obtains the trace it exposes in its statistics. [run] always starts a

@@ -69,10 +69,13 @@ let n_nodes t =
   !total
 
 (* With the index enabled, a query whose first step is [//tag] starts from
-   the tag index rather than enumerating every node. *)
-let eval_in_doc ~use_index d xpath =
+   the tag index rather than enumerating every node. [indexed]/[scanned]
+   accumulate per-eval path counts for the caller's span annotation on
+   top of the process-wide metrics. *)
+let eval_in_doc ~use_index ~indexed ~scanned d xpath =
   if not use_index then begin
     Metrics.incr ~by:(List.length xpath) m_scanned_paths;
+    scanned := !scanned + List.length xpath;
     Xpath.eval d xpath
   end
   else
@@ -80,6 +83,7 @@ let eval_in_doc ~use_index d xpath =
       match path with
       | { Xpath.axis = Descendant; test = Tag tag; predicates } :: rest ->
           Metrics.incr m_indexed_paths;
+          incr indexed;
           let starts = Doc.by_tag d tag in
           Metrics.observe_int m_index_starts (List.length starts);
           let starts =
@@ -134,19 +138,30 @@ let eval_in_doc ~use_index d xpath =
             starts
       | _ ->
           Metrics.incr m_scanned_paths;
+          incr scanned;
           Xpath.eval d [ path ]
     in
     List.concat_map eval_path xpath |> List.sort_uniq Int.compare
 
 let eval ?(use_index = true) t xpath =
   Metrics.incr m_evals;
+  let indexed = ref 0 and scanned = ref 0 in
   let results = ref [] in
   for id = t.count - 1 downto 0 do
     let d = t.entries.(id).frozen in
-    let nodes = eval_in_doc ~use_index d xpath in
+    let nodes = eval_in_doc ~use_index ~indexed ~scanned d xpath in
     results := List.rev_append (List.rev_map (fun n -> (id, n)) nodes) !results
   done;
-  Metrics.observe_int m_results (List.length !results);
+  let n = List.length !results in
+  Metrics.observe_int m_results n;
+  (* Actuals for the executor's per-label [xpath] span (no-op outside
+     one); what EXPLAIN ANALYZE renders as rows / index hit counts. *)
+  Toss_obs.Span.annotate
+    [
+      ("rows", string_of_int n);
+      ("indexed", string_of_int !indexed);
+      ("scanned", string_of_int !scanned);
+    ];
   !results
 
 let eval_string ?use_index t s = eval ?use_index t (Xpath_parser.parse_exn s)

@@ -96,4 +96,12 @@ let enumerate ?(candidates = fun _ -> None) ~eval doc (pattern : Pattern.t) =
   Metrics.observe_int m_candidates !n_considered;
   Metrics.observe_int m_structural (List.length structural);
   Metrics.observe_int m_embeddings (List.length embeddings);
+  (* Actuals for the executor's per-document [embed] span (no-op outside
+     one): how wide this enumeration's backtracking was. *)
+  Toss_obs.Span.annotate
+    [
+      ("considered", string_of_int !n_considered);
+      ("structural", string_of_int (List.length structural));
+      ("embeddings", string_of_int (List.length embeddings));
+    ];
   embeddings

@@ -35,10 +35,13 @@ Graphviz export:
   $ toss dot demo.xml | head -1
   digraph "isa" {
 
-Tracing: the per-phase breakdown and nested span tree (times stripped
-for determinism — the span names and nesting are the contract):
+Tracing: the per-phase breakdown and nested span tree, printed to
+stdout after the results (times stripped for determinism — the span
+names and nesting are the contract). The execute and assemble phases
+carry their per-operator children: one xpath span per label query, one
+embed span per document touched:
 
-  $ toss query --trace demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' 2>&1 >/dev/null | awk '{print $1}'
+  $ toss query --trace demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' 2>/dev/null | sed -n '/^phase breakdown:/,$p' | awk '{print $1}'
   phase
   phase
   rewrite
@@ -49,7 +52,38 @@ for determinism — the span names and nesting are the contract):
   executor.select
   rewrite
   execute
+  xpath
+  xpath
   assemble
+  embed
+
+EXPLAIN ANALYZE annotates the plan with the actual per-operator row
+counts: how many nodes each rewritten XPath step returned, and the
+embedding funnel per document:
+
+  $ toss query --explain-analyze demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | grep -o 'rows=[0-9]*'
+  rows=8
+  rows=6
+  $ toss query --explain-analyze demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | grep -o 'embeddings=[0-9]*'
+  embeddings=6
+
+The profiler streams the query's structured events as JSONL:
+
+  $ toss query --profile events.jsonl demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' > /dev/null
+  $ grep -o '"kind":"[a-z_]*"' events.jsonl
+  "kind":"query_start"
+  "kind":"rewrite_done"
+  "kind":"xpath_exec"
+  "kind":"xpath_exec"
+  "kind":"embed_done"
+  "kind":"query_end"
+
+The slow-query log writes one replayable record (full event stream plus
+span tree) to stderr for queries at or over the threshold; at 0ms every
+query qualifies:
+
+  $ toss query --slow-ms 0 demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' 2>&1 >/dev/null | grep -c '"type":"slow_query"'
+  1
 
 The stats command reports the executor's funnel and the metrics
 registry instead of results:

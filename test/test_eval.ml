@@ -112,6 +112,123 @@ let test_series_gnuplot () =
   checkb "reads the csv" true (has "fig.csv");
   checkb "plots both value columns" true (has "using 1:2" && has "using 1:3")
 
+module Json = Toss_eval.Json_lite
+module Baseline = Toss_eval.Baseline
+
+let test_json_values () =
+  let p = Json.parse_exn in
+  checkb "null" true (p "null" = Json.Null);
+  checkb "bools" true (p "true" = Json.Bool true && p "false" = Json.Bool false);
+  checkf "int" 42. (Option.get (Json.to_num (p "42")));
+  checkf "negative exponent" 1.5e-3 (Option.get (Json.to_num (p "1.5e-3")));
+  Alcotest.(check string) "string" "hi" (Option.get (Json.to_str (p "\"hi\"")));
+  checkb "whitespace tolerated" true (p "  [ 1 , 2 ]  " = Json.Arr [ Json.Num 1.; Json.Num 2. ]);
+  checkb "empty containers" true (p "[]" = Json.Arr [] && p "{}" = Json.Obj [])
+
+let test_json_escapes () =
+  Alcotest.(check string) "standard escapes" "a\"b\\c\nd\te"
+    (Option.get (Json.to_str (Json.parse_exn {|"a\"b\\c\nd\te"|})));
+  Alcotest.(check string) "unicode escape to utf-8" "\xc3\xa9"
+    (Option.get (Json.to_str (Json.parse_exn {|"\u00e9"|})))
+
+let test_json_nesting_and_member () =
+  let j = Json.parse_exn {|{"a":{"b":[1,{"c":true}]},"a":2}|} in
+  let b = Option.get (Option.bind (Json.member "a" j) (Json.member "b")) in
+  (match Json.to_list b with
+  | Some [ one; obj ] ->
+      checkf "array element" 1. (Option.get (Json.to_num one));
+      checkb "nested bool" true
+        (Option.get (Option.bind (Json.member "c" obj) Json.to_bool))
+  | _ -> Alcotest.fail "expected a two-element array");
+  checkb "member returns the first duplicate" true
+    (Json.member "a" j <> Some (Json.Num 2.))
+
+let test_json_errors () =
+  let fails s = match Json.parse s with Error _ -> true | Ok _ -> false in
+  checkb "empty input" true (fails "");
+  checkb "trailing garbage" true (fails "1 2");
+  checkb "unterminated string" true (fails "\"abc");
+  checkb "missing bracket" true (fails "[1,2");
+  checkb "bare word" true (fails "nope")
+
+let sample_baseline =
+  Baseline.v ~label:"suite"
+    [
+      ("fast", { Baseline.median_s = 0.001; runs = 5 });
+      ("slow", { Baseline.median_s = 0.5; runs = 5 });
+    ]
+
+let test_baseline_roundtrip () =
+  match Baseline.of_json (Baseline.to_json sample_baseline) with
+  | Error msg -> Alcotest.failf "round trip failed: %s" msg
+  | Ok b ->
+      Alcotest.(check string) "label" sample_baseline.Baseline.label b.Baseline.label;
+      checki "entries" 2 (List.length b.Baseline.entries);
+      let fast = List.assoc "fast" b.Baseline.entries in
+      checkb "median survives" true (abs_float (fast.Baseline.median_s -. 0.001) < 1e-9);
+      checki "runs survive" 5 fast.Baseline.runs
+
+let test_baseline_save_load () =
+  let path = Filename.temp_file "toss_baseline" ".json" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Baseline.save ~path sample_baseline;
+  match Baseline.load ~path with
+  | Error msg -> Alcotest.failf "load failed: %s" msg
+  | Ok b -> checki "entries survive the disk" 2 (List.length b.Baseline.entries)
+
+let current ~factor =
+  Baseline.v ~label:"suite"
+    (List.map
+       (fun (name, (e : Baseline.entry)) ->
+         (name, { e with Baseline.median_s = e.Baseline.median_s *. factor }))
+       sample_baseline.Baseline.entries)
+
+let test_gate_passes_within_tolerance () =
+  let verdicts, ok =
+    Baseline.compare_runs ~baseline:sample_baseline ~current:(current ~factor:1.1) ()
+  in
+  checkb "10% slower passes at 20% tolerance" true ok;
+  checki "one verdict per experiment" 2 (List.length verdicts);
+  checkb "ratios recorded" true
+    (List.for_all (fun v -> abs_float (v.Baseline.ratio -. 1.1) < 1e-6) verdicts)
+
+let test_gate_fails_on_regression () =
+  let verdicts, ok =
+    Baseline.compare_runs ~baseline:sample_baseline ~current:(current ~factor:2.0) ()
+  in
+  checkb "2x slowdown fails" true (not ok);
+  checkb "every experiment flagged" true
+    (List.for_all (fun v -> not v.Baseline.ok) verdicts)
+
+let test_gate_tolerance_is_a_knob () =
+  let _, ok =
+    Baseline.compare_runs ~tolerance:1.5 ~baseline:sample_baseline
+      ~current:(current ~factor:2.0) ()
+  in
+  checkb "2x passes at 150% tolerance" true ok;
+  let _, strict =
+    Baseline.compare_runs ~tolerance:0.05 ~baseline:sample_baseline
+      ~current:(current ~factor:1.1) ()
+  in
+  checkb "10% fails at 5% tolerance" true (not strict)
+
+let test_gate_missing_experiment_fails () =
+  let partial =
+    Baseline.v ~label:"suite" [ ("fast", { Baseline.median_s = 0.001; runs = 5 }) ]
+  in
+  let verdicts, ok =
+    Baseline.compare_runs ~baseline:sample_baseline ~current:partial ()
+  in
+  checkb "missing experiment fails the gate" true (not ok);
+  let missing = List.find (fun v -> v.Baseline.name = "slow") verdicts in
+  checkb "its current time is nan" true (Float.is_nan missing.Baseline.current_s);
+  (* Extra current-only experiments have nothing to regress against. *)
+  let _, ok =
+    Baseline.compare_runs ~baseline:partial ~current:sample_baseline ()
+  in
+  checkb "superset current passes" true ok
+
 let () =
   Alcotest.run "toss_eval"
     [
@@ -137,5 +254,23 @@ let () =
           Alcotest.test_case "validation" `Quick test_series_validation;
           Alcotest.test_case "save" `Quick test_series_save;
           Alcotest.test_case "gnuplot script" `Quick test_series_gnuplot;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "values" `Quick test_json_values;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "nesting and member" `Quick test_json_nesting_and_member;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+        ] );
+      ( "baseline gate",
+        [
+          Alcotest.test_case "json round trip" `Quick test_baseline_roundtrip;
+          Alcotest.test_case "save and load" `Quick test_baseline_save_load;
+          Alcotest.test_case "passes within tolerance" `Quick
+            test_gate_passes_within_tolerance;
+          Alcotest.test_case "fails on regression" `Quick test_gate_fails_on_regression;
+          Alcotest.test_case "tolerance knob" `Quick test_gate_tolerance_is_a_knob;
+          Alcotest.test_case "missing experiment" `Quick
+            test_gate_missing_experiment_fails;
         ] );
     ]

@@ -4,6 +4,8 @@
 
 module Metrics = Toss_obs.Metrics
 module Span = Toss_obs.Span
+module Event = Toss_obs.Event
+module Json = Toss_eval.Json_lite
 module Tree = Toss_xml.Tree
 module Doc = Tree.Doc
 module Pattern = Toss_tax.Pattern
@@ -72,6 +74,36 @@ let test_reset_keeps_handles () =
   Metrics.incr c;
   checki "handle still live" 1
     (Option.get (Metrics.find_counter (Metrics.snapshot ()) "test.reset"))
+
+(* [reset] zeroes the registered cells in place, so handles obtained
+   before a reset keep feeding the same series afterwards — for every
+   instrument kind, not only counters. *)
+let test_reset_keeps_gauge_handles () =
+  Metrics.reset ();
+  let g = Metrics.gauge "test.reset.gauge" in
+  Metrics.set g 42.;
+  Metrics.reset ();
+  checkf "zeroed" 0.
+    (Option.get (Metrics.find_gauge (Metrics.snapshot ()) "test.reset.gauge"));
+  Metrics.set g 7.;
+  checkf "stale handle still registers" 7.
+    (Option.get (Metrics.find_gauge (Metrics.snapshot ()) "test.reset.gauge"))
+
+let test_reset_keeps_histogram_handles () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.reset.histo" in
+  Metrics.observe h 3.0;
+  Metrics.reset ();
+  let empty =
+    Option.get (Metrics.find_histogram (Metrics.snapshot ()) "test.reset.histo")
+  in
+  checki "emptied" 0 empty.Metrics.count;
+  Metrics.observe h 5.0;
+  let refilled =
+    Option.get (Metrics.find_histogram (Metrics.snapshot ()) "test.reset.histo")
+  in
+  checki "stale handle still observes" 1 refilled.Metrics.count;
+  checkf "new observation only" 5.0 refilled.Metrics.sum
 
 (* ------------------------------------------------------------------ *)
 (* Histograms                                                           *)
@@ -212,9 +244,53 @@ let test_span_capacity () =
         (List.map (fun s -> s.Span.name) (Span.recent ())))
 
 (* ------------------------------------------------------------------ *)
-(* Golden test: the executor emits the expected series                  *)
+(* Quantile estimates                                                   *)
 (* ------------------------------------------------------------------ *)
 
+let test_quantile_point_mass () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.q.point" in
+  List.iter (fun _ -> Metrics.observe h 0.25) [ 1; 2; 3; 4; 5 ];
+  let s = histo_stats "test.q.point" in
+  (* All observations equal: every quantile collapses to that value. *)
+  List.iter
+    (fun q -> checkf (Printf.sprintf "q=%g exact" q) 0.25 (Metrics.quantile s q))
+    [ 0.; 0.5; 0.95; 0.99; 1. ]
+
+let test_quantile_monotone_and_bounded () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.q.spread" in
+  List.iter (Metrics.observe h) [ 0.002; 0.004; 0.03; 0.07; 0.5; 2.0 ];
+  let s = histo_stats "test.q.spread" in
+  let p50 = Metrics.quantile s 0.5 in
+  let p95 = Metrics.quantile s 0.95 in
+  let p99 = Metrics.quantile s 0.99 in
+  checkb "p50 <= p95" true (p50 <= p95);
+  checkb "p95 <= p99" true (p95 <= p99);
+  checkb "within observed range" true (p50 >= s.Metrics.min && p99 <= s.Metrics.max);
+  checkb "empty histogram is nan" true
+    (Float.is_nan
+       (Metrics.quantile
+          { Metrics.count = 0; sum = 0.; min = nan; max = nan; buckets = [] }
+          0.5))
+
+let test_quantiles_in_exports () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.q.export" in
+  Metrics.observe h 1.0;
+  let snap = Metrics.snapshot () in
+  checkb "table shows percentiles" true
+    (contains ~needle:"p95=" (Metrics.to_table snap));
+  checkb "json shows percentiles" true
+    (contains ~needle:"\"p95\":" (Metrics.to_json snap))
+
+(* ------------------------------------------------------------------ *)
+(* Event log                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny two-paper fixture; one pattern whose TOSS run exercises the
+   whole rewrite -> execute -> assemble pipeline. Shared with the golden
+   metrics tests below. *)
 let db =
   Toss_xml.Parser.parse_exn
     {|<dblp>
@@ -239,6 +315,173 @@ let ullman_pattern =
          Condition.tag_eq 2 "author";
          Condition.content_sim 2 "Jeffrey D. Ullman";
        ])
+
+let with_sink sink f =
+  Event.clear_sinks ();
+  Event.install sink;
+  Fun.protect ~finally:Event.clear_sinks f
+
+let test_event_inactive_by_default () =
+  Event.clear_sinks ();
+  checkb "no sinks -> inactive" true (not (Event.active ()));
+  Event.emit ~payload:[ ("k", Event.Int 1) ] Event.Query_start;
+  with_sink Event.null (fun () ->
+      checkb "null sink keeps active true" true (Event.active ()))
+
+let test_event_ordering () =
+  let sink = Event.memory () in
+  with_sink sink (fun () ->
+      Event.emit Event.Query_start;
+      Event.emit Event.Rewrite_done;
+      Event.emit (Event.Custom "checkpoint");
+      Event.emit Event.Query_end);
+  let evs = Event.events sink in
+  Alcotest.(check (list string))
+    "kinds in emission order"
+    [ "query_start"; "rewrite_done"; "checkpoint"; "query_end" ]
+    (List.map (fun (e : Event.t) -> Event.kind_name e.Event.kind) evs);
+  let rec pairwise = function
+    | a :: (b :: _ as rest) -> ((a, b) :: pairwise rest)
+    | _ -> []
+  in
+  List.iter
+    (fun ((a : Event.t), (b : Event.t)) ->
+      checkb "seq strictly increasing" true (a.Event.seq < b.Event.seq);
+      checkb "ts non-decreasing" true (a.Event.ts_s <= b.Event.ts_s))
+    (pairwise evs)
+
+let test_event_ring_capacity () =
+  let sink = Event.memory ~capacity:3 () in
+  with_sink sink (fun () ->
+      List.iter
+        (fun i -> Event.emit ~payload:[ ("i", Event.Int i) ] (Event.Custom "tick"))
+        [ 1; 2; 3; 4; 5 ]);
+  let kept =
+    List.map (fun e -> Option.get (Event.payload_int e "i")) (Event.events sink)
+  in
+  Alcotest.(check (list int)) "last capacity events, oldest first" [ 3; 4; 5 ] kept
+
+let test_event_jsonl_escaping () =
+  let lines = ref [] in
+  let sink = Event.jsonl (fun line -> lines := line :: !lines) in
+  with_sink sink (fun () ->
+      Event.emit
+        ~payload:
+          [
+            ("text", Event.Str "say \"hi\"\nline2\ttab\\slash");
+            ("n", Event.Int 3);
+            ("f", Event.Float 0.5);
+            ("b", Event.Bool true);
+          ]
+        (Event.Custom "escape/test"));
+  match !lines with
+  | [ line ] -> (
+      match Json.parse line with
+      | Error msg -> Alcotest.failf "emitted line is not valid JSON: %s (%s)" msg line
+      | Ok json ->
+          checks "kind survives" "escape/test"
+            (Option.get (Option.bind (Json.member "kind" json) Json.to_str));
+          let payload = Option.get (Json.member "payload" json) in
+          checks "string round-trips through escapes" "say \"hi\"\nline2\ttab\\slash"
+            (Option.get (Option.bind (Json.member "text" payload) Json.to_str));
+          checkf "int" 3.
+            (Option.get (Option.bind (Json.member "n" payload) Json.to_num));
+          checkb "bool" true
+            (Option.get (Option.bind (Json.member "b" payload) Json.to_bool)))
+  | lines -> Alcotest.failf "expected exactly one line, got %d" (List.length lines)
+
+let run_query_with_events () =
+  let seo =
+    match
+      Seo.of_documents ~metric:Workload.experiment_metric ~eps:2.0
+        [ Doc.of_tree db ]
+    with
+    | Ok seo -> seo
+    | Error msg -> failwith msg
+  in
+  let coll = Collection.create "events" in
+  ignore (Collection.add_document coll db);
+  Executor.select seo coll ~pattern:ullman_pattern ~sl:[ 1 ]
+
+let test_slow_query_threshold () =
+  let captured = ref [] in
+  let keep line = captured := line :: !captured in
+  (* Far above any realistic runtime: nothing may be logged. *)
+  with_sink (Event.slow_query ~threshold_s:3600. ~write:keep) (fun () ->
+      ignore (run_query_with_events ()));
+  checki "fast query not logged" 0 (List.length !captured);
+  (* Threshold zero: every query logs exactly one record. *)
+  with_sink (Event.slow_query ~threshold_s:0. ~write:keep) (fun () ->
+      ignore (run_query_with_events ()));
+  checki "slow query logged once" 1 (List.length !captured)
+
+(* The slow-query record must be replayable: parse it back and walk the
+   captured event stream. *)
+let test_slow_query_record_replays () =
+  let captured = ref [] in
+  with_sink
+    (Event.slow_query ~threshold_s:0. ~write:(fun l -> captured := l :: !captured))
+    (fun () -> ignore (run_query_with_events ()));
+  match !captured with
+  | [ line ] -> (
+      match Json.parse line with
+      | Error msg -> Alcotest.failf "slow record is not valid JSON: %s" msg
+      | Ok json ->
+          checks "record type" "slow_query"
+            (Option.get (Option.bind (Json.member "type" json) Json.to_str));
+          checks "op" "select"
+            (Option.get (Option.bind (Json.member "op" json) Json.to_str));
+          let events =
+            Option.get (Option.bind (Json.member "events" json) Json.to_list)
+          in
+          checki "n_events agrees" (List.length events)
+            (int_of_float
+               (Option.get (Option.bind (Json.member "n_events" json) Json.to_num)));
+          let kinds =
+            List.map
+              (fun e -> Option.get (Option.bind (Json.member "kind" e) Json.to_str))
+              events
+          in
+          checks "stream starts the query" "query_start" (List.hd kinds);
+          checks "stream ends the query" "query_end"
+            (List.nth kinds (List.length kinds - 1));
+          checkb "rewrite precedes xpath" true
+            (List.mem "rewrite_done" kinds && List.mem "xpath_exec" kinds);
+          let last = List.nth events (List.length events - 1) in
+          checkb "query_end carries the span tree" true
+            (Json.member "trace" last <> None))
+  | lines -> Alcotest.failf "expected one slow record, got %d" (List.length lines)
+
+(* The executor's event stream itself: a select emits the expected kinds
+   in pipeline order, and the xpath_exec row counts sum to the stats
+   record's candidate count. *)
+let test_executor_event_stream () =
+  let sink = Event.memory () in
+  let _, stats = with_sink sink (fun () -> run_query_with_events ()) in
+  let evs = Event.events sink in
+  let kinds = List.map (fun (e : Event.t) -> Event.kind_name e.Event.kind) evs in
+  Alcotest.(check (list string))
+    "pipeline order"
+    [ "query_start"; "rewrite_done"; "xpath_exec"; "xpath_exec"; "embed_done";
+      "query_end" ]
+    kinds;
+  let rows =
+    List.fold_left
+      (fun acc (e : Event.t) ->
+        match e.Event.kind with
+        | Event.Xpath_exec -> acc + Option.get (Event.payload_int e "rows")
+        | _ -> acc)
+      0 evs
+  in
+  checki "xpath rows sum to candidates" stats.Executor.n_candidates rows;
+  let last = List.nth evs (List.length evs - 1) in
+  checkb "query_end carries the trace" true (last.Event.trace <> None);
+  checki "results in payload" stats.Executor.n_results
+    (Option.get (Event.payload_int last "results"))
+
+(* ------------------------------------------------------------------ *)
+(* Golden test: the executor emits the expected series                  *)
+(* ------------------------------------------------------------------ *)
 
 let expected_series =
   [
@@ -323,6 +566,10 @@ let () =
           Alcotest.test_case "labels" `Quick test_counter_labels;
           Alcotest.test_case "kind conflict" `Quick test_kind_conflict;
           Alcotest.test_case "reset keeps handles" `Quick test_reset_keeps_handles;
+          Alcotest.test_case "reset keeps gauge handles" `Quick
+            test_reset_keeps_gauge_handles;
+          Alcotest.test_case "reset keeps histogram handles" `Quick
+            test_reset_keeps_histogram_handles;
         ] );
       ( "histograms",
         [
@@ -330,6 +577,23 @@ let () =
           Alcotest.test_case "buckets" `Quick test_histogram_buckets;
           Alcotest.test_case "empty" `Quick test_histogram_empty;
           Alcotest.test_case "json export" `Quick test_json_export;
+          Alcotest.test_case "quantile point mass" `Quick test_quantile_point_mass;
+          Alcotest.test_case "quantile monotone" `Quick
+            test_quantile_monotone_and_bounded;
+          Alcotest.test_case "quantiles exported" `Quick test_quantiles_in_exports;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "inactive by default" `Quick
+            test_event_inactive_by_default;
+          Alcotest.test_case "ordering" `Quick test_event_ordering;
+          Alcotest.test_case "ring capacity" `Quick test_event_ring_capacity;
+          Alcotest.test_case "jsonl escaping" `Quick test_event_jsonl_escaping;
+          Alcotest.test_case "slow-query threshold" `Quick test_slow_query_threshold;
+          Alcotest.test_case "slow-query record replays" `Quick
+            test_slow_query_record_replays;
+          Alcotest.test_case "executor event stream" `Quick
+            test_executor_event_stream;
         ] );
       ( "spans",
         [
