@@ -31,7 +31,7 @@ module Corpus = Toss_data.Corpus
 module Dblp_gen = Toss_data.Dblp_gen
 module Sigmod_gen = Toss_data.Sigmod_gen
 module Workload = Toss_data.Workload
-module Metrics = Toss_eval.Metrics
+module Quality = Toss_eval.Quality
 module B = Toss_eval.Bench_util
 
 let metric = Workload.experiment_metric
@@ -112,8 +112,8 @@ let f15_compute () =
                       ~sl:q.Workload.sl
                   in
                   let returned = Workload.result_keys results in
-                  ( Metrics.precision ~correct:q.Workload.correct ~returned,
-                    Metrics.recall ~correct:q.Workload.correct ~returned )
+                  ( Quality.precision ~correct:q.Workload.correct ~returned,
+                    Quality.recall ~correct:q.Workload.correct ~returned )
                 in
                 {
                   dataset = ds;
@@ -144,7 +144,7 @@ let fig15a () =
            B.f3 (fst r.toss3); B.f3 (snd r.toss3);
          ])
        rows);
-  let avg f = Metrics.mean (List.map f rows) in
+  let avg f = Quality.mean (List.map f rows) in
   Printf.printf
     "\naverages: TAX p=%s r=%s | TOSS(2) p=%s r=%s | TOSS(3) p=%s r=%s\n"
     (B.f3 (avg (fun r -> fst r.tax))) (B.f3 (avg (fun r -> snd r.tax)))
@@ -157,7 +157,7 @@ let fig15b () =
   B.print_header
     "Figure 15(b): quality sqrt(p*r) against sqrt(TAX recall) per query";
   let rows = f15_compute () in
-  let q (p, r) = Metrics.quality ~precision:p ~recall:r in
+  let q (p, r) = Quality.quality ~precision:p ~recall:r in
   emit "fig15b"
     ~columns:[ "query"; "sqrt(TAX r)"; "TAX quality"; "TOSS(2) quality"; "TOSS(3) quality" ]
     (List.mapi
@@ -300,6 +300,34 @@ let join_setup ~seed ~n_papers ~eps =
   in
   (left, right, bytes, seo)
 
+(* An equality cross-condition join: the planner lowers it to a hash
+   pairing, while [~planner:false] keeps the all-pairs nested loop. The
+   planner-sensitive benchmarks self-join DBLP on the paper title --
+   each title pairs with only itself, so the nested loop's |L|x|R|
+   evaluations dwarf the answer and the hash pairing's advantage is what
+   gets measured, not result materialization. *)
+let equi_join_pattern ~ltag ~lleaf ~rtag ~rleaf () =
+  let open Pattern in
+  let left = node 1 [ pc (leaf 2) ] in
+  let right = node 3 [ pc (leaf 4) ] in
+  let root = node 0 [ ad left; ad right ] in
+  let condition =
+    Condition.conj
+      [
+        Condition.tag_eq 0 Toss_tax.Algebra.prod_root_tag;
+        Condition.tag_eq 1 ltag;
+        Condition.tag_eq 2 lleaf;
+        Condition.tag_eq 3 rtag;
+        Condition.tag_eq 4 rleaf;
+        Condition.Cmp (Condition.Content 2, Condition.Eq, Condition.Content 4);
+      ]
+  in
+  (v root condition, [ 1; 3 ])
+
+let title_self_join () =
+  equi_join_pattern ~ltag:"inproceedings" ~lleaf:"title" ~rtag:"inproceedings"
+    ~rleaf:"title" ()
+
 let fig16b () =
   B.print_header "Figure 16(b): join scalability -- time vs total data size";
   let pattern, sl = Workload.join_query () in
@@ -435,6 +463,47 @@ let abl_fuse () =
          [ string_of_int k; string_of_int terms; string_of_int nodes; B.fs t ])
        rows)
 
+let abl_plan () =
+  B.print_header
+    "Ablation: cost-aware planner on vs off (equality join, hash vs nested loop)";
+  let pattern, sl = title_self_join () in
+  let rows =
+    List.map
+      (fun n_papers ->
+        let corpus = Corpus.generate ~seed:71 ~n_papers () in
+        let rendered = Dblp_gen.render ~seed:71 corpus in
+        let coll = collection_of_tree "dblp" rendered.Dblp_gen.tree in
+        let seo =
+          seo_of_docs ~content_tags:[ "booktitle" ] ~eps:2.0
+            [ Doc.of_tree rendered.Dblp_gen.tree ]
+        in
+        let time_of planner =
+          let (results, _), t =
+            B.time_median ~runs:3 (fun () ->
+                Executor.join ~mode:Executor.Tax ~planner seo coll coll
+                  ~pattern ~sl)
+          in
+          (List.length results, t)
+        in
+        let n_naive, naive = time_of false in
+        let n_plan, planned = time_of true in
+        assert (n_naive = n_plan);
+        (n_papers, n_plan, naive, planned))
+      [ 200; 400; 800 ]
+  in
+  emit "abl-plan"
+    ~columns:[ "papers/side"; "results"; "nested loop (s)"; "planned (s)"; "speedup" ]
+    (List.map
+       (fun (n, res, naive, planned) ->
+         [
+           string_of_int n; string_of_int res; B.fs naive; B.fs planned;
+           B.f2 (naive /. planned);
+         ])
+       rows);
+  Printf.printf
+    "\nthe gap widens with size: the nested loop evaluates the cross-condition\n\
+     on every left x right pair, the hash pairing only on key matches\n"
+
 let abl_idx () =
   B.print_header "Ablation: store value indexes on vs off (Figure 16(a) query)";
   let pattern, sl = Workload.scalability_selection () in
@@ -541,13 +610,16 @@ let micro () =
 
 (* A small, fast, deterministic suite over the same kernels as [micro],
    measured as wall-clock medians so runs are comparable across commits.
-   [--quick] records its medians as the baseline artifact (BENCH_2.json
+   [--quick] records its medians as the baseline artifact (BENCH_3.json
    at the repo root); [--check] re-measures and fails the process when
-   any median regressed beyond the tolerance. *)
+   any median regressed beyond the tolerance. BENCH_2.json is the
+   pre-planner baseline, kept so the planner refactor can be gated
+   against it (the gate only iterates baseline entries, so the newer
+   join-eq-* kernels are ignored when checking against it). *)
 module Baseline = Toss_eval.Baseline
 
 let baseline_label = "toss-perf-suite"
-let default_baseline_path = "BENCH_2.json"
+let default_baseline_path = "BENCH_3.json"
 
 let perf_suite ~slowdown () =
   B.print_header "Perf suite (wall-clock medians for the regression gate)";
@@ -570,8 +642,20 @@ let perf_suite ~slowdown () =
     seo_of_docs ~content_tags:[ "booktitle"; "conference" ] ~eps:2.0 join_docs
   in
   let join_pattern, join_sl = Workload.join_query () in
+  (* Planner-sensitive kernel: an equality self-join big enough that the
+     hash pairing visibly beats the all-pairs nested loop. *)
+  let eqj = Corpus.generate ~seed:71 ~n_papers:400 () in
+  let eqd = Dblp_gen.render ~seed:71 eqj in
+  let eq_coll = collection_of_tree "dblp" eqd.Dblp_gen.tree in
+  let eq_seo =
+    seo_of_docs ~content_tags:[ "booktitle" ] ~eps:2.0
+      [ Doc.of_tree eqd.Dblp_gen.tree ]
+  in
+  let eq_pattern, eq_sl = title_self_join () in
   let sea_h = Lexicon.isa_hierarchy (Lexicon.synthetic ~seed:9 ~n_terms:200) in
-  let runs = 5 in
+  (* 11 runs: the sub-millisecond kernels need the extra samples for the
+     median to be stable across invocations. *)
+  let runs = 11 in
   let kernels =
     [
       ("select-toss", fun () ->
@@ -590,6 +674,14 @@ let perf_suite ~slowdown () =
           ignore
             (Executor.join ~mode:Executor.Toss join_seo left right
                ~pattern:join_pattern ~sl:join_sl));
+      ("join-eq-planned", fun () ->
+          ignore
+            (Executor.join ~mode:Executor.Tax eq_seo eq_coll eq_coll
+               ~pattern:eq_pattern ~sl:eq_sl));
+      ("join-eq-naive", fun () ->
+          ignore
+            (Executor.join ~mode:Executor.Tax ~planner:false eq_seo eq_coll
+               eq_coll ~pattern:eq_pattern ~sl:eq_sl));
       ("xpath-eval", fun () ->
           ignore (Collection.eval_string coll "//inproceedings[booktitle='VLDB']/author"));
       ("sea-enhance", fun () ->
@@ -609,7 +701,7 @@ let perf_suite ~slowdown () =
   in
   Baseline.v ~label:baseline_label entries
 
-(* [--quick]: run the suite and record BENCH_2.json (or --out FILE).
+(* [--quick]: run the suite and record BENCH_3.json (or --out FILE).
    [--quick --check]: run the suite, save the current measurements to
    bench_results/ (never clobbering the committed baseline), and exit
    non-zero when the gate fails. [--slowdown F] multiplies the measured
@@ -665,13 +757,14 @@ let experiments =
     ("abl-sea", abl_sea);
     ("abl-fuse", abl_fuse);
     ("abl-idx", abl_idx);
+    ("abl-plan", abl_plan);
     ("micro", micro);
   ]
 
 let usage () =
   Printf.eprintf
     "usage: bench [EXPERIMENT...]\n\
-    \       bench --quick [--out FILE]                 record BENCH_2.json\n\
+    \       bench --quick [--out FILE]                 record BENCH_3.json\n\
     \       bench --quick --check [--baseline FILE]    gate against a baseline\n\
     \            [--tolerance X] [--slowdown F] [--out FILE]\n\
      experiments: %s\n"

@@ -225,8 +225,8 @@ let print_trace oc (stats : Executor.stats) =
   print_phase_table oc stats;
   Printf.fprintf oc "trace:\n%s" (Toss_obs.Span.to_string stats.Executor.trace)
 
-let query files query mode eps show_xpath trace show_stats explain_analyze
-    analyze_json profile slow_ms =
+let query files query mode eps show_xpath explain no_planner trace show_stats
+    explain_analyze analyze_json profile slow_ms =
   (* EXPLAIN ANALYZE implies tracing: the analyzed plan is the span tree
      with its per-operator actuals (and allocation deltas). *)
   if trace || explain_analyze || analyze_json <> None then
@@ -264,6 +264,23 @@ let query files query mode eps show_xpath trace show_stats explain_analyze
               (Toss_core.Explain.to_string
                  (Toss_core.Explain.explain ~mode seo q.Tql.pattern));
           (match q.Tql.target with
+          | Tql.Project _ when explain ->
+              prerr_endline "toss query --explain: SELECT queries only \
+                             (projections bypass the planner)"
+          | Tql.Select sl when explain ->
+              (* EXPLAIN without ANALYZE: build the plan (rewrite +
+                 statistics only) and show it without executing. *)
+              let plan =
+                Toss_core.Planner.plan_select ~mode ~optimize:(not no_planner)
+                  seo coll ~pattern:q.Tql.pattern ~sl
+              in
+              let e =
+                Toss_core.Explain.with_plan
+                  (Toss_core.Explain.explain ~mode seo q.Tql.pattern)
+                  plan
+              in
+              print_string "EXPLAIN\n";
+              print_string (Toss_core.Explain.to_string e)
           | Tql.Project pl ->
               (* Projections run through the in-memory algebra. *)
               let eval =
@@ -277,7 +294,10 @@ let query files query mode eps show_xpath trace show_stats explain_analyze
               Printf.printf "%d result(s)\n" (List.length results);
               List.iter (fun t -> print_string (Printer.to_pretty_string t)) results
           | Tql.Select sl ->
-              let results, stats = Executor.select ~mode seo coll ~pattern:q.Tql.pattern ~sl in
+              let results, stats =
+                Executor.select ~mode ~planner:(not no_planner) seo coll
+                  ~pattern:q.Tql.pattern ~sl
+              in
               Printf.printf "%d result(s) in %.4fs\n" (List.length results)
                 (Executor.total_s stats.Executor.phases);
               List.iter (fun t -> print_string (Printer.to_pretty_string t)) results;
@@ -322,6 +342,19 @@ let query_cmd =
     Arg.(value & flag & info [ "show-xpath" ]
            ~doc:"Print the rewritten XPath queries to stderr.")
   in
+  let explain =
+    Arg.(value & flag & info [ "explain" ]
+           ~doc:"Show the query plan without executing it: the rewritten \
+                 store queries, the physical operator tree with the \
+                 planner's estimated cardinalities, scan order, pruning \
+                 and join strategy.")
+  in
+  let no_planner =
+    Arg.(value & flag & info [ "no-planner" ]
+           ~doc:"Disable cost-based planning: scans run in rewrite order, \
+                 no candidate-document pruning, nested-loop pairing. \
+                 Results are identical; only the work differs.")
+  in
   let trace =
     Arg.(value & flag & info [ "trace" ]
            ~doc:"Print the per-phase breakdown and the nested execution \
@@ -360,8 +393,9 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:"Run a TQL pattern-tree query over one or more documents.")
     Term.(ret
-            (const query $ files $ q $ mode $ eps $ show_xpath $ trace
-             $ show_stats $ explain_analyze $ analyze_json $ profile $ slow_ms))
+            (const query $ files $ q $ mode $ eps $ show_xpath $ explain
+             $ no_planner $ trace $ show_stats $ explain_analyze
+             $ analyze_json $ profile $ slow_ms))
 
 (* ----------------------------- stats ------------------------------ *)
 

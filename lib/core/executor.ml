@@ -1,15 +1,10 @@
-module Pattern = Toss_tax.Pattern
 module Condition = Toss_tax.Condition
-module Embedding = Toss_tax.Embedding
-module Witness = Toss_tax.Witness
-module Algebra = Toss_tax.Algebra
 module Collection = Toss_store.Collection
 module Xpath = Toss_store.Xpath
-module Tree = Toss_xml.Tree
-module Doc = Tree.Doc
 module Metrics = Toss_obs.Metrics
 module Span = Toss_obs.Span
 module Event = Toss_obs.Event
+module Names = Toss_obs.Names
 
 type mode = Rewrite.mode = Tax | Toss
 
@@ -33,7 +28,11 @@ let phases_of_trace trace =
   let dur name =
     match Span.find trace name with Some s -> s.Span.elapsed_s | None -> 0.
   in
-  { rewrite_s = dur "rewrite"; execute_s = dur "execute"; assemble_s = dur "assemble" }
+  {
+    rewrite_s = dur Names.rewrite;
+    execute_s = dur Names.execute;
+    assemble_s = dur Names.assemble;
+  }
 
 let m_selects = Metrics.counter "executor.select.total"
 let m_joins = Metrics.counter "executor.join.total"
@@ -41,12 +40,19 @@ let m_candidates = Metrics.histogram "executor.candidates"
 let m_embeddings = Metrics.histogram "executor.embeddings"
 let m_results = Metrics.histogram "executor.results"
 
-let phase_seconds = Metrics.histogram "executor.phase.seconds"
+(* One labelled series per phase, so the snapshot distinguishes where
+   query time goes instead of pooling all three into one distribution. *)
+let phase_seconds phase =
+  Metrics.histogram ~labels:[ ("phase", phase) ] "executor.phase.seconds"
+
+let ps_rewrite = phase_seconds "rewrite"
+let ps_execute = phase_seconds "execute"
+let ps_assemble = phase_seconds "assemble"
 
 let note_phases p =
-  Metrics.observe phase_seconds p.rewrite_s;
-  Metrics.observe phase_seconds p.execute_s;
-  Metrics.observe phase_seconds p.assemble_s
+  Metrics.observe ps_rewrite p.rewrite_s;
+  Metrics.observe ps_execute p.execute_s;
+  Metrics.observe ps_assemble p.assemble_s
 
 let note_sizes ~candidates ~embeddings ~results =
   Metrics.observe_int m_candidates candidates;
@@ -89,251 +95,67 @@ let event_query_end ~op ~trace ~phases ~stats:(n_candidates, n_embeddings, n_res
           ("elapsed_s", Event.Float (total_s phases));
         ]
 
-(* Set semantics preserving first-occurrence (document) order. *)
-let dedup trees =
-  let seen = Hashtbl.create 64 in
-  List.filter
-    (fun t ->
-      if Hashtbl.mem seen t then false
-      else begin
-        Hashtbl.replace seen t ();
-        true
-      end)
-    trees
+(* Both entry points are thin facades now: phase (i) builds a plan (the
+   planner rewrites the pattern and consults collection statistics),
+   phases (ii)/(iii) are [Plan.run]. [planner:false] executes the same
+   query through a naive plan — rewrite-order scans, no pruning,
+   nested-loop pairing — preserving the pre-planner strategy. *)
 
-(* Fetch candidates for every label; returns a lookup
-   doc_id -> label -> node list, plus the total candidate count. Each
-   label query runs in its own [xpath] span (annotated by the store with
-   rows / index hit counts) and emits an [Xpath_exec] event, so EXPLAIN
-   ANALYZE and the profiler see one operator per store round-trip. *)
-let fetch ~use_index collection queries =
-  let table : (int * int, Doc.node list) Hashtbl.t = Hashtbl.create 64 in
-  let total = ref 0 in
-  List.iter
-    (fun (label, xpath) ->
-      Span.with_ ~meta:[ ("label", string_of_int label) ] "xpath" (fun () ->
-          let t0 = Unix.gettimeofday () in
-          let hits = Collection.eval ~use_index collection xpath in
-          (if Event.active () then
-             Event.emit Event.Xpath_exec
-               ~payload:
-                 [
-                   ("label", Event.Int label);
-                   ("xpath", Event.Str (Xpath.to_string xpath));
-                   ("rows", Event.Int (List.length hits));
-                   ("elapsed_s", Event.Float (Unix.gettimeofday () -. t0));
-                 ]);
-          List.iter
-            (fun (doc_id, node) ->
-              incr total;
-              let key = (doc_id, label) in
-              Hashtbl.replace table key
-                (node :: Option.value ~default:[] (Hashtbl.find_opt table key)))
-            hits))
-    queries;
-  let lookup doc_id label =
-    Some (List.rev (Option.value ~default:[] (Hashtbl.find_opt table (doc_id, label))))
+let finish ~op ~plan (results, (exec : Plan.exec_stats)) trace =
+  let phases = phases_of_trace trace in
+  let n_results = List.length results in
+  note_phases phases;
+  note_sizes ~candidates:exec.Plan.n_candidates ~embeddings:exec.Plan.n_embeddings
+    ~results:n_results;
+  event_query_end ~op ~trace ~phases
+    ~stats:(exec.Plan.n_candidates, exec.Plan.n_embeddings, n_results);
+  let query_strings =
+    List.map (fun (l, q) -> (l, Xpath.to_string q)) (Plan.label_queries plan)
   in
-  (lookup, !total)
+  ( results,
+    {
+      phases;
+      n_candidates = exec.Plan.n_candidates;
+      n_embeddings = exec.Plan.n_embeddings;
+      n_results;
+      queries = query_strings;
+      trace;
+    } )
 
-(* One document's share of phase iii, in its own [embed] span: enumerate
-   embeddings (the embedder annotates the span with its funnel), build
-   witnesses, and emit an [Embed_done] event. *)
-let assemble_doc ~eval ~lookup collection pattern ~sl n_embeddings doc_id =
-  Span.with_ ~meta:[ ("doc", string_of_int doc_id) ] "embed" (fun () ->
-      let doc = Collection.doc collection doc_id in
-      let bindings = Embedding.enumerate ~candidates:(lookup doc_id) ~eval doc pattern in
-      n_embeddings := !n_embeddings + List.length bindings;
-      let witnesses = dedup (List.map (fun b -> Witness.of_binding doc b ~sl) bindings) in
-      Span.annotate [ ("witnesses", string_of_int (List.length witnesses)) ];
-      (if Event.active () then
-         Event.emit Event.Embed_done
-           ~payload:
-             [
-               ("doc", Event.Int doc_id);
-               ("embeddings", Event.Int (List.length bindings));
-               ("witnesses", Event.Int (List.length witnesses));
-             ]);
-      witnesses)
-
-let select ?(mode = Toss) ?(use_index = true) ?max_expansion seo collection ~pattern ~sl =
+let select ?(mode = Toss) ?(use_index = true) ?max_expansion ?(planner = true) seo
+    collection ~pattern ~sl =
   Metrics.incr m_selects;
   event_query_start ~op:"select" ~mode collection;
   let eval = evaluator_of mode seo in
-  let (results, query_strings, n_candidates, n_embeddings), trace =
-    Span.run "executor.select" (fun () ->
-        (* Phase i: rewrite. *)
-        let queries, query_strings =
-          Span.with_ "rewrite" (fun () ->
-              let queries = Rewrite.label_queries ~mode ?max_expansion seo pattern in
-              (queries, List.map (fun (l, q) -> (l, Xpath.to_string q)) queries))
+  let (plan, outcome), trace =
+    Span.run Names.select_root (fun () ->
+        let plan =
+          Span.with_ Names.rewrite (fun () ->
+              Planner.plan_select ~mode ~use_index ?max_expansion
+                ~optimize:planner seo collection ~pattern ~sl)
         in
-        event_rewrite_done ~op:"select" queries;
-        (* Phase ii: execute against the store. *)
-        let lookup, n_candidates =
-          Span.with_ "execute" (fun () -> fetch ~use_index collection queries)
-        in
-        (* Phase iii: assemble witness trees. *)
-        let n_embeddings = ref 0 in
-        let results =
-          Span.with_ "assemble" (fun () ->
-              List.concat_map
-                (assemble_doc ~eval ~lookup collection pattern ~sl n_embeddings)
-                (Collection.doc_ids collection))
-        in
-        (results, query_strings, n_candidates, !n_embeddings))
+        event_rewrite_done ~op:"select" (Plan.label_queries plan);
+        (plan, Plan.run ~use_index ~eval ~coll_of:(fun _ -> collection) plan))
   in
-  let phases = phases_of_trace trace in
-  let n_results = List.length results in
-  note_phases phases;
-  note_sizes ~candidates:n_candidates ~embeddings:n_embeddings ~results:n_results;
-  event_query_end ~op:"select" ~trace ~phases
-    ~stats:(n_candidates, n_embeddings, n_results);
-  ( results,
-    { phases; n_candidates; n_embeddings; n_results; queries = query_strings; trace } )
+  finish ~op:"select" ~plan outcome trace
 
-(* The sub-pattern rooted at a child of the join pattern's root, with the
-   original condition restricted to the conjuncts local to that side. *)
-let side_pattern (pattern : Pattern.t) (child : Pattern.node) =
-  let rec labels_of (n : Pattern.node) =
-    n.Pattern.label :: List.concat_map (fun (_, c) -> labels_of c) n.Pattern.children
-  in
-  let side_labels = labels_of child in
-  let rec top_conjuncts = function
-    | Condition.And (p, q) -> top_conjuncts p @ top_conjuncts q
-    | c -> [ c ]
-  in
-  let local =
-    List.filter
-      (fun conjunct ->
-        let used = Condition.labels_used conjunct in
-        used <> [] && List.for_all (fun l -> List.mem l side_labels) used)
-      (top_conjuncts pattern.Pattern.condition)
-  in
-  (Pattern.v child (Condition.conj local), side_labels)
-
-let join ?(mode = Toss) ?(use_index = true) ?max_expansion seo left_coll right_coll
-    ~pattern ~sl =
+let join ?(mode = Toss) ?(use_index = true) ?max_expansion ?(planner = true) seo
+    left_coll right_coll ~pattern ~sl =
   Metrics.incr m_joins;
   event_query_start ~op:"join" ~mode left_coll;
   let eval = evaluator_of mode seo in
-  let root = pattern.Pattern.root in
-  let (left_kind, left_child), (right_kind, right_child) =
-    match root.Pattern.children with
-    | [ l; r ] -> (l, r)
-    | _ -> invalid_arg "Executor.join: the pattern root must have exactly two children"
+  let coll_of = function
+    | Plan.Left | Plan.Single -> left_coll
+    | Plan.Right -> right_coll
   in
-  let (results, query_strings, n_candidates, n_embeddings), trace =
-    Span.run "executor.join" (fun () ->
-  (* Phase i. *)
-  let (left_pattern, left_labels, right_pattern, right_labels, left_queries,
-       right_queries, query_strings) =
-    Span.with_ "rewrite" (fun () ->
-        let left_pattern, left_labels = side_pattern pattern left_child in
-        let right_pattern, right_labels = side_pattern pattern right_child in
-        let left_queries = Rewrite.label_queries ~mode ?max_expansion seo left_pattern in
-        let right_queries = Rewrite.label_queries ~mode ?max_expansion seo right_pattern in
-        let query_strings =
-          List.map (fun (l, q) -> (l, Xpath.to_string q)) (left_queries @ right_queries)
+  let (plan, outcome), trace =
+    Span.run Names.join_root (fun () ->
+        let plan =
+          Span.with_ Names.rewrite (fun () ->
+              Planner.plan_join ~mode ~use_index ?max_expansion ~optimize:planner
+                seo left_coll right_coll ~pattern ~sl)
         in
-        (left_pattern, left_labels, right_pattern, right_labels, left_queries,
-         right_queries, query_strings))
+        event_rewrite_done ~op:"join" (Plan.label_queries plan);
+        (plan, Plan.run ~use_index ~eval ~coll_of plan))
   in
-  event_rewrite_done ~op:"join" (left_queries @ right_queries);
-  (* Phase ii. *)
-  let (left_lookup, n_left), (right_lookup, n_right) =
-    Span.with_ "execute" (fun () ->
-        ( fetch ~use_index left_coll left_queries,
-          fetch ~use_index right_coll right_queries ))
-  in
-  Span.with_ "assemble" (fun () ->
-  (* Phase iii: embed each side, then pair and check the full condition. *)
-  (* A pc edge from the product root pins the side's root to the document
-     root (the product's direct child); an ad edge lets it match anywhere,
-     as in the paper's Figure 14. *)
-  let embeddings_of side coll lookup (sub_pattern : Pattern.t) kind =
-    let side_root = sub_pattern.Pattern.root.Pattern.label in
-    List.concat_map
-      (fun doc_id ->
-        Span.with_
-          ~meta:[ ("side", side); ("doc", string_of_int doc_id) ]
-          "embed"
-          (fun () ->
-            let doc = Collection.doc coll doc_id in
-            let candidates label =
-              let fetched = lookup doc_id label in
-              match (kind, label = side_root) with
-              | Pattern.Pc, true ->
-                  Some
-                    (List.filter
-                       (Int.equal (Doc.root doc))
-                       (Option.value ~default:[] fetched))
-              | _ -> fetched
-            in
-            let bindings = Embedding.enumerate ~candidates ~eval doc sub_pattern in
-            (if Event.active () then
-               Event.emit Event.Embed_done
-                 ~payload:
-                   [
-                     ("side", Event.Str side);
-                     ("doc", Event.Int doc_id);
-                     ("embeddings", Event.Int (List.length bindings));
-                   ]);
-            List.map (fun b -> (doc, b)) bindings))
-      (Collection.doc_ids coll)
-  in
-  let lefts = embeddings_of "left" left_coll left_lookup left_pattern left_kind in
-  let rights = embeddings_of "right" right_coll right_lookup right_pattern right_kind in
-  (* Conjuncts mentioning the product root (e.g. #0.tag = tax_prod_root)
-     describe the synthetic product node and are dropped; they hold by
-     construction of the result. *)
-  let cross_condition =
-    let rec top_conjuncts = function
-      | Condition.And (p, q) -> top_conjuncts p @ top_conjuncts q
-      | c -> [ c ]
-    in
-    Condition.conj
-      (List.filter
-         (fun c -> not (List.mem root.Pattern.label (Condition.labels_used c)))
-         (top_conjuncts pattern.Pattern.condition))
-  in
-  let sl_left = List.filter (fun l -> List.mem l left_labels) sl in
-  let sl_right = List.filter (fun l -> List.mem l right_labels) sl in
-  let results =
-    List.concat_map
-      (fun (ldoc, lbind) ->
-        List.filter_map
-          (fun (rdoc, rbind) ->
-            let env label =
-              match List.assoc_opt label lbind with
-              | Some n -> Some (ldoc, n)
-              | None -> (
-                  match List.assoc_opt label rbind with
-                  | Some n -> Some (rdoc, n)
-                  | None -> None)
-            in
-            if eval env cross_condition then
-              Some
-                (Tree.element Algebra.prod_root_tag
-                   [
-                     Witness.of_binding ldoc lbind ~sl:sl_left;
-                     Witness.of_binding rdoc rbind ~sl:sl_right;
-                   ])
-            else None)
-          rights)
-      lefts
-    |> dedup
-  in
-  ( results,
-    query_strings,
-    n_left + n_right,
-    List.length lefts + List.length rights )))
-  in
-  let phases = phases_of_trace trace in
-  let n_results = List.length results in
-  note_phases phases;
-  note_sizes ~candidates:n_candidates ~embeddings:n_embeddings ~results:n_results;
-  event_query_end ~op:"join" ~trace ~phases
-    ~stats:(n_candidates, n_embeddings, n_results);
-  ( results,
-    { phases; n_candidates; n_embeddings; n_results; queries = query_strings; trace } )
+  finish ~op:"join" ~plan outcome trace

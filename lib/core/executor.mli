@@ -7,12 +7,22 @@
     (re-checking the full selection condition). The [mode] selects the
     baseline TAX semantics or the ontology-aware TOSS semantics; both run
     the same pipeline, so measured differences reflect the ontology
-    accesses, as in the paper. *)
+    accesses, as in the paper.
+
+    Both entry points are facades over {!Planner.plan_select} /
+    {!Planner.plan_join} followed by {!Plan.run}: phase (i) builds the
+    physical plan (scan ordering, document pruning, and the join pairing
+    strategy are decided here from collection statistics), phases (ii)
+    and (iii) interpret it. [planner:false] runs the same query through
+    a deliberately naive plan — rewrite-order scans, no pruning,
+    nested-loop pairing — which is the pre-planner execution strategy
+    and the CLI's [--no-planner]; results are identical either way, only
+    the work to produce them changes. *)
 
 type mode = Rewrite.mode = Tax | Toss
 
 type phases = {
-  rewrite_s : float;  (** phase (i) seconds *)
+  rewrite_s : float;  (** phase (i) seconds, including planning *)
   execute_s : float;  (** phase (ii) seconds *)
   assemble_s : float;  (** phase (iii) seconds *)
 }
@@ -22,21 +32,26 @@ type stats = {
   n_candidates : int;  (** candidate nodes fetched across labels *)
   n_embeddings : int;  (** pattern embeddings found during assembly *)
   n_results : int;  (** witness trees returned (after deduplication) *)
-  queries : (int * string) list;  (** label -> XPath sent to the store *)
+  queries : (int * string) list;
+      (** label -> XPath sent to the store, in scan (execution) order —
+          most-selective-first when the planner is on *)
   trace : Toss_obs.Span.t;
       (** the full span tree of this run; [phases] is a view over its
           [rewrite]/[execute]/[assemble] children, so the two always
           agree. Under [execute] there is one [xpath] span per label
           query (annotated with [rows]/[indexed]/[scanned] by the store)
-          and under [assemble] one [embed] span per document (annotated
-          with the enumeration funnel) — the operators EXPLAIN ANALYZE
+          and under [assemble] a [prune] span per pruned side
+          (planner only, annotated [docs_in]/[docs_out]), one [embed]
+          span per surviving document (annotated with the enumeration
+          funnel) and, for joins, a [pair] span (annotated with the
+          [strategy] and pair counts) — the operators EXPLAIN ANALYZE
           renders. Allocation deltas are populated when
           [Toss_obs.Span.set_enabled true] was called beforehand.
 
           When a [Toss_obs.Event] sink is installed, a run additionally
           emits the event stream [query_start], [rewrite_done], one
-          [xpath_exec] per label query, one [embed_done] per document,
-          and [query_end] (carrying this trace). *)
+          [xpath_exec] per label query, one [embed_done] per surviving
+          document, and [query_end] (carrying this trace). *)
 }
 
 val total_s : phases -> float
@@ -47,17 +62,21 @@ val select :
   ?mode:mode ->
   ?use_index:bool ->
   ?max_expansion:int ->
+  ?planner:bool ->
   Seo.t ->
   Toss_store.Collection.t ->
   pattern:Toss_tax.Pattern.t ->
   sl:int list ->
   Toss_xml.Tree.t list * stats
-(** [σ_{P,SL}] over every document of the collection. *)
+(** [σ_{P,SL}] over every document of the collection. [planner]
+    (default true) enables cost-based scan ordering and candidate-doc
+    pruning. *)
 
 val join :
   ?mode:mode ->
   ?use_index:bool ->
   ?max_expansion:int ->
+  ?planner:bool ->
   Seo.t ->
   Toss_store.Collection.t ->
   Toss_store.Collection.t ->
@@ -70,4 +89,6 @@ val join :
     root itself stands for the product node and is not matched against
     either store. An ad edge from the root lets the side match anywhere in
     a document; a pc edge pins it to the document root. Cross-collection
-    atoms are evaluated during assembly. *)
+    atoms are evaluated during assembly; with [planner] on, equality
+    atoms split across the sides are used to hash-partition the pairing
+    (the full condition is still re-checked on key matches). *)

@@ -9,6 +9,7 @@ type t = {
   label_queries : (int * string) list;
   expansions : expansion list;
   residual_atoms : string list;
+  plan : Plan.t option;
   trace : Toss_obs.Span.t option;
 }
 
@@ -30,11 +31,11 @@ let expansions_of ~mode seo (pattern : Pattern.t) =
       (fun atom ->
         match atom with
         | Condition.Sim (_, Condition.Str s) | Condition.Sim (Condition.Str s, _) ->
-            Some { operator = "~"; constant = s; terms = Seo.similar_terms seo s }
+            Some { operator = "~"; constant = s; terms = Rewrite.similar_terms seo s }
         | Condition.Isa (_, Condition.Str s) | Condition.Below (_, Condition.Str s) ->
-            Some { operator = "isa"; constant = s; terms = Seo.isa_below seo s }
+            Some { operator = "isa"; constant = s; terms = Rewrite.isa_below seo s }
         | Condition.Part_of (_, Condition.Str s) ->
-            Some { operator = "part_of"; constant = s; terms = Seo.part_below seo s }
+            Some { operator = "part_of"; constant = s; terms = Rewrite.part_below seo s }
         | _ -> None)
       (Condition.atoms pattern.Pattern.condition)
 
@@ -45,10 +46,12 @@ let explain ?(mode = Rewrite.Toss) ?max_expansion seo pattern =
     label_queries = List.map (fun (l, q) -> (l, Xpath.to_string q)) queries;
     expansions = expansions_of ~mode seo pattern;
     residual_atoms = List.map atom_to_string (residual_atoms_of pattern);
+    plan = None;
     trace = None;
   }
 
 let with_trace t trace = { t with trace = Some trace }
+let with_plan t plan = { t with plan = Some plan }
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>mode: %s@,"
@@ -69,6 +72,13 @@ let pp ppf t =
     Format.fprintf ppf "re-checked during assembly:@,";
     List.iter (fun a -> Format.fprintf ppf "  %s@," a) t.residual_atoms
   end;
+  (match t.plan with
+  | None -> ()
+  | Some plan ->
+      Format.fprintf ppf "physical plan:@,";
+      List.iter
+        (fun l -> Format.fprintf ppf "  %s@," l)
+        (String.split_on_char '\n' (Plan.to_string plan)));
   (match t.trace with
   | None -> ()
   | Some trace ->
@@ -110,10 +120,15 @@ let to_json t =
       t.expansions
   in
   Printf.sprintf
-    "{\"mode\":%s,\"label_queries\":%s,\"expansions\":%s,\"residual_atoms\":%s%s}"
+    "{\"mode\":%s,\"label_queries\":%s,\"expansions\":%s,\"residual_atoms\":%s%s%s}"
     (str (match t.mode with Rewrite.Tax -> "tax" | Rewrite.Toss -> "toss"))
     (arr queries) (arr expansions)
     (arr (List.map str t.residual_atoms))
+    (match t.plan with
+    | None -> ""
+    | Some plan ->
+        ",\"plan\":"
+        ^ arr (List.map str (String.split_on_char '\n' (Plan.to_string plan))))
     (match t.trace with
     | None -> ""
     | Some trace -> ",\"trace\":" ^ Toss_obs.Span.to_json trace)

@@ -19,6 +19,10 @@ type t = {
   expansions : expansion list;
   residual_atoms : string list;
       (** atoms re-checked during assembly (cross-label or unpushable) *)
+  plan : Plan.t option;
+      (** the physical plan, when attached via {!with_plan} — scan
+          order with estimated cardinalities, pruning, and the join
+          pairing strategy; [None] for a rewrite-only explanation *)
   trace : Toss_obs.Span.t option;
       (** the execution trace, when the plan was paired with a run via
           {!with_trace}; [None] for a purely static plan *)
@@ -26,6 +30,12 @@ type t = {
 
 val explain : ?mode:Rewrite.mode -> ?max_expansion:int -> Seo.t -> Toss_tax.Pattern.t -> t
 (** The static plan for a pattern under the given SEO (no query is run). *)
+
+val with_plan : t -> Plan.t -> t
+(** Attaches a physical plan (from {!Planner.plan_select} /
+    {!Planner.plan_join}) so {!pp} and {!to_json} also render the
+    operator tree with its estimated cardinalities — the CLI's
+    [--explain], which shows the plan {e without} executing it. *)
 
 val with_trace : t -> Toss_obs.Span.t -> t
 (** Attaches an execution trace (e.g. [stats.trace] from

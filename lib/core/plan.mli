@@ -1,0 +1,101 @@
+(** Logical query plans and their physical operators.
+
+    The planner ({!Planner}) compiles a pattern-tree query into this IR;
+    {!run} interprets it. Splitting the two keeps the executor's
+    three-phase contract — the plan is built during the [rewrite] phase,
+    and {!run} produces exactly one [execute] span (all label scans) and
+    one [assemble] span (pruning, embedding, pairing, deduplication), so
+    {!Executor.stats.phases} remains a faithful view over the trace.
+
+    A plan is a small operator tree:
+
+    - [Label_scan] — one XPath query sent to the store for one pattern
+      label, carrying the planner's cardinality estimate;
+    - [Candidate_filter] — the set of scans feeding one side's
+      candidate tables, in execution order;
+    - [Doc_prune] — drop documents that lack candidates for a required
+      label (an embedding needs every label, so such documents cannot
+      contribute results);
+    - [Embed] — enumerate pattern embeddings per surviving document;
+    - [Nested_loop_pair] / [Hash_pair] — combine the two sides of a
+      join, checking the cross condition on every pair or only on
+      hash-partitioned key matches;
+    - [Dedup] — global set semantics over the paired results.
+
+    Plans are pure data: rendering one ({!pp}) performs no store access,
+    which is what the CLI's [--explain] shows before running anything. *)
+
+type scan = {
+  scan_label : int;  (** the pattern label this scan fetches *)
+  xpath : Toss_store.Xpath.t;
+  est_rows : int option;
+      (** planner estimate from {!Toss_store.Collection.estimate_rows};
+          [None] when planning with [optimize:false] (no statistics are
+          consulted) *)
+}
+
+type side = Single | Left | Right
+(** Which candidate table an operator reads: [Single] for selections,
+    [Left]/[Right] for the two collections of a join. *)
+
+type embed_spec = {
+  side : side;
+  sub_pattern : Toss_tax.Pattern.t;
+  sub_sl : int list;  (** the SL labels that fall on this side *)
+  pin_root : bool;
+      (** pin the sub-pattern root to the document root (a pc edge from
+          the join product root, as in the paper's Figure 14) *)
+}
+
+type node =
+  | Label_scan of scan
+  | Candidate_filter of { side : side; scans : node list }
+      (** [scans] are [Label_scan] nodes, in execution order *)
+  | Doc_prune of { required : int list; input : node }
+  | Embed of { spec : embed_spec; input : node }
+  | Nested_loop_pair of {
+      cross_condition : Toss_tax.Condition.t;
+      left : node;
+      right : node;
+    }
+  | Hash_pair of {
+      keys : (Toss_tax.Condition.term * Toss_tax.Condition.term) list;
+          (** equality atoms split across the sides: (left term, right
+              term) pairs used to partition; the full [cross_condition]
+              is still re-checked on every key match, so the operator is
+              an optimization, never a semantic change *)
+      cross_condition : Toss_tax.Condition.t;
+      left : node;
+      right : node;
+    }
+  | Dedup of node
+
+type t = { mode : Rewrite.mode; root : node }
+
+val scans : t -> scan list
+(** Every [Label_scan] in the plan, left to right (execution order). *)
+
+val label_queries : t -> (int * Toss_store.Xpath.t) list
+(** [scans] as (label, query) pairs — what reaches the store. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders the operator tree with estimated cardinalities — the CLI's
+    [--explain]. Deterministic; performs no store access. *)
+
+val to_string : t -> string
+
+(** {1 Execution} *)
+
+type exec_stats = { n_candidates : int; n_embeddings : int }
+
+val run :
+  ?use_index:bool ->
+  eval:(Toss_tax.Condition.env -> Toss_tax.Condition.t -> bool) ->
+  coll_of:(side -> Toss_store.Collection.t) ->
+  t ->
+  Toss_xml.Tree.t list * exec_stats
+(** Interprets the plan: one [execute] span containing an [xpath] span
+    (and [Xpath_exec] event) per scan, then one [assemble] span
+    containing the [prune], per-document [embed] and (for joins) [pair]
+    spans. Must be called inside an executor root span for the trace to
+    be observable; works standalone too (spans become no-ops). *)

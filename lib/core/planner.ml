@@ -1,0 +1,154 @@
+module Pattern = Toss_tax.Pattern
+module Condition = Toss_tax.Condition
+module Collection = Toss_store.Collection
+module Metrics = Toss_obs.Metrics
+
+let m_plans = Metrics.counter "planner.plans"
+let m_hash_joins = Metrics.counter "planner.joins.hash"
+let m_nested_joins = Metrics.counter "planner.joins.nested_loop"
+
+(* Scans for one side's label queries: estimated through the collection
+   statistics and ordered most-selective-first under [optimize], left in
+   rewrite (pattern preorder) order otherwise. The sort is stable, so
+   equally-selective scans keep their rewrite order. *)
+let scans_of ~optimize ~use_index coll queries =
+  let scans =
+    List.map
+      (fun (label, xpath) ->
+        let est_rows =
+          if optimize then
+            Some (Collection.estimate_rows ~value_index:use_index coll xpath)
+          else None
+        in
+        { Plan.scan_label = label; xpath; est_rows })
+      queries
+  in
+  if optimize then
+    List.stable_sort
+      (fun a b ->
+        compare
+          (Option.value ~default:max_int a.Plan.est_rows)
+          (Option.value ~default:max_int b.Plan.est_rows))
+      scans
+  else scans
+
+let filter_of ~optimize ~use_index coll ~side ~required queries =
+  let scans = scans_of ~optimize ~use_index coll queries in
+  let filter =
+    Plan.Candidate_filter
+      { side; scans = List.map (fun s -> Plan.Label_scan s) scans }
+  in
+  if optimize then Plan.Doc_prune { required; input = filter } else filter
+
+let plan_select ?(mode = Rewrite.Toss) ?(use_index = true) ?max_expansion
+    ?(optimize = true) seo coll ~pattern ~sl =
+  Metrics.incr m_plans;
+  let queries = Rewrite.label_queries ~mode ?max_expansion seo pattern in
+  let input =
+    filter_of ~optimize ~use_index coll ~side:Plan.Single
+      ~required:(Pattern.labels pattern) queries
+  in
+  let spec =
+    { Plan.side = Plan.Single; sub_pattern = pattern; sub_sl = sl; pin_root = false }
+  in
+  { Plan.mode; root = Plan.Embed { spec; input } }
+
+(* The sub-pattern rooted at a child of the join pattern's root, with the
+   original condition restricted to the conjuncts local to that side. *)
+let rec top_conjuncts = function
+  | Condition.And (p, q) -> top_conjuncts p @ top_conjuncts q
+  | c -> [ c ]
+
+let side_pattern (pattern : Pattern.t) (child : Pattern.node) =
+  let rec labels_of (n : Pattern.node) =
+    n.Pattern.label :: List.concat_map (fun (_, c) -> labels_of c) n.Pattern.children
+  in
+  let side_labels = labels_of child in
+  let local =
+    List.filter
+      (fun conjunct ->
+        let used = Condition.labels_used conjunct in
+        used <> [] && List.for_all (fun l -> List.mem l side_labels) used)
+      (top_conjuncts pattern.Pattern.condition)
+  in
+  (Pattern.v child (Condition.conj local), side_labels)
+
+(* Conjuncts mentioning the product root (e.g. #0.tag = tax_prod_root)
+   describe the synthetic product node and are dropped; they hold by
+   construction of the result. *)
+let cross_condition_of (pattern : Pattern.t) =
+  let root_label = pattern.Pattern.root.Pattern.label in
+  Condition.conj
+    (List.filter
+       (fun c -> not (List.mem root_label (Condition.labels_used c)))
+       (top_conjuncts pattern.Pattern.condition))
+
+let term_label = function
+  | Condition.Tag l | Condition.Content l -> Some l
+  | Condition.Str _ -> None
+
+(* Top-level equality conjuncts with one term on each side become hash
+   partition keys, normalized to (left term, right term). Because each
+   is a top-level conjunct of the cross condition, a key mismatch
+   implies the condition is false — partitioning only skips pairs the
+   nested loop would reject. *)
+let hash_keys ~left_labels ~right_labels cross_condition =
+  List.filter_map
+    (function
+      | Condition.Cmp (a, Condition.Eq, b) -> (
+          match (term_label a, term_label b) with
+          | Some la, Some lb
+            when List.mem la left_labels && List.mem lb right_labels ->
+              Some (a, b)
+          | Some la, Some lb
+            when List.mem la right_labels && List.mem lb left_labels ->
+              Some (b, a)
+          | _ -> None)
+      | _ -> None)
+    (top_conjuncts cross_condition)
+
+let plan_join ?(mode = Rewrite.Toss) ?(use_index = true) ?max_expansion
+    ?(optimize = true) seo left_coll right_coll ~pattern ~sl =
+  Metrics.incr m_plans;
+  let root = pattern.Pattern.root in
+  let (left_kind, left_child), (right_kind, right_child) =
+    match root.Pattern.children with
+    | [ l; r ] -> (l, r)
+    | _ -> invalid_arg "Executor.join: the pattern root must have exactly two children"
+  in
+  let left_pattern, left_labels = side_pattern pattern left_child in
+  let right_pattern, right_labels = side_pattern pattern right_child in
+  let branch side coll kind sub_pattern labels =
+    let queries = Rewrite.label_queries ~mode ?max_expansion seo sub_pattern in
+    let input =
+      filter_of ~optimize ~use_index coll ~side
+        ~required:(Pattern.labels sub_pattern) queries
+    in
+    let spec =
+      {
+        Plan.side;
+        sub_pattern;
+        sub_sl = List.filter (fun l -> List.mem l labels) sl;
+        pin_root = kind = Pattern.Pc;
+      }
+    in
+    Plan.Embed { spec; input }
+  in
+  let left = branch Plan.Left left_coll left_kind left_pattern left_labels in
+  let right = branch Plan.Right right_coll right_kind right_pattern right_labels in
+  let cross_condition = cross_condition_of pattern in
+  let keys =
+    if optimize then hash_keys ~left_labels ~right_labels cross_condition
+    else []
+  in
+  let pairing =
+    if keys <> [] then begin
+      Metrics.incr m_hash_joins;
+      Plan.Hash_pair { keys; cross_condition; left; right }
+    end
+    else begin
+      Metrics.incr m_nested_joins;
+      Plan.Nested_loop_pair { cross_condition; left; right }
+    end
+  in
+  { Plan.mode; root = Plan.Dedup pairing }

@@ -1,0 +1,50 @@
+(** Cost-aware compilation of pattern trees into {!Plan} operator trees.
+
+    The planner runs during the executor's [rewrite] phase: it rewrites
+    the pattern into per-label XPath queries (through {!Rewrite}), then
+    uses the collection's per-term statistics
+    ({!Toss_store.Collection.estimate_rows}) to shape the physical plan:
+
+    - label scans are ordered most-selective-first, so the candidate
+      tables that prune hardest are populated cheapest-first;
+    - a [Doc_prune] operator drops documents lacking candidates for any
+      required label before embedding (an embedding binds every label,
+      so those documents cannot contribute);
+    - join cross-conditions whose top-level conjuncts include an
+      equality split across the two sides are lowered to [Hash_pair]
+      (hash-partitioned pairing with a full recheck on key matches);
+      anything else falls back to [Nested_loop_pair].
+
+    With [optimize:false] the same IR is produced but naively — rewrite
+    order, no statistics, no pruning, nested-loop pairing — which is the
+    CLI's [--no-planner]: the legacy execution strategy expressed in the
+    new engine, used as the equivalence baseline. *)
+
+val plan_select :
+  ?mode:Rewrite.mode ->
+  ?use_index:bool ->
+  ?max_expansion:int ->
+  ?optimize:bool ->
+  Seo.t ->
+  Toss_store.Collection.t ->
+  pattern:Toss_tax.Pattern.t ->
+  sl:int list ->
+  Plan.t
+(** The plan for [σ_{P,SL}] over the collection. [use_index] (default
+    true) gates the per-value statistics refinement so planning never
+    forces an index build the execution itself would not perform. *)
+
+val plan_join :
+  ?mode:Rewrite.mode ->
+  ?use_index:bool ->
+  ?max_expansion:int ->
+  ?optimize:bool ->
+  Seo.t ->
+  Toss_store.Collection.t ->
+  Toss_store.Collection.t ->
+  pattern:Toss_tax.Pattern.t ->
+  sl:int list ->
+  Plan.t
+(** The plan for a condition join. The pattern's root must have exactly
+    two children (the left and right sub-patterns); raises
+    [Invalid_argument] otherwise, as {!Executor.join} always has. *)

@@ -16,6 +16,40 @@ let m_degraded = Metrics.counter "rewrite.degraded"
 let m_seo_dependent = Metrics.counter "rewrite.queries.seo_dependent"
 let m_cacheable = Metrics.counter "rewrite.queries.seo_independent"
 
+(* Memoized SEO expansions, shared across label queries: one pattern
+   typically consults the same constant several times (tag options,
+   content predicates, both sides of a join, the explainer), and the
+   expansions walk the ontology hierarchies each time. The cache is keyed
+   on the physical SEO value — a rebuilt ontology is a new value and
+   invalidates it wholesale — and holds a strong reference to the last
+   SEO used, which is by design: the SEO is the long-lived precomputed
+   artifact of the TOSS architecture. *)
+let m_cache_hits = Metrics.counter "rewrite.cache.hits"
+let m_cache_misses = Metrics.counter "rewrite.cache.misses"
+
+let expansion_cache : (string * string, string list) Hashtbl.t = Hashtbl.create 64
+let cache_owner : Seo.t option ref = ref None
+
+let cached_expansion seo ~op ~constant compute =
+  (match !cache_owner with
+  | Some owner when owner == seo -> ()
+  | _ ->
+      Hashtbl.reset expansion_cache;
+      cache_owner := Some seo);
+  match Hashtbl.find_opt expansion_cache (op, constant) with
+  | Some terms ->
+      Metrics.incr m_cache_hits;
+      terms
+  | None ->
+      Metrics.incr m_cache_misses;
+      let terms = compute seo constant in
+      Hashtbl.replace expansion_cache (op, constant) terms;
+      terms
+
+let similar_terms seo s = cached_expansion seo ~op:"~" ~constant:s Seo.similar_terms
+let isa_below seo s = cached_expansion seo ~op:"isa" ~constant:s Seo.isa_below
+let part_below seo s = cached_expansion seo ~op:"part_of" ~constant:s Seo.part_below
+
 let atom_consults_seo = function
   | Condition.Sim _ | Condition.Isa _ | Condition.Below _ | Condition.Above _
   | Condition.Part_of _ | Condition.Instance_of _ | Condition.Subtype_of _ ->
@@ -37,10 +71,10 @@ let tag_options ~mode ~max_expansion seo atoms =
           constrain acc [ s ]
       | Condition.Isa (Condition.Tag _, Condition.Str s), Toss
       | Condition.Below (Condition.Tag _, Condition.Str s), Toss ->
-          let below = Seo.isa_below seo s in
+          let below = isa_below seo s in
           if List.length below <= max_expansion then constrain acc below else acc
       | Condition.Part_of (Condition.Tag _, Condition.Str s), Toss ->
-          let below = Seo.part_below seo s in
+          let below = part_below seo s in
           if List.length below <= max_expansion then constrain acc below else acc
       | _ -> acc)
     None atoms
@@ -73,7 +107,7 @@ let content_predicates ~mode ~max_expansion seo atoms =
              otherwise the evaluator's direct-distance fallback must see
              unrestricted candidates. *)
           if Seo.knows_term seo s then begin
-            let terms = Seo.similar_terms seo s in
+            let terms = similar_terms seo s in
             if List.length terms <= max_expansion then eq_disjunction terms else None
           end
           else None
@@ -82,10 +116,10 @@ let content_predicates ~mode ~max_expansion seo atoms =
           Some (Xpath.Content_contains s)
       | Condition.Isa (Condition.Content _, Condition.Str s), Toss
       | Condition.Below (Condition.Content _, Condition.Str s), Toss ->
-          let terms = Seo.isa_below seo s in
+          let terms = isa_below seo s in
           if List.length terms <= max_expansion then eq_disjunction terms else None
       | Condition.Part_of (Condition.Content _, Condition.Str s), Toss ->
-          let terms = Seo.part_below seo s in
+          let terms = part_below seo s in
           if List.length terms <= max_expansion then eq_disjunction terms else None
       | _ -> None)
     atoms
@@ -184,12 +218,12 @@ let rec expand_condition seo c =
       (List.map (fun v -> Condition.Cmp (term, Condition.Eq, Condition.Str v)) values)
   in
   match c with
-  | Condition.Sim (x, Condition.Str s) -> eq_disj x (Seo.similar_terms seo s)
-  | Condition.Sim (Condition.Str s, x) -> eq_disj x (Seo.similar_terms seo s)
+  | Condition.Sim (x, Condition.Str s) -> eq_disj x (similar_terms seo s)
+  | Condition.Sim (Condition.Str s, x) -> eq_disj x (similar_terms seo s)
   | Condition.Isa (x, Condition.Str s) | Condition.Below (x, Condition.Str s) ->
-      eq_disj x (Seo.isa_below seo s)
-  | Condition.Part_of (x, Condition.Str s) -> eq_disj x (Seo.part_below seo s)
-  | Condition.Above (Condition.Str s, x) -> eq_disj x (Seo.isa_below seo s)
+      eq_disj x (isa_below seo s)
+  | Condition.Part_of (x, Condition.Str s) -> eq_disj x (part_below seo s)
+  | Condition.Above (Condition.Str s, x) -> eq_disj x (isa_below seo s)
   | Condition.And (p, q) -> Condition.And (expand_condition seo p, expand_condition seo q)
   | Condition.Or (p, q) -> Condition.Or (expand_condition seo p, expand_condition seo q)
   | Condition.Not p -> Condition.Not (expand_condition seo p)

@@ -29,6 +29,24 @@ val label_queries :
     caps the size of ontology expansions pushed into a predicate or name
     test; larger expansions degrade to unconstrained steps. *)
 
+(** {1 Memoized SEO expansions}
+
+    The raw {!Seo} expansion walks are memoized per (operator, constant)
+    pair: one pattern typically consults the same constant several times
+    (tag options, content predicates, both join sides, the explainer).
+    The cache is keyed on the physical SEO value, so rebuilding the
+    ontology invalidates it wholesale. All rewriting goes through these;
+    other layers (e.g. {!Explain}) should too. *)
+
+val similar_terms : Seo.t -> string -> string list
+(** Memoized {!Seo.similar_terms}. *)
+
+val isa_below : Seo.t -> string -> string list
+(** Memoized {!Seo.isa_below}. *)
+
+val part_below : Seo.t -> string -> string list
+(** Memoized {!Seo.part_below}. *)
+
 val expand_condition : Seo.t -> Toss_tax.Condition.t -> Toss_tax.Condition.t
 (** The condition with every [~] and [isa]-family atom over a constant
     replaced by the equivalent disjunction of exact atoms — what

@@ -44,6 +44,15 @@ val annotate : (string * string) list -> unit
     [embed] span with candidate counts — which is what the CLI's
     [--explain-analyze] tree renders. *)
 
+val timed : ?meta:(string * string) list -> string -> (unit -> 'a) -> 'a * t
+(** Like {!with_}, but also returns the finished span — still attached as
+    a child of any enclosing span (unlike {!run}, which detaches). Lets an
+    instrumented call site reuse the span's measured [elapsed_s] instead
+    of reading the clock again: the executor's [Xpath_exec] event reports
+    exactly the enclosing [xpath] span's duration, so the event log and
+    EXPLAIN ANALYZE cannot disagree about how long a store round-trip
+    took. *)
+
 val run : ?meta:(string * string) list -> string -> (unit -> 'a) -> 'a * t
 (** Like {!with_}, but also returns the finished span — how the executor
     obtains the trace it exposes in its statistics. [run] always starts a

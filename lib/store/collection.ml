@@ -21,12 +21,21 @@ type t = {
   mutable entries : entry array;
   mutable count : int;
   mutable total_bytes : int;
+  mutable tag_stats : (string, int * int) Hashtbl.t option;
+      (* tag -> (nodes, docs); rebuilt lazily, dropped on insertion *)
 }
 
 exception Collection_full of { name : string; limit : int }
 
 let create ?max_bytes name =
-  { coll_name = name; max_bytes; entries = [||]; count = 0; total_bytes = 0 }
+  {
+    coll_name = name;
+    max_bytes;
+    entries = [||];
+    count = 0;
+    total_bytes = 0;
+    tag_stats = None;
+  }
 
 let name t = t.coll_name
 
@@ -46,6 +55,7 @@ let add_document t tree =
   t.entries.(t.count) <- entry;
   t.count <- t.count + 1;
   t.total_bytes <- t.total_bytes + bytes;
+  t.tag_stats <- None;
   Metrics.incr m_docs;
   t.count - 1
 
@@ -165,6 +175,83 @@ let eval ?(use_index = true) t xpath =
   !results
 
 let eval_string ?use_index t s = eval ?use_index t (Xpath_parser.parse_exn s)
+
+(* ------------------------- statistics ----------------------------- *)
+
+(* Per-tag node and document counts across the collection, built lazily
+   from the frozen documents' tag tables and dropped on insertion. This
+   is the planner's selectivity source: cheap enough to rebuild on
+   demand, exact for the leading [//tag] step of a rewritten query. *)
+let tag_table t =
+  match t.tag_stats with
+  | Some table -> table
+  | None ->
+      let table = Hashtbl.create 64 in
+      for id = 0 to t.count - 1 do
+        let d = t.entries.(id).frozen in
+        List.iter
+          (fun tag ->
+            let n = List.length (Doc.by_tag d tag) in
+            let nodes, docs =
+              Option.value ~default:(0, 0) (Hashtbl.find_opt table tag)
+            in
+            Hashtbl.replace table tag (nodes + n, docs + 1))
+          (Doc.tags d)
+      done;
+      t.tag_stats <- Some table;
+      table
+
+let tag_count t tag =
+  match Hashtbl.find_opt (tag_table t) tag with
+  | Some (nodes, _) -> nodes
+  | None -> 0
+
+let docs_with_tag t tag =
+  match Hashtbl.find_opt (tag_table t) tag with
+  | Some (_, docs) -> docs
+  | None -> 0
+
+let eq_count t ~tag ~value =
+  let total = ref 0 in
+  for id = 0 to t.count - 1 do
+    total :=
+      !total + Index.eq_count (Lazy.force t.entries.(id).idx) ~tag ~value
+  done;
+  !total
+
+(* Estimated result cardinality of a query: per union path, the matches
+   of the {e last} step (which determines the result arity), refined by
+   its exact-content predicates through the value indexes. An estimate,
+   not a bound — intermediate steps are ignored — but exact for the
+   common rewritten shapes [//tag] and [//a/b[.='v' or ...]], which is
+   what the planner orders label scans by. [value_index:false] skips the
+   per-value refinement (and so never forces a lazy index build). *)
+let estimate_rows ?(value_index = true) t xpath =
+  let total_nodes = n_nodes t in
+  let rec est_pred ~tag base = function
+    | Xpath.Content_eq v -> (
+        match tag with
+        | Some tg when value_index -> min base (eq_count t ~tag:tg ~value:v)
+        | _ -> base)
+    | Xpath.And (p, q) -> min (est_pred ~tag base p) (est_pred ~tag base q)
+    | Xpath.Or (p, q) -> min base (est_pred ~tag base p + est_pred ~tag base q)
+    | Xpath.Position _ -> min base t.count
+    | _ -> base
+  in
+  let est_path path =
+    match List.rev path with
+    | [] -> 0
+    | (last : Xpath.step) :: _ ->
+        let base, tag =
+          match last.Xpath.test with
+          | Xpath.Tag tg -> (tag_count t tg, Some tg)
+          | Xpath.Any -> (total_nodes, None)
+        in
+        List.fold_left
+          (fun acc p -> min acc (est_pred ~tag base p))
+          base last.Xpath.predicates
+  in
+  min total_nodes (List.fold_left (fun acc path -> acc + est_path path) 0 xpath)
 
 let eq_lookup t ~tag ~value =
   List.concat

@@ -58,5 +58,32 @@ val eval_string : ?use_index:bool -> t -> string -> (doc_id * Toss_xml.Tree.Doc.
 val eq_lookup : t -> tag:string -> value:string -> (doc_id * Toss_xml.Tree.Doc.node) list
 (** Indexed exact-content lookup across all documents. *)
 
+(** {1 Statistics}
+
+    Per-term statistics backing the planner's selectivity estimates.
+    Tag counts are cached per collection (rebuilt lazily after an
+    insertion); value counts read the per-document indexes without
+    touching the lookup/hit metrics. *)
+
+val tag_count : t -> string -> int
+(** Elements with the given tag, summed across all documents. *)
+
+val docs_with_tag : t -> string -> int
+(** Documents containing at least one element with the given tag. *)
+
+val eq_count : t -> tag:string -> value:string -> int
+(** Leaf elements with the given tag and exact content, summed across
+    all documents (forces the lazy per-document indexes). *)
+
+val estimate_rows : ?value_index:bool -> t -> Xpath.t -> int
+(** Estimated result cardinality of the query: per union path, the
+    number of elements matching the last step's name test, refined by
+    its exact-content predicates through the value indexes ([Or] sums,
+    [And] takes the minimum), capped at {!n_nodes}. Exact for the common
+    rewritten shapes [//tag] and [//a/b[.='v' or ...]]; an estimate
+    otherwise (intermediate steps are ignored). With
+    [value_index:false] the per-value refinement is skipped, so no lazy
+    index build is forced. *)
+
 val subtrees : t -> (doc_id * Toss_xml.Tree.Doc.node) list -> Toss_xml.Tree.t list
 (** Rematerializes result nodes as trees, preserving result order. *)

@@ -68,3 +68,17 @@ let token_lookup t ~tag ~token =
       List.rev nodes
 
 let n_entries t = Hashtbl.length t.eq + Hashtbl.length t.tokens
+
+(* Statistics accessors for the planner: plain reads, no lookup/hit
+   metrics — estimating a plan must not perturb the counters that
+   describe executing it. *)
+
+let eq_count t ~tag ~value =
+  match Hashtbl.find_opt t.eq (tag, value) with
+  | None -> 0
+  | Some nodes -> List.length nodes
+
+let token_count t ~tag ~token =
+  match Hashtbl.find_opt t.tokens (tag, token) with
+  | None -> 0
+  | Some nodes -> List.length nodes

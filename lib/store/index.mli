@@ -20,3 +20,17 @@ val token_lookup : t -> tag:string -> token:string -> Toss_xml.Tree.Doc.node lis
     substring condition against the actual content. *)
 
 val n_entries : t -> int
+
+(** {1 Statistics}
+
+    Per-term statistics for the cost-based planner. Unlike the lookups
+    above these do not touch the lookup/hit metrics: estimating a plan
+    must not perturb the counters that describe executing it. *)
+
+val eq_count : t -> tag:string -> value:string -> int
+(** Number of leaf elements with the given tag whose content equals
+    [value] — the exact cardinality an {!eq_lookup} would return. *)
+
+val token_count : t -> tag:string -> token:string -> int
+(** Number of leaf elements with the given tag containing the (already
+    lowercased) token — an upper bound on a containment match. *)

@@ -38,8 +38,9 @@ Graphviz export:
 Tracing: the per-phase breakdown and nested span tree, printed to
 stdout after the results (times stripped for determinism — the span
 names and nesting are the contract). The execute and assemble phases
-carry their per-operator children: one xpath span per label query, one
-embed span per document touched:
+carry their per-operator children: one xpath span per label query, a
+prune span where the planner drops candidate-free documents, and one
+embed span per document kept:
 
   $ toss query --trace demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' 2>/dev/null | sed -n '/^phase breakdown:/,$p' | awk '{print $1}'
   phase
@@ -55,17 +56,55 @@ embed span per document touched:
   xpath
   xpath
   assemble
+  prune
   embed
 
 EXPLAIN ANALYZE annotates the plan with the actual per-operator row
 counts: how many nodes each rewritten XPath step returned, and the
-embedding funnel per document:
+embedding funnel per document. The planner runs the scans
+most-selective-first, so the narrower booktitle query (6 rows) comes
+before the bare inproceedings scan (8 rows):
 
   $ toss query --explain-analyze demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | grep -o 'rows=[0-9]*'
-  rows=8
   rows=6
+  rows=8
   $ toss query --explain-analyze demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | grep -o 'embeddings=[0-9]*'
   embeddings=6
+
+EXPLAIN (without ANALYZE) prints the chosen physical plan up front and
+does not execute the query: scans ordered by estimated selectivity,
+candidate-doc pruning, then the embedding operator. No result line is
+printed:
+
+  $ toss query --explain demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | head -1
+  EXPLAIN
+  $ toss query --explain demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | sed -n '/^physical plan:/,$p' | awk '{print $1}'
+  physical
+  plan
+  embed
+  doc-prune
+  candidate-filter
+  scan
+  scan
+  $ toss query --explain demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | grep -o '(~[0-9]* rows)'
+  (~6 rows)
+  (~8 rows)
+  $ toss query --explain demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | awk '/result/{n++} END{print n+0}'
+  0
+
+--no-planner is the escape hatch: same answers through the same plan
+interpreter, but scans stay in rewrite order, nothing is pruned, and no
+row estimates are attached:
+
+  $ toss query --no-planner demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | head -1 | cut -d' ' -f1-2
+  6 result(s)
+  $ toss query --explain --no-planner demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | sed -n '/^physical plan:/,$p' | awk '{print $1}'
+  physical
+  plan
+  embed
+  candidate-filter
+  scan
+  scan
 
 The profiler streams the query's structured events as JSONL:
 
@@ -95,9 +134,17 @@ registry instead of results:
   executor.candidates
   executor.embeddings
   executor.join.total
-  executor.phase.seconds
+  executor.phase.seconds{phase="assemble"}
+  executor.phase.seconds{phase="execute"}
+  executor.phase.seconds{phase="rewrite"}
   executor.results
   executor.select.total
+  plan.docs.pruned
+  planner.joins.hash
+  planner.joins.nested_loop
+  planner.plans
+  rewrite.cache.hits
+  rewrite.cache.misses
   rewrite.degraded
   rewrite.fanout{label="1"}
   rewrite.fanout{label="2"}

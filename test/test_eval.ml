@@ -1,6 +1,6 @@
 (* Tests for precision / recall / quality metrics and the bench helpers. *)
 
-module Metrics = Toss_eval.Metrics
+module Quality = Toss_eval.Quality
 module Bench_util = Toss_eval.Bench_util
 
 let checkf = Alcotest.(check (float 1e-9))
@@ -8,47 +8,55 @@ let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 
 let test_counts () =
-  let c = Metrics.counts ~correct:[ "a"; "b"; "c" ] ~returned:[ "b"; "c"; "d" ] in
-  checki "tp" 2 c.Metrics.tp;
-  checki "fp" 1 c.Metrics.fp;
-  checki "fn" 1 c.Metrics.fn
+  let c = Quality.counts ~correct:[ "a"; "b"; "c" ] ~returned:[ "b"; "c"; "d" ] in
+  checki "tp" 2 c.Quality.tp;
+  checki "fp" 1 c.Quality.fp;
+  checki "fn" 1 c.Quality.fn
 
 let test_counts_dedup () =
-  let c = Metrics.counts ~correct:[ "a"; "a" ] ~returned:[ "a"; "a"; "a" ] in
-  checki "tp deduped" 1 c.Metrics.tp;
-  checki "fp deduped" 0 c.Metrics.fp
+  let c = Quality.counts ~correct:[ "a"; "a" ] ~returned:[ "a"; "a"; "a" ] in
+  checki "tp deduped" 1 c.Quality.tp;
+  checki "fp deduped" 0 c.Quality.fp
 
 let test_precision_recall () =
   checkf "precision" (2. /. 3.)
-    (Metrics.precision ~correct:[ "a"; "b"; "c" ] ~returned:[ "b"; "c"; "d" ]);
+    (Quality.precision ~correct:[ "a"; "b"; "c" ] ~returned:[ "b"; "c"; "d" ]);
   checkf "recall" (2. /. 3.)
-    (Metrics.recall ~correct:[ "a"; "b"; "c" ] ~returned:[ "b"; "c"; "d" ]);
-  checkf "perfect" 1.0 (Metrics.precision ~correct:[ "a" ] ~returned:[ "a" ]);
-  checkf "all wrong" 0.0 (Metrics.precision ~correct:[ "a" ] ~returned:[ "b" ])
+    (Quality.recall ~correct:[ "a"; "b"; "c" ] ~returned:[ "b"; "c"; "d" ]);
+  checkf "perfect" 1.0 (Quality.precision ~correct:[ "a" ] ~returned:[ "a" ]);
+  checkf "all wrong" 0.0 (Quality.precision ~correct:[ "a" ] ~returned:[ "b" ])
 
 let test_edge_conventions () =
   (* TAX's empty answers must read as precision 1 (the paper's headline
      "TAX always gets 100% precision"). *)
-  checkf "empty answer precision 1" 1.0 (Metrics.precision ~correct:[ "a" ] ~returned:[]);
-  checkf "empty answer recall 0" 0.0 (Metrics.recall ~correct:[ "a" ] ~returned:[]);
-  checkf "nothing correct recall 1" 1.0 (Metrics.recall ~correct:[] ~returned:[ "x" ]);
-  checkf "nothing correct precision 0" 0.0 (Metrics.precision ~correct:[] ~returned:[ "x" ])
+  checkf "empty answer precision 1" 1.0 (Quality.precision ~correct:[ "a" ] ~returned:[]);
+  checkf "empty answer recall 0" 0.0 (Quality.recall ~correct:[ "a" ] ~returned:[]);
+  checkf "nothing correct recall 1" 1.0 (Quality.recall ~correct:[] ~returned:[ "x" ]);
+  checkf "nothing correct precision 0" 0.0 (Quality.precision ~correct:[] ~returned:[ "x" ])
 
 let test_quality () =
-  checkf "geometric mean" (sqrt 0.5) (Metrics.quality ~precision:1.0 ~recall:0.5);
-  checkf "zero recall" 0.0 (Metrics.quality ~precision:1.0 ~recall:0.0);
-  let p, r, q = Metrics.evaluate ~correct:[ "a"; "b" ] ~returned:[ "a" ] in
+  checkf "geometric mean" (sqrt 0.5) (Quality.quality ~precision:1.0 ~recall:0.5);
+  checkf "zero recall" 0.0 (Quality.quality ~precision:1.0 ~recall:0.0);
+  let p, r, q = Quality.evaluate ~correct:[ "a"; "b" ] ~returned:[ "a" ] in
   checkf "evaluate precision" 1.0 p;
   checkf "evaluate recall" 0.5 r;
   checkf "evaluate quality" (sqrt 0.5) q
 
 let test_f1 () =
-  checkf "balanced" 0.5 (Metrics.f1 ~precision:0.5 ~recall:0.5);
-  checkf "degenerate" 0.0 (Metrics.f1 ~precision:0.0 ~recall:0.0)
+  checkf "balanced" 0.5 (Quality.f1 ~precision:0.5 ~recall:0.5);
+  checkf "degenerate" 0.0 (Quality.f1 ~precision:0.0 ~recall:0.0)
 
 let test_mean () =
-  checkf "empty" 0.0 (Metrics.mean []);
-  checkf "values" 2.0 (Metrics.mean [ 1.0; 2.0; 3.0 ])
+  checkf "empty" 0.0 (Quality.mean []);
+  checkf "values" 2.0 (Quality.mean [ 1.0; 2.0; 3.0 ])
+
+let test_deprecated_alias () =
+  (* [Toss_eval.Metrics] remains a compatibility alias of [Quality];
+     both names must expose the same functions over the same types. *)
+  checkf "alias precision" 1.0
+    (Toss_eval.Metrics.precision ~correct:[ "a" ] ~returned:[ "a" ]);
+  let c = Toss_eval.Metrics.counts ~correct:[ "a" ] ~returned:[ "a" ] in
+  checki "alias shares the counts type" 1 c.Quality.tp
 
 let test_time () =
   let x, t = Bench_util.time (fun () -> 42) in
@@ -232,7 +240,7 @@ let test_gate_missing_experiment_fails () =
 let () =
   Alcotest.run "toss_eval"
     [
-      ( "metrics",
+      ( "quality",
         [
           Alcotest.test_case "counts" `Quick test_counts;
           Alcotest.test_case "set semantics" `Quick test_counts_dedup;
@@ -241,6 +249,7 @@ let () =
           Alcotest.test_case "quality" `Quick test_quality;
           Alcotest.test_case "f1" `Quick test_f1;
           Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "deprecated Metrics alias" `Quick test_deprecated_alias;
         ] );
       ( "bench utilities",
         [

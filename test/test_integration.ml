@@ -18,7 +18,7 @@ module Corpus = Toss_data.Corpus
 module Dblp_gen = Toss_data.Dblp_gen
 module Sigmod_gen = Toss_data.Sigmod_gen
 module Workload = Toss_data.Workload
-module Metrics = Toss_eval.Metrics
+module Quality = Toss_eval.Quality
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
@@ -51,14 +51,14 @@ let run_query seo mode (q : Workload.query) =
     Executor.select ~mode seo collection ~pattern:q.Workload.pattern ~sl:q.Workload.sl
   in
   let returned = Workload.result_keys results in
-  let p, r, quality = Metrics.evaluate ~correct:q.Workload.correct ~returned in
+  let p, r, quality = Quality.evaluate ~correct:q.Workload.correct ~returned in
   { precision = p; recall = r; quality }
 
 let tax_runs = lazy (List.map (run_query seo2 Executor.Tax) queries)
 let toss2_runs = lazy (List.map (run_query seo2 Executor.Toss) queries)
 let toss3_runs = lazy (List.map (run_query seo3 Executor.Toss) queries)
 
-let mean f runs = Metrics.mean (List.map f runs)
+let mean f runs = Quality.mean (List.map f runs)
 
 let test_tax_precision_is_one () =
   List.iteri
