@@ -448,6 +448,64 @@ let stats_cmd =
              of its results.")
     Term.(ret (const stats_run $ files $ q $ mode $ eps))
 
+let check_run seed runs op fault repro_out =
+  match Toss_check.Harness.fault_of_string fault with
+  | None ->
+      `Error
+        (true,
+         Printf.sprintf "unknown fault %S (expected one of: %s)" fault
+           (String.concat ", " Toss_check.Harness.fault_names))
+  | Some fault ->
+      let outcome = Toss_check.Harness.run ~fault ?op ~seed ~runs () in
+      Toss_check.Harness.report Format.std_formatter outcome;
+      (match outcome with
+      | Toss_check.Harness.Pass _ -> `Ok ()
+      | Toss_check.Harness.Fail { failure; _ } ->
+          (match repro_out with
+          | None -> ()
+          | Some path ->
+              let oc = open_out path in
+              output_string oc (Toss_check.Harness.repro failure);
+              close_out oc;
+              Printf.printf "repro written to %s\n" path);
+          exit 1)
+
+let check_cmd =
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N" ~doc:"Master seed for case generation.")
+  in
+  let runs =
+    Arg.(value & opt int 200
+         & info [ "runs" ] ~docv:"K" ~doc:"Number of random cases to check.")
+  in
+  let op =
+    Arg.(value
+         & opt (some (enum [ ("select", Toss_check.Gen.Select); ("join", Toss_check.Gen.Join) ]))
+             None
+         & info [ "op" ] ~docv:"OP"
+             ~doc:"Restrict generated cases to one operator (select or join).")
+  in
+  let fault =
+    Arg.(value & opt string "none"
+         & info [ "inject-fault" ] ~docv:"FAULT"
+             ~doc:"Inject a known planner fault (hash-no-recheck, \
+                   prune-first-only, no-dedup) to exercise the harness; it \
+                   must be caught and shrunk.")
+  in
+  let repro_out =
+    Arg.(value & opt (some string) None
+         & info [ "repro-out" ] ~docv:"FILE"
+             ~doc:"On failure, also write the paste-into-test repro here.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Differential correctness check: random queries and corpora, \
+             every engine configuration against a naive reference oracle; \
+             failures are shrunk to a minimal repro. Exits 1 on a \
+             discrepancy.")
+    Term.(ret (const check_run $ seed $ runs $ op $ fault $ repro_out))
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -458,4 +516,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ generate_cmd; info_cmd; xpath_cmd; ontology_cmd; clusters_cmd; dot_cmd;
-            query_cmd; stats_cmd ]))
+            query_cmd; stats_cmd; check_cmd ]))

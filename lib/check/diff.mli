@@ -1,0 +1,34 @@
+(** One case, every engine configuration, against the oracle.
+
+    A case passes when, for both semantics (TAX and TOSS) and all four
+    engine configurations (planner on/off × value index on/off — which
+    also covers hash vs nested-loop pairing for joins), the executor's
+    results equal the oracle's as canonicalized witness-tree multisets,
+    and (for selections) the executor's [n_embeddings] funnel stat equals
+    the oracle's count of condition-satisfying embeddings. *)
+
+type config = { planner : bool; use_index : bool }
+
+val configs : config list
+(** The four planner/index combinations, most-optimized first. *)
+
+val config_name : config -> string
+
+type failure = {
+  case : Gen.case;
+  mode : Toss_core.Executor.mode;
+  config : config;
+  expected : Toss_xml.Tree.t list;  (** oracle results, canonicalized *)
+  got : Toss_xml.Tree.t list;  (** executor results, canonicalized *)
+  detail : string;
+}
+
+val mode_name : Toss_core.Executor.mode -> string
+
+val canonical : Toss_xml.Tree.t list -> Toss_xml.Tree.t list
+(** Sorted by {!Toss_xml.Tree.compare} — the multiset normal form
+    results are compared in. *)
+
+val check_case : Gen.case -> failure option
+(** [None] when every mode × configuration agrees with the oracle; the
+    first discrepancy otherwise. *)

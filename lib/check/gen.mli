@@ -1,0 +1,42 @@
+(** Seeded random generation of differential-test cases.
+
+    A case bundles everything one query evaluation needs: a corpus (two
+    for joins), an explicit ontology (edge lists, so the shrinker can
+    drop edges), a similarity threshold, a pattern tree with a condition
+    drawing on every predicate of the TOSS algebra ([~], [isa],
+    [instance_of], [subtype_of], [above], [below], [part_of], typed
+    comparisons, containment), and a selection list.
+
+    Generation is deterministic: [case seed] always builds the same case,
+    on every OCaml version ({!Rng} is self-contained), so CI can report a
+    failing seed and a developer can replay it. Ontology edges always
+    point from a lower to a strictly higher index in a fixed term order,
+    so generated (and shrunk) hierarchies are acyclic by construction. *)
+
+type op = Select | Join
+
+type case = {
+  seed : int;
+  op : op;
+  docs : Toss_xml.Tree.t list;
+  right_docs : Toss_xml.Tree.t list;  (** empty for selections *)
+  isa_edges : (string * string) list;
+  part_edges : (string * string) list;
+  eps : float;
+  pattern : Toss_tax.Pattern.t;
+  sl : int list;
+}
+
+val case : ?op:op -> int -> case
+(** The case for one seed; [op] forces the operator kind (otherwise
+    ~60% selections). *)
+
+val seo_of : case -> Toss_core.Seo.t
+(** The similarity-enhanced ontology the case's edges and ε describe
+    (Levenshtein metric). *)
+
+val to_ocaml : case -> string
+(** A paste-into-test reproduction of the case, using the library's
+    public constructors. *)
+
+val pp : Format.formatter -> case -> unit

@@ -1,0 +1,133 @@
+module Tree = Toss_xml.Tree
+module Doc = Tree.Doc
+module Pattern = Toss_tax.Pattern
+module Condition = Toss_tax.Condition
+module Witness = Toss_tax.Witness
+module Algebra = Toss_tax.Algebra
+
+(* The reference evaluator: selections and joins straight from the TAX
+   embedding semantics (Definition 3), with none of the engine's
+   machinery — no rewriting, no store queries, no index, no planner, no
+   candidate prefilters, no hash partitioning. Every total map from
+   pattern labels to document nodes is enumerated and checked against
+   the structural constraints and then the full condition. Exponential
+   in the pattern size by design: it is only ever run on the tiny
+   corpora the generator produces, and its value is exactly that it
+   shares no code path with the executor it judges. *)
+
+(* All structural embeddings of [pattern]'s node tree into [doc]:
+   pc edges must map to parent-child pairs, ad edges to strict
+   ancestor-descendant pairs. [root_images] restricts the root's image
+   (used by the join oracle to pin a pc side to the document root).
+   Bindings come out in pattern-preorder label order. *)
+let structural_maps ?root_images doc (pattern : Pattern.t) =
+  let all = Doc.nodes doc in
+  let rec assign binding (pnode : Pattern.node) image =
+    let binding = (pnode.Pattern.label, image) :: binding in
+    List.fold_left
+      (fun partials (kind, child) ->
+        let ok n =
+          match (kind : Pattern.edge_kind) with
+          | Pattern.Pc -> Doc.is_child doc ~parent:image ~child:n
+          | Pattern.Ad -> Doc.is_descendant doc ~anc:image ~desc:n
+        in
+        let options = List.filter ok all in
+        List.concat_map
+          (fun b -> List.concat_map (assign b child) options)
+          partials)
+      [ binding ]
+      pnode.Pattern.children
+  in
+  let roots = match root_images with Some nodes -> nodes | None -> all in
+  List.concat_map (assign [] pattern.Pattern.root) roots
+  |> List.map List.rev
+
+let env_of doc binding label =
+  Option.map (fun n -> (doc, n)) (List.assoc_opt label binding)
+
+let dedup trees =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun t ->
+      if Hashtbl.mem seen t then false
+      else begin
+        Hashtbl.replace seen t ();
+        true
+      end)
+    trees
+
+let select ~eval ~pattern ~sl docs =
+  let n_embeddings = ref 0 in
+  let results =
+    List.concat_map
+      (fun doc ->
+        let sat =
+          List.filter
+            (fun b -> eval (env_of doc b) pattern.Pattern.condition)
+            (structural_maps doc pattern)
+        in
+        n_embeddings := !n_embeddings + List.length sat;
+        (* Set semantics per document: identical witnesses from distinct
+           documents are distinct results, as in TAX. *)
+        dedup (List.map (fun b -> Witness.of_binding doc b ~sl) sat))
+      docs
+  in
+  (results, !n_embeddings)
+
+let rec subtree_labels (n : Pattern.node) =
+  n.Pattern.label :: List.concat_map (fun (_, c) -> subtree_labels c) n.Pattern.children
+
+let join ~eval ~pattern ~sl left_docs right_docs =
+  let root = pattern.Pattern.root in
+  let (lkind, lchild), (rkind, rchild) =
+    match root.Pattern.children with
+    | [ l; r ] -> (l, r)
+    | _ -> invalid_arg "Oracle.join: the pattern root must have exactly two children"
+  in
+  let root_label = root.Pattern.label in
+  (* Conjuncts mentioning the synthetic product root hold by construction
+     of the result and are dropped — the executor's documented contract. *)
+  let cross =
+    Condition.conj
+      (List.filter
+         (fun c -> not (List.mem root_label (Condition.labels_used c)))
+         (Condition.top_conjuncts pattern.Pattern.condition))
+  in
+  let side kind child docs =
+    let sub = Pattern.v child Condition.True in
+    let sl = List.filter (fun l -> List.mem l (subtree_labels child)) sl in
+    List.concat_map
+      (fun doc ->
+        let root_images =
+          (* A pc edge from the product root pins the side to the
+             document root; an ad edge lets it match anywhere. *)
+          match (kind : Pattern.edge_kind) with
+          | Pattern.Pc -> Some [ Doc.root doc ]
+          | Pattern.Ad -> None
+        in
+        List.map (fun b -> (doc, b)) (structural_maps ?root_images doc sub))
+      docs
+    |> fun maps -> (maps, sl)
+  in
+  let lefts, left_sl = side lkind lchild left_docs in
+  let rights, right_sl = side rkind rchild right_docs in
+  let pair_env (ldoc, lbind) (rdoc, rbind) label =
+    match List.assoc_opt label lbind with
+    | Some n -> Some (ldoc, n)
+    | None -> Option.map (fun n -> (rdoc, n)) (List.assoc_opt label rbind)
+  in
+  List.concat_map
+    (fun ((ldoc, lbind) as l) ->
+      List.filter_map
+        (fun ((rdoc, rbind) as r) ->
+          if eval (pair_env l r) cross then
+            Some
+              (Tree.element Algebra.prod_root_tag
+                 [
+                   Witness.of_binding ldoc lbind ~sl:left_sl;
+                   Witness.of_binding rdoc rbind ~sl:right_sl;
+                 ])
+          else None)
+        rights)
+    lefts
+  |> dedup

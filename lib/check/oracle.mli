@@ -1,0 +1,28 @@
+(** The naive reference oracle: TOSS/TAX semantics evaluated directly
+    from the embedding definitions, sharing no code path with the
+    executor — no rewriting, no store, no index, no planner. Brute-force
+    (exponential in pattern size), for test corpora only. *)
+
+val select :
+  eval:(Toss_tax.Condition.env -> Toss_tax.Condition.t -> bool) ->
+  pattern:Toss_tax.Pattern.t ->
+  sl:int list ->
+  Toss_xml.Tree.Doc.t list ->
+  Toss_xml.Tree.t list * int
+(** Witness trees of [σ_{P,SL}] over the documents (set semantics per
+    document, document order), plus the total number of
+    condition-satisfying embeddings — which must equal the executor's
+    [n_embeddings] funnel stat. *)
+
+val join :
+  eval:(Toss_tax.Condition.env -> Toss_tax.Condition.t -> bool) ->
+  pattern:Toss_tax.Pattern.t ->
+  sl:int list ->
+  Toss_xml.Tree.Doc.t list ->
+  Toss_xml.Tree.Doc.t list ->
+  Toss_xml.Tree.t list
+(** Condition join under the executor's documented contract: the root's
+    two children match in the left and right corpora (a pc edge from the
+    root pins that side to its document root), conjuncts mentioning the
+    product root hold by construction, and results are globally
+    deduplicated product trees. *)

@@ -1,0 +1,29 @@
+(* Splitmix64. The standard library's [Random] changed algorithms between
+   OCaml 4 and 5; the differential harness needs the same case stream for
+   a given seed on every compiler in CI, so it carries its own generator. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let chance t pct = int t 100 < pct
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let sub_seed t = Int64.to_int (Int64.shift_right_logical (next t) 2)

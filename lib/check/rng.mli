@@ -1,0 +1,24 @@
+(** Deterministic pseudo-random numbers for the differential harness.
+
+    A self-contained splitmix64 stream: unlike [Stdlib.Random], the
+    sequence for a given seed is identical across OCaml versions, so a
+    failing case seed reported by CI reproduces anywhere. *)
+
+type t
+
+val create : int -> t
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n); raises for [n <= 0]. *)
+
+val bool : t -> bool
+
+val chance : t -> int -> bool
+(** [chance t pct] is true with probability [pct]%. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice; raises on the empty list. *)
+
+val sub_seed : t -> int
+(** A fresh non-negative seed for a derived stream — how the harness
+    gives every case its own independent generator. *)

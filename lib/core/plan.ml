@@ -127,17 +127,27 @@ type exec_stats = { n_candidates : int; n_embeddings : int }
 
 let m_pruned = Metrics.histogram "plan.docs.pruned"
 
+(* Deliberate sabotage for the differential harness (lib/check): each
+   variant disables one invariant the operators rely on, so `toss check
+   --inject-fault` can prove the oracle actually detects a broken
+   interpreter. Never set outside tests. *)
+type fault = No_fault | Hash_no_recheck | Prune_first_only | No_dedup
+
+let fault = ref No_fault
+
 (* Set semantics preserving first-occurrence (document) order. *)
 let dedup trees =
-  let seen = Hashtbl.create 64 in
-  List.filter
-    (fun t ->
-      if Hashtbl.mem seen t then false
-      else begin
-        Hashtbl.replace seen t ();
-        true
-      end)
-    trees
+  if !fault = No_dedup then trees
+  else
+    let seen = Hashtbl.create 64 in
+    List.filter
+      (fun t ->
+        if Hashtbl.mem seen t then false
+        else begin
+          Hashtbl.replace seen t ();
+          true
+        end)
+      trees
 
 (* Hash-partitioning key for one term value. Both evaluators compare
    string values numerically whenever both sides parse as numbers (the
@@ -280,6 +290,11 @@ let run ?(use_index = true) ~eval ~coll_of plan =
                         Option.value ~default:[] (lookup side doc_id label) <> [])
                       required)
                   ids
+              in
+              let kept =
+                match (!fault, kept) with
+                | Prune_first_only, first :: _ :: _ -> [ first ]
+                | _ -> kept
               in
               Span.annotate
                 [
@@ -424,8 +439,10 @@ let run ?(use_index = true) ~eval ~coll_of plan =
                          probed := !probed + List.length matches;
                          List.filter_map
                            (fun r ->
-                             if eval (pair_env l r) cross_condition then
-                               Some (pair_tree lspec rspec l r)
+                             if
+                               !fault = Hash_no_recheck
+                               || eval (pair_env l r) cross_condition
+                             then Some (pair_tree lspec rspec l r)
                              else None)
                            matches)
                    lefts

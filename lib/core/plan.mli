@@ -88,6 +88,26 @@ val to_string : t -> string
 
 type exec_stats = { n_candidates : int; n_embeddings : int }
 
+(** {1 Fault injection (testing only)}
+
+    Deliberate sabotage hooks for the differential harness
+    ([Toss_check]): each variant breaks one invariant the interpreter
+    relies on, so [toss check --inject-fault] can demonstrate that the
+    naive oracle catches a broken optimizer and that the shrinker
+    minimizes the witness. Production code must leave this at
+    {!No_fault}. *)
+
+type fault =
+  | No_fault
+  | Hash_no_recheck
+      (** [Hash_pair] accepts every key match without re-checking the
+          full cross condition *)
+  | Prune_first_only
+      (** [Doc_prune] keeps only the first surviving document *)
+  | No_dedup  (** both deduplication sites pass duplicates through *)
+
+val fault : fault ref
+
 val run :
   ?use_index:bool ->
   eval:(Toss_tax.Condition.env -> Toss_tax.Condition.t -> bool) ->

@@ -55,9 +55,7 @@ let plan_select ?(mode = Rewrite.Toss) ?(use_index = true) ?max_expansion
 
 (* The sub-pattern rooted at a child of the join pattern's root, with the
    original condition restricted to the conjuncts local to that side. *)
-let rec top_conjuncts = function
-  | Condition.And (p, q) -> top_conjuncts p @ top_conjuncts q
-  | c -> [ c ]
+let top_conjuncts = Condition.top_conjuncts
 
 let side_pattern (pattern : Pattern.t) (child : Pattern.node) =
   let rec labels_of (n : Pattern.node) =

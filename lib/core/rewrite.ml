@@ -50,6 +50,18 @@ let similar_terms seo s = cached_expansion seo ~op:"~" ~constant:s Seo.similar_t
 let isa_below seo s = cached_expansion seo ~op:"isa" ~constant:s Seo.isa_below
 let part_below seo s = cached_expansion seo ~op:"part_of" ~constant:s Seo.part_below
 
+(* [below] (and its mirror [above]) has a second leg besides the isa
+   hierarchy: a value is below a primitive type name whenever its
+   inferred type matches ("1999" below "year"). An isa-expansion
+   pushdown would drop those candidates, so [below] atoms whose constant
+   names a primitive type are never pushed. *)
+let is_type_name s = Option.is_some (Toss_xml.Value_type.of_name s)
+
+(* Both evaluators compare [Eq] numerically when the two values parse as
+   numbers ("1999.0" = "1999"), so an exact-text [Content_eq] pushdown is
+   only sound for constants that are not numbers. *)
+let pushable_eq_constant s = Option.is_none (float_of_string_opt s)
+
 let atom_consults_seo = function
   | Condition.Sim _ | Condition.Isa _ | Condition.Below _ | Condition.Above _
   | Condition.Part_of _ | Condition.Instance_of _ | Condition.Subtype_of _ ->
@@ -67,10 +79,14 @@ let tag_options ~mode ~max_expansion seo atoms =
     (fun acc atom ->
       match (atom, mode) with
       | Condition.Cmp (Condition.Tag _, Condition.Eq, Condition.Str s), _
-      | Condition.Cmp (Condition.Str s, Condition.Eq, Condition.Tag _), _ ->
+      | Condition.Cmp (Condition.Str s, Condition.Eq, Condition.Tag _), _
+        when pushable_eq_constant s ->
           constrain acc [ s ]
-      | Condition.Isa (Condition.Tag _, Condition.Str s), Toss
-      | Condition.Below (Condition.Tag _, Condition.Str s), Toss ->
+      | Condition.Isa (Condition.Tag _, Condition.Str s), Toss ->
+          let below = isa_below seo s in
+          if List.length below <= max_expansion then constrain acc below else acc
+      | Condition.Below (Condition.Tag _, Condition.Str s), Toss
+        when not (is_type_name s) ->
           let below = isa_below seo s in
           if List.length below <= max_expansion then constrain acc below else acc
       | Condition.Part_of (Condition.Tag _, Condition.Str s), Toss ->
@@ -94,7 +110,8 @@ let content_predicates ~mode ~max_expansion seo atoms =
     (fun atom ->
       match (atom, mode) with
       | Condition.Cmp (Condition.Content _, Condition.Eq, Condition.Str s), _
-      | Condition.Cmp (Condition.Str s, Condition.Eq, Condition.Content _), _ ->
+      | Condition.Cmp (Condition.Str s, Condition.Eq, Condition.Content _), _
+        when pushable_eq_constant s ->
           Some (Xpath.Content_eq s)
       | Condition.Contains (Condition.Content _, s), _ ->
           Some (Xpath.Content_contains s)
@@ -114,8 +131,11 @@ let content_predicates ~mode ~max_expansion seo atoms =
       | Condition.Isa (Condition.Content _, Condition.Str s), Tax
       | Condition.Below (Condition.Content _, Condition.Str s), Tax ->
           Some (Xpath.Content_contains s)
-      | Condition.Isa (Condition.Content _, Condition.Str s), Toss
-      | Condition.Below (Condition.Content _, Condition.Str s), Toss ->
+      | Condition.Isa (Condition.Content _, Condition.Str s), Toss ->
+          let terms = isa_below seo s in
+          if List.length terms <= max_expansion then eq_disjunction terms else None
+      | Condition.Below (Condition.Content _, Condition.Str s), Toss
+        when not (is_type_name s) ->
           let terms = isa_below seo s in
           if List.length terms <= max_expansion then eq_disjunction terms else None
       | Condition.Part_of (Condition.Content _, Condition.Str s), Toss ->
@@ -220,10 +240,12 @@ let rec expand_condition seo c =
   match c with
   | Condition.Sim (x, Condition.Str s) -> eq_disj x (similar_terms seo s)
   | Condition.Sim (Condition.Str s, x) -> eq_disj x (similar_terms seo s)
-  | Condition.Isa (x, Condition.Str s) | Condition.Below (x, Condition.Str s) ->
+  | Condition.Isa (x, Condition.Str s) -> eq_disj x (isa_below seo s)
+  | Condition.Below (x, Condition.Str s) when not (is_type_name s) ->
       eq_disj x (isa_below seo s)
   | Condition.Part_of (x, Condition.Str s) -> eq_disj x (part_below seo s)
-  | Condition.Above (Condition.Str s, x) -> eq_disj x (isa_below seo s)
+  | Condition.Above (Condition.Str s, x) when not (is_type_name s) ->
+      eq_disj x (isa_below seo s)
   | Condition.And (p, q) -> Condition.And (expand_condition seo p, expand_condition seo q)
   | Condition.Or (p, q) -> Condition.Or (expand_condition seo p, expand_condition seo q)
   | Condition.Not p -> Condition.Not (expand_condition seo p)

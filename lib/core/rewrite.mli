@@ -11,9 +11,19 @@
     {!Tax} mode uses exact match for [~] and substring containment for the
     ontology operators, exactly how the paper ran its baseline.
 
-    Rewriting is an optimization: conditions that cannot be pushed into
-    XPath (cross-label atoms, disjunctions, oversized expansions) are
-    simply left to the assembly phase, which re-checks the full condition. *)
+    Rewriting is an optimization, and every pushed predicate must be
+    implied by the atom it came from (candidates a query drops are never
+    seen again): conditions that cannot be pushed into XPath (cross-label
+    atoms, disjunctions, oversized expansions) are left to the assembly
+    phase, which re-checks the full condition. Three atom families are
+    deliberately not pushed because an "obvious" pushdown would be
+    unsound — [~] over a constant the ontology does not know (the
+    evaluator's raw-distance fallback must see every candidate),
+    [below]/[above] over a primitive type name ("1999" is below "year"
+    by type inference, not by the isa hierarchy), and [=] against a
+    numeric constant (both evaluators compare numerically, so "1999.0"
+    equals "1999" while an exact-text store predicate would drop it).
+    The differential harness ([Toss_check]) pins all three. *)
 
 type mode =
   | Tax  (** the paper's baseline: exact [~], substring ontology operators *)
@@ -51,5 +61,7 @@ val expand_condition : Seo.t -> Toss_tax.Condition.t -> Toss_tax.Condition.t
 (** The condition with every [~] and [isa]-family atom over a constant
     replaced by the equivalent disjunction of exact atoms — what
     Section 3 calls transforming the user query to take the SEO into
-    account. Used for inspection and testing; the executor evaluates
-    conditions directly against the SEO instead. *)
+    account. [below]/[above] atoms whose constant names a primitive type
+    are left alone (their type-inference leg has no finite expansion).
+    Used for inspection and testing; the executor evaluates conditions
+    directly against the SEO instead. *)

@@ -62,17 +62,22 @@ let isa_hierarchy t =
 
 let part_of_hierarchy t = Ontology.get Ontology.part_of t.fused
 
+(* The ontology is authoritative for its own terms: two known terms are
+   similar iff they co-reside in an enhanced node, and a known term is
+   never similar to an unknown one (otherwise the rewriter's expansion of
+   [~] into a disjunction over [similar_terms] would be unsound — the
+   differential oracle flags exactly that). The raw-distance fallback
+   applies only when both terms are outside the ontology. *)
 let similar t x y =
   if x = y then true
   else
-    match t.enhancement with
-    | Some e ->
-        let known s = Hierarchy.mem_term s e.Sea.hierarchy in
-        if known x && known y then Sea.similar e x y
-        else
-          (* Terms outside the ontology fall back to the raw measure. *)
-          Metric.within t.metric ~eps:t.eps x y
-    | None -> Metric.within t.metric ~eps:t.eps x y
+    let h = isa_hierarchy t in
+    let known s = Hierarchy.mem_term s h in
+    match (known x, known y) with
+    | true, true -> (
+        match t.enhancement with Some e -> Sea.similar e x y | None -> false)
+    | false, false -> Metric.within t.metric ~eps:t.eps x y
+    | _ -> false
 
 let similar_terms t x =
   match t.enhancement with

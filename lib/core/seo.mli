@@ -56,9 +56,13 @@ val ontology : t -> Ontology.t
 (** The fused (pre-enhancement) ontology. *)
 
 val similar : t -> string -> string -> bool
-(** The [~] predicate: co-residence in an enhanced node; when either term
-    is absent from the ontology, falls back to a direct distance test
-    [d(x, y) <= ε]. *)
+(** The [~] predicate. Equal strings are always similar. Two terms known
+    to the (enhanced) isa hierarchy are similar iff they co-reside in an
+    enhanced node; two terms both absent from it fall back to a direct
+    distance test [d(x, y) <= ε]; a known and an unknown term are never
+    similar. The ontology being authoritative for its own terms is what
+    makes the rewriter's [~] pushdown (a disjunction of exact tests over
+    {!similar_terms}) semantics-preserving. *)
 
 val similar_terms : t -> string -> string list
 (** The term plus everything co-resident with it — the expansion the query

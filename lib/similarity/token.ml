@@ -36,6 +36,10 @@ let cosine a b =
   let ta = tf a and tb = tf b in
   if Smap.is_empty ta && Smap.is_empty tb then 1.
   else if Smap.is_empty ta || Smap.is_empty tb then 0.
+    (* Equal vectors have cosine exactly 1; computing it as
+       dot/(sqrt s * sqrt s) rounds just below 1 and would make the
+       derived distance violate d(x,x) = 0. *)
+  else if Smap.equal Int.equal ta tb then 1.
   else begin
     let dot =
       Smap.fold

@@ -59,6 +59,11 @@ let add_document t tree =
   Metrics.incr m_docs;
   t.count - 1
 
+let of_trees ?(name = "anon") trees =
+  let t = create name in
+  List.iter (fun tree -> ignore (add_document t tree)) trees;
+  t
+
 let add_xml t xml =
   match Parser.parse xml with
   | Ok tree -> Ok (add_document t tree)

@@ -27,6 +27,10 @@ val add_document : t -> Toss_xml.Tree.t -> doc_id
 val add_xml : t -> string -> (doc_id, Toss_xml.Parser.error) result
 (** Parses and inserts. *)
 
+val of_trees : ?name:string -> Toss_xml.Tree.t list -> t
+(** A fresh collection holding the given trees, in order (so tree [i]
+    has id [i]). Convenience for tests and the differential harness. *)
+
 val doc : t -> doc_id -> Toss_xml.Tree.Doc.t
 (** @raise Not_found for unknown ids. *)
 

@@ -65,6 +65,12 @@ val labels_used : t -> int list
 val atoms : t -> t list
 (** The atomic subconditions, left to right. *)
 
+val top_conjuncts : t -> t list
+(** The maximal conjuncts of the condition, left to right: [And] spines
+    are flattened, everything else (atoms, [Or], [Not], [True]) is a
+    single conjunct. The planner splits join conditions along these, and
+    the differential-testing shrinker drops them one at a time. *)
+
 val local_atoms : t -> int -> t list
 (** The top-level conjuncts that mention only the given label (and
     constants) — usable as node-local prefilters during embedding. *)

@@ -79,8 +79,11 @@ let entity st =
         let digits =
           String.sub body (String.length prefix) (String.length body - String.length prefix)
         in
+        (* [Uchar.is_valid] also rejects the surrogate range D800–DFFF,
+           which [Uchar.of_int] would refuse with an exception that is
+           not a parse error. *)
         match int_of_string_opt (base ^ digits) with
-        | Some code when code >= 0 && code < 0x110000 ->
+        | Some code when code >= 0 && code < 0x110000 && Uchar.is_valid code ->
             let b = Buffer.create 4 in
             Buffer.add_utf_8_uchar b (Uchar.of_int code);
             Some (Buffer.contents b)

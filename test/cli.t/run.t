@@ -167,3 +167,57 @@ registry instead of results:
   tax.embed.embeddings
   tax.embed.enumerations
   tax.embed.structural_bindings
+
+The differential correctness harness: seeded random queries and corpora,
+every engine configuration checked against a naive reference oracle.
+
+  $ toss check --seed 42 --runs 50
+  PASS: 50 cases, all engine configurations agree with the oracle
+
+An injected planner fault must be caught, shrunk to a tiny corpus, and
+reported with a paste-into-test repro; a discrepancy exits 1:
+
+  $ toss check --seed 42 --runs 200 --inject-fault no-dedup --repro-out repro.ml
+  DISCREPANCY on run 5 (case seed 175383196535490812)
+    mode: tax, planner=on index=on
+    select result multiset differs (oracle 1, executor 2)
+    shrunk to 1 document(s)
+    oracle (1):
+    <item/>
+    executor (2):
+    <item/>
+    <item/>
+  shrunk case:
+  (* seed 175383196535490812 *)
+  let docs = [ Parser.parse_exn {xml|<item><item/></item>|xml} ] in
+  let isa_edges = [  ] in
+  let part_edges = [  ] in
+  let pattern = Pattern.v (Pattern.leaf 1)
+    (True) in
+  let sl = [  ] in
+  (* eps = 1; op = select *)
+  paste-into-test repro:
+  (* mode=tax planner=on index=on — select result multiset differs (oracle 1, executor 2) *)
+  (* seed 175383196535490812 *)
+  let docs = [ Parser.parse_exn {xml|<item><item/></item>|xml} ] in
+  let isa_edges = [  ] in
+  let part_edges = [  ] in
+  let pattern = Pattern.v (Pattern.leaf 1)
+    (True) in
+  let sl = [  ] in
+  (* eps = 1; op = select *)
+  repro written to repro.ml
+  [1]
+
+  $ head -3 repro.ml
+  (* mode=tax planner=on index=on — select result multiset differs (oracle 1, executor 2) *)
+  (* seed 175383196535490812 *)
+  let docs = [ Parser.parse_exn {xml|<item><item/></item>|xml} ] in
+
+Unknown fault names are rejected:
+
+  $ toss check --inject-fault bogus
+  toss: unknown fault "bogus" (expected one of: none, hash-no-recheck, prune-first-only, no-dedup)
+  Usage: toss check [OPTION]…
+  Try 'toss check --help' or 'toss --help' for more information.
+  [124]

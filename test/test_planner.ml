@@ -290,6 +290,43 @@ let test_rewrite_cache () =
   checkb "similar terms cached too" true
     (Rewrite.similar_terms seo "VLDB" = Seo.similar_terms seo "VLDB")
 
+(* The expansion cache is keyed on the physical SEO value. Swapping the
+   SEO — or just its ε, which always means building a new SEO since the
+   type is immutable — must never serve the previous ontology's
+   expansions. Regression test: interleave two SEOs that give different
+   answers for the same constants and require every cached answer to
+   match a fresh uncached walk. *)
+let test_rewrite_cache_invalidation () =
+  let module Hierarchy = Toss_hierarchy.Hierarchy in
+  let module Ontology = Toss_ontology.Ontology in
+  let module Levenshtein = Toss_similarity.Levenshtein in
+  let seo_a =
+    Seo.create_exn ~metric:Levenshtein.metric ~eps:0.5
+      (Ontology.of_list
+         [ (Ontology.isa, Hierarchy.of_pairs [ ("model", "article") ]) ])
+  in
+  let seo_b =
+    Seo.create_exn ~metric:Levenshtein.metric ~eps:1.0
+      (Ontology.of_list
+         [ (Ontology.isa,
+            Hierarchy.of_pairs
+              [ ("model", "article"); ("models", "article"); ("note", "article") ]) ])
+  in
+  (* The two ontologies genuinely disagree, so a stale hit is visible. *)
+  checkb "fixture: ontologies disagree on isa" true
+    (Seo.isa_below seo_a "article" <> Seo.isa_below seo_b "article");
+  checkb "fixture: eps changes similarity" true
+    (Seo.similar_terms seo_a "model" <> Seo.similar_terms seo_b "model");
+  List.iter
+    (fun seo ->
+      checkb "isa expansion follows the live SEO" true
+        (Rewrite.isa_below seo "article" = Seo.isa_below seo "article");
+      checkb "similar expansion follows the live SEO" true
+        (Rewrite.similar_terms seo "model" = Seo.similar_terms seo "model");
+      checkb "part expansion follows the live SEO" true
+        (Rewrite.part_below seo "article" = Seo.part_below seo "article"))
+    [ seo_a; seo_b; seo_a; seo_b; seo_a ]
+
 let () =
   Alcotest.run "toss_planner"
     [
@@ -312,5 +349,7 @@ let () =
           Alcotest.test_case "scan ordering" `Quick test_scan_ordering;
           Alcotest.test_case "pairing strategy" `Quick test_pairing_choice;
           Alcotest.test_case "rewrite expansion cache" `Quick test_rewrite_cache;
+          Alcotest.test_case "cache invalidation on SEO/eps change" `Quick
+            test_rewrite_cache_invalidation;
         ] );
     ]

@@ -486,6 +486,101 @@ let prop_sea_monotone_similarity =
             terms
       | _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Properties driven by the differential harness's generator            *)
+(* ------------------------------------------------------------------ *)
+
+(* The {!Toss_check.Rng} stream is version-stable, so unlike the QCheck
+   properties above these run the exact same inputs everywhere. Every
+   exported measure is held to Definition 7 (identity, symmetry,
+   non-negativity), and the ones that claim [strong] additionally to the
+   triangle inequality. *)
+
+module Crng = Toss_check.Rng
+module Cgen = Toss_check.Gen
+
+let all_metrics =
+  [ Levenshtein.metric; Levenshtein.damerau_metric; Levenshtein.normalized_metric;
+    Jaro.metric; Jaro.winkler_metric; Monge_elkan.metric; Name_rules.metric;
+    Text_rules.metric; Token.jaccard_metric; Token.cosine_metric;
+    Token.qgram_metric 2 ]
+
+let random_word rng =
+  let pool = [ "model"; "models"; "vldb"; "vld"; "data base"; "database";
+               "J. Ullman"; "Ullman, J."; "" ] in
+  if Crng.chance rng 50 then Crng.pick rng pool
+  else String.init (Crng.int rng 9) (fun _ -> Char.chr (97 + Crng.int rng 26))
+
+let test_metric_axioms () =
+  let rng = Crng.create 42 in
+  for _ = 1 to 200 do
+    let x = random_word rng and y = random_word rng in
+    List.iter
+      (fun m ->
+        let open Metric in
+        checkb (m.name ^ " identity") true (dist m x x = 0.);
+        checkb (m.name ^ " symmetry") true (dist m x y = dist m y x);
+        checkb (m.name ^ " non-negative") true (dist m x y >= 0.);
+        (* The banded/fast-path threshold tests must agree with dist. *)
+        List.iter
+          (fun eps ->
+            checkb (m.name ^ " within agrees with dist") true
+              (within m ~eps x y = (dist m x y <= eps)))
+          [ 0.; 1.; 2. ])
+      all_metrics
+  done
+
+let test_metric_triangle_when_strong () =
+  let rng = Crng.create 7 in
+  for _ = 1 to 200 do
+    let x = random_word rng and y = random_word rng and z = random_word rng in
+    List.iter
+      (fun m ->
+        if m.Metric.strong then
+          checkb
+            (m.Metric.name ^ " triangle inequality")
+            true
+            (Metric.dist m x z <= Metric.dist m x y +. Metric.dist m y z +. 1e-9))
+      all_metrics
+  done
+
+(* SEA invariants over the harness generator's ontologies: every cluster
+   is pairwise-ε-similar, μ maps each term to exactly the clusters that
+   contain it, and the library's own [Sea.check] agrees. *)
+let test_sea_invariants_on_generated_ontologies () =
+  let rng = Crng.create 2024 in
+  let checked = ref 0 in
+  while !checked < 40 do
+    let case = Cgen.case (Crng.sub_seed rng) in
+    let h = Hierarchy.of_pairs case.Cgen.isa_edges in
+    let eps = if case.Cgen.eps = 0. then 1.0 else case.Cgen.eps in
+    match Sea.enhance ~metric:Levenshtein.metric ~eps h with
+    | None -> () (* similarity inconsistent: nothing to check *)
+    | Some e ->
+        incr checked;
+        (match Sea.check ~original:h e with
+        | Ok () -> ()
+        | Error msgs ->
+            Alcotest.failf "Sea.check failed: %s" (String.concat "; " msgs));
+        List.iter
+          (fun cluster ->
+            let members = Node.strings cluster in
+            List.iter
+              (fun a ->
+                List.iter
+                  (fun b ->
+                    checkb "cluster members pairwise within eps" true
+                      (Metric.within Levenshtein.metric ~eps a b))
+                  members)
+              members)
+          (Sea.clusters e);
+        List.iter
+          (fun (n, images) ->
+            checkb "mu images each contain the original node" true
+              (List.for_all (fun img -> Node.subset n img) images))
+          e.Sea.mu
+  done
+
 let () =
   Alcotest.run "toss_similarity"
     [
@@ -513,6 +608,15 @@ let () =
           Alcotest.test_case "soft-tfidf" `Quick test_soft_tfidf;
           Alcotest.test_case "combinators" `Quick test_metric_combinators;
           Alcotest.test_case "of_similarity" `Quick test_of_similarity;
+        ] );
+      ( "generator-driven properties",
+        [
+          Alcotest.test_case "Definition 7 axioms, every measure" `Quick
+            test_metric_axioms;
+          Alcotest.test_case "triangle inequality when strong" `Quick
+            test_metric_triangle_when_strong;
+          Alcotest.test_case "SEA invariants on generated ontologies" `Quick
+            test_sea_invariants_on_generated_ontologies;
         ] );
       ( "rule-based",
         [

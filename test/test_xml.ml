@@ -207,6 +207,87 @@ let prop_print_parse_roundtrip =
   QCheck2.Test.make ~name:"parse inverts print on generated trees" ~count:200 tree_gen
     (fun t -> Tree.equal (parse (Printer.to_string t)) t)
 
+(* A sharper round-trip property: text and attribute values draw from
+   the full escaping-relevant alphabet (markup characters, both quote
+   kinds, entity ampersands, tabs, newlines, "]]>"), elements may carry
+   attributes, and whitespace-only text nodes are allowed. Reparsing
+   with [keep_whitespace:true] must reproduce the tree exactly. The
+   generator keeps trees in parse normal form — no empty and no adjacent
+   text nodes, since serialization concatenates those irrecoverably. *)
+let nasty_tree_gen =
+  let open QCheck2.Gen in
+  let tag_gen = oneofl [ "a"; "b"; "item"; "x1" ] in
+  let nasty_char =
+    oneofl [ '&'; '<'; '>'; '"'; '\''; ']'; ' '; '\t'; '\n'; 'a'; 'z'; '0' ]
+  in
+  let text_gen = string_size ~gen:nasty_char (int_range 1 8) in
+  let attrs_gen =
+    let* n = int_range 0 2 in
+    let* vals = list_repeat n text_gen in
+    return (List.mapi (fun i v -> (Printf.sprintf "k%d" i, v)) vals)
+  in
+  let no_adjacent_text children =
+    let rec ok = function
+      | Tree.Text _ :: Tree.Text _ :: _ -> false
+      | _ :: rest -> ok rest
+      | [] -> true
+    in
+    ok children
+  in
+  let rec tree n =
+    let leaf =
+      let* tag = tag_gen and* attrs = attrs_gen and* s = text_gen in
+      return (Tree.Element { tag; attrs; children = [ Tree.Text s ] })
+    in
+    if n <= 0 then leaf
+    else
+      frequency
+        [
+          (1, leaf);
+          ( 2,
+            let* tag = tag_gen and* attrs = attrs_gen in
+            let* kids =
+              list_size (int_range 0 3)
+                (frequency [ (1, map (fun s -> Tree.Text s) text_gen); (2, tree (n - 1)) ])
+            in
+            let kids = if no_adjacent_text kids then kids else [] in
+            return (Tree.Element { tag; attrs; children = kids }) );
+        ]
+  in
+  tree 3
+
+let prop_nasty_roundtrip =
+  QCheck2.Test.make ~name:"roundtrip with escaping and whitespace edge cases"
+    ~count:500 nasty_tree_gen (fun t ->
+      match Parser.parse ~keep_whitespace:true (Printer.to_string t) with
+      | Ok t' -> Tree.equal t' t
+      | Error e -> QCheck2.Test.fail_reportf "reparse failed: %s" e.Parser.message)
+
+let test_roundtrip_edge_cases () =
+  let rt t =
+    match Parser.parse ~keep_whitespace:true (Printer.to_string t) with
+    | Ok t' -> Tree.equal t' t
+    | Error _ -> false
+  in
+  checkb "markup characters in text" true
+    (rt (Tree.leaf "a" "x < y && z > \"w\" 'v'"));
+  checkb "cdata-terminator in text" true (rt (Tree.leaf "a" "]]>"));
+  checkb "both quote kinds in attributes" true
+    (rt (Tree.Element
+           { tag = "a"; attrs = [ ("k", {|say "hi" & 'bye' <now>|}) ]; children = [] }));
+  checkb "whitespace-only text survives keep_whitespace" true
+    (rt (Tree.element "a" [ Tree.element "b" []; Tree.Text "  \n\t "; Tree.element "c" [] ]));
+  checkb "attribute with newline and tab" true
+    (rt (Tree.Element { tag = "a"; attrs = [ ("k", "l1\nl2\tend") ]; children = [] }));
+  (* Character references: astral-plane scalars are fine, surrogate code
+     points are a parse error — not a crash. *)
+  checkb "astral char-ref parses" true
+    (match Parser.parse "<a>&#x1F600;</a>" with Ok _ -> true | Error _ -> false);
+  checkb "surrogate char-ref is a clean error" true
+    (match Parser.parse "<a>&#xD800;</a>" with Ok _ -> false | Error _ -> true);
+  checkb "out-of-range char-ref is a clean error" true
+    (match Parser.parse "<a>&#x110000;</a>" with Ok _ -> false | Error _ -> true)
+
 let prop_doc_preorder_invariants =
   QCheck2.Test.make ~name:"preorder ids are consistent with ancestry" ~count:100 tree_gen
     (fun t ->
@@ -348,6 +429,8 @@ let () =
         [
           Alcotest.test_case "escaping" `Quick test_print_escaping;
           Alcotest.test_case "roundtrip" `Quick test_print_parse_roundtrip;
+          Alcotest.test_case "roundtrip edge cases" `Quick test_roundtrip_edge_cases;
+          QCheck_alcotest.to_alcotest prop_nasty_roundtrip;
           Alcotest.test_case "byte size" `Quick test_byte_size;
           QCheck_alcotest.to_alcotest prop_print_parse_roundtrip;
         ] );
