@@ -5,7 +5,7 @@
      dune exec bench/main.exe -- fig15a fig16c  -- run a subset
 
    Experiments: fig15a fig15b fig15c fig16a fig16b fig16c
-                abl-sea abl-fuse abl-idx micro
+                abl-sea abl-fuse abl-idx abl-plan serve-cache micro
 
    Absolute times differ from the paper (their substrate was Xindice on a
    1.4 GHz Windows 2000 PC); the shapes -- who wins, by what factor, and
@@ -32,6 +32,8 @@ module Dblp_gen = Toss_data.Dblp_gen
 module Sigmod_gen = Toss_data.Sigmod_gen
 module Workload = Toss_data.Workload
 module Quality = Toss_eval.Quality
+module Engine = Toss_server.Engine
+module Protocol = Toss_server.Protocol
 module B = Toss_eval.Bench_util
 
 let metric = Workload.experiment_metric
@@ -529,6 +531,106 @@ let abl_idx () =
     (List.map (fun (n, ti, tu) -> [ string_of_int n; B.fs ti; B.fs tu ]) rows)
 
 (* ------------------------------------------------------------------ *)
+(* Serving: the versioned result cache, cold vs warm vs disabled        *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs against the server's in-process engine (no socket, no pool), so
+   the numbers isolate the cache itself rather than transport costs. *)
+let serve_tql =
+  "MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa \"database conference\" SELECT #1"
+
+let serve_engine ~seed ~n_papers =
+  let eng =
+    (* The same measure `toss serve` runs, so the numbers match the
+       deployed configuration. *)
+    match Engine.create ~metric:Workload.experiment_metric () with
+    | Ok eng -> eng
+    | Error msg -> failwith ("serve engine creation failed: " ^ msg)
+  in
+  let rendered = Dblp_gen.render ~seed (Corpus.generate ~seed ~n_papers ()) in
+  let xml = Printer.to_string rendered.Dblp_gen.tree in
+  (match
+     Engine.exec eng ~deadline:None (Protocol.Insert { collection = "dblp"; xml })
+   with
+  | Ok _ -> ()
+  | Error e -> failwith ("serve insert failed: " ^ e.Protocol.message));
+  eng
+
+let serve_query ?(cache = true) eng =
+  match
+    Engine.exec eng ~deadline:None
+      (Protocol.Query
+         { collection = "dblp"; tql = serve_tql; mode = Executor.Toss; cache })
+  with
+  | Ok payload -> payload
+  | Error e -> failwith ("serve query failed: " ^ e.Protocol.message)
+
+let cache_status payload =
+  match Toss_json.member "cache" payload with
+  | Some (Toss_json.Str s) -> s
+  | _ -> "?"
+
+let serve_cache () =
+  B.print_header
+    "Serving: result cache cold vs warm vs disabled (in-process engine)";
+  let rows =
+    List.map
+      (fun n_papers ->
+        let eng = serve_engine ~seed:91 ~n_papers in
+        (* The first query pays the SEO precompute and populates the
+           cache for the collection's current version. *)
+        let first, cold_t = B.time (fun () -> serve_query eng) in
+        assert (cache_status first = "miss");
+        (* A single hit is near the clock's resolution; time batches of
+           100 and report the per-hit median. *)
+        let warm, warm_t =
+          B.time_median ~runs:11 (fun () ->
+              let last = ref Toss_json.Null in
+              for _ = 1 to 100 do last := serve_query eng done;
+              !last)
+        in
+        let warm_t = warm_t /. 100. in
+        assert (cache_status warm = "hit");
+        let off, off_t =
+          B.time_median ~runs:5 (fun () -> serve_query ~cache:false eng)
+        in
+        assert (cache_status off = "miss");
+        (* A write invalidates: the very next cached query misses again,
+           at the bumped collection version. *)
+        (match
+           Engine.exec eng ~deadline:None
+             (Protocol.Insert
+                {
+                  collection = "dblp";
+                  xml = "<inproceedings><title>x</title></inproceedings>";
+                })
+         with
+        | Ok _ -> ()
+        | Error e -> failwith ("serve invalidating insert failed: " ^ e.Protocol.message));
+        let post, post_t = B.time (fun () -> serve_query eng) in
+        assert (cache_status post = "miss");
+        (n_papers, cold_t, off_t, warm_t, post_t))
+      [ 100; 250; 500 ]
+  in
+  emit "serve-cache"
+    ~columns:
+      [
+        "papers"; "cold (s)"; "uncached (s)"; "warm hit (s)"; "post-insert (s)";
+        "hit speedup";
+      ]
+    (List.map
+       (fun (n, cold, off, warm, post) ->
+         [
+           string_of_int n; B.fs cold; B.fs off; B.fs warm; B.fs post;
+           B.f2 (off /. warm);
+         ])
+       rows);
+  Printf.printf
+    "\ncold pays the SEO precompute; a warm hit skips execution entirely;\n\
+     an insert bumps the collection version so the next query misses --\n\
+     a cached result is never served across a write\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per figure kernel            *)
 (* ------------------------------------------------------------------ *)
 
@@ -610,16 +712,17 @@ let micro () =
 
 (* A small, fast, deterministic suite over the same kernels as [micro],
    measured as wall-clock medians so runs are comparable across commits.
-   [--quick] records its medians as the baseline artifact (BENCH_3.json
+   [--quick] records its medians as the baseline artifact (BENCH_4.json
    at the repo root); [--check] re-measures and fails the process when
-   any median regressed beyond the tolerance. BENCH_2.json is the
-   pre-planner baseline, kept so the planner refactor can be gated
-   against it (the gate only iterates baseline entries, so the newer
-   join-eq-* kernels are ignored when checking against it). *)
+   any median regressed beyond the tolerance. Older baselines are kept
+   so earlier refactors can still be gated against: BENCH_2.json is
+   pre-planner, BENCH_3.json pre-server (the gate only iterates
+   baseline entries, so kernels newer than a baseline are ignored when
+   checking against it). *)
 module Baseline = Toss_eval.Baseline
 
 let baseline_label = "toss-perf-suite"
-let default_baseline_path = "BENCH_3.json"
+let default_baseline_path = "BENCH_4.json"
 
 let perf_suite ~slowdown () =
   B.print_header "Perf suite (wall-clock medians for the regression gate)";
@@ -653,6 +756,7 @@ let perf_suite ~slowdown () =
   in
   let eq_pattern, eq_sl = title_self_join () in
   let sea_h = Lexicon.isa_hierarchy (Lexicon.synthetic ~seed:9 ~n_terms:200) in
+  let srv = serve_engine ~seed:91 ~n_papers:100 in
   (* 11 runs: the sub-millisecond kernels need the extra samples for the
      median to be stable across invocations. *)
   let runs = 11 in
@@ -686,6 +790,15 @@ let perf_suite ~slowdown () =
           ignore (Collection.eval_string coll "//inproceedings[booktitle='VLDB']/author"));
       ("sea-enhance", fun () ->
           ignore (Sea.enhance ~metric:Levenshtein.metric ~eps:2.0 sea_h));
+      (* Server kernels: the same query through the engine, uncached vs a
+         cache hit. The per-kernel warm-up call below pays the SEO
+         precompute (uncached) and populates the cache (cached), so the
+         measured runs are a pure miss-path / hit-path comparison. *)
+      ("serve-uncached", fun () -> ignore (serve_query ~cache:false srv));
+      (* A single hit is ~1us -- far too small for a stable median under
+         a 20% gate -- so the kernel measures a batch of 500. *)
+      ("serve-cached", fun () ->
+          for _ = 1 to 500 do ignore (serve_query srv) done);
     ]
   in
   let entries =
@@ -758,13 +871,14 @@ let experiments =
     ("abl-fuse", abl_fuse);
     ("abl-idx", abl_idx);
     ("abl-plan", abl_plan);
+    ("serve-cache", serve_cache);
     ("micro", micro);
   ]
 
 let usage () =
   Printf.eprintf
     "usage: bench [EXPERIMENT...]\n\
-    \       bench --quick [--out FILE]                 record BENCH_3.json\n\
+    \       bench --quick [--out FILE]                 record BENCH_4.json\n\
     \       bench --quick --check [--baseline FILE]    gate against a baseline\n\
     \            [--tolerance X] [--slowdown F] [--out FILE]\n\
      experiments: %s\n"

@@ -1,0 +1,11 @@
+set datafile separator ','
+set key autotitle columnhead
+set xlabel "papers"
+set ylabel 'value'
+set term pngcairo size 800,500
+set output 'serve-cache.png'
+plot 'serve-cache.csv' using 1:2 with linespoints, \
+     'serve-cache.csv' using 1:3 with linespoints, \
+     'serve-cache.csv' using 1:4 with linespoints, \
+     'serve-cache.csv' using 1:5 with linespoints, \
+     'serve-cache.csv' using 1:6 with linespoints

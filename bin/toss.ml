@@ -448,6 +448,227 @@ let stats_cmd =
              of its results.")
     Term.(ret (const stats_run $ files $ q $ mode $ eps))
 
+(* ----------------------------- serve ------------------------------ *)
+
+let serve_run socket db workers max_queue default_deadline_ms no_cache
+    cache_capacity eps slow_ms =
+  if workers < 0 then `Error (true, "--workers must be >= 0")
+  else if max_queue < 0 then `Error (true, "--max-queue must be >= 0")
+  else begin
+    Option.iter
+      (fun ms ->
+        Toss_obs.Event.install
+          (Toss_obs.Event.slow_query ~threshold_s:(float_of_int ms /. 1000.)
+             ~write:(fun line ->
+               output_string stderr line;
+               output_char stderr '\n';
+               flush stderr)))
+      slow_ms;
+    let config =
+      {
+        Toss_server.Server.socket_path = socket;
+        db_dir = db;
+        workers;
+        max_queue;
+        default_deadline_ms;
+        cache_capacity = (if no_cache then 0 else cache_capacity);
+        (* The same composite measure one-shot [toss query] uses, so a
+           served query returns the same answers as the CLI. *)
+        metric = Some Workload.experiment_metric;
+        eps;
+      }
+    in
+    let ready () =
+      Printf.printf "toss serve: listening on %s (workers=%d, queue=%d, cache=%d)\n%!"
+        socket workers max_queue config.Toss_server.Server.cache_capacity
+    in
+    match Toss_server.Server.run ~ready config with
+    | Ok () ->
+        print_endline "toss serve: stopped";
+        `Ok ()
+    | Error msg -> `Error (false, msg)
+  end
+
+let serve_cmd =
+  let socket =
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path to listen on.")
+  in
+  let db =
+    Arg.(value & opt (some string) None & info [ "db" ] ~docv:"DIR"
+           ~doc:"Database directory: hydrate collections from it on start \
+                 and append every insert to it (created if missing).")
+  in
+  let workers =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker threads executing queued requests.")
+  in
+  let max_queue =
+    Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N"
+           ~doc:"Admission-control queue bound; requests beyond it are shed \
+                 with the typed $(b,overloaded) error.")
+  in
+  let default_deadline_ms =
+    Arg.(value & opt (some int) None & info [ "default-deadline-ms" ] ~docv:"MS"
+           ~doc:"Deadline applied to requests that carry none.")
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ]
+           ~doc:"Disable the versioned query-result cache.")
+  in
+  let cache_capacity =
+    Arg.(value & opt int 256 & info [ "cache-capacity" ] ~docv:"N"
+           ~doc:"Result-cache entry bound (FIFO eviction).")
+  in
+  let eps =
+    Arg.(value & opt float 2.0 & info [ "eps" ] ~docv:"EPS"
+           ~doc:"Similarity threshold of the serving session.")
+  in
+  let slow_ms =
+    Arg.(value & opt (some int) None & info [ "slow-ms" ] ~docv:"MS"
+           ~doc:"Slow-query log: write one JSON record to stderr per query \
+                 at or over the threshold.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve collections over a Unix-domain socket: a newline-delimited \
+             JSON protocol with a worker pool, per-request deadlines, \
+             admission control and a versioned result cache.")
+    Term.(ret
+            (const serve_run $ socket $ db $ workers $ max_queue
+             $ default_deadline_ms $ no_cache $ cache_capacity $ eps $ slow_ms))
+
+(* ----------------------------- client ----------------------------- *)
+
+let client_run socket op arg1 arg2 mode no_cache deadline_ms bench concurrency
+    allow_errors table =
+  let need2 what k =
+    match (arg1, arg2) with
+    | Some a, Some b -> k a b
+    | _ -> Error (Printf.sprintf "%s needs %s" op what)
+  in
+  let request =
+    match op with
+    | "ping" -> Ok Toss_server.Protocol.Ping
+    | "stats" -> Ok Toss_server.Protocol.Stats
+    | "shutdown" -> Ok Toss_server.Protocol.Shutdown
+    | "insert" ->
+        need2 "COLLECTION and an XML FILE" (fun collection file ->
+            if Sys.file_exists file then
+              Ok (Toss_server.Protocol.Insert { collection; xml = read_file file })
+            else Error (Printf.sprintf "no such file: %s" file))
+    | "query" ->
+        need2 "COLLECTION and TQL" (fun collection tql ->
+            Ok
+              (Toss_server.Protocol.Query
+                 { collection; tql; mode; cache = not no_cache }))
+    | "explain" ->
+        need2 "COLLECTION and TQL" (fun collection tql ->
+            Ok (Toss_server.Protocol.Explain { collection; tql; mode }))
+    | other ->
+        Error
+          (Printf.sprintf
+             "unknown op %S (expected ping, insert, query, explain, stats or \
+              shutdown)"
+             other)
+  in
+  match request with
+  | Error msg -> `Error (true, msg)
+  | Ok request -> (
+      match bench with
+      | Some requests -> (
+          match
+            Toss_server.Client.bench ~socket ~requests ~concurrency ?deadline_ms
+              (fun _ -> request)
+          with
+          | Error msg -> `Error (false, msg)
+          | Ok r ->
+              print_endline (Toss_json.to_string (Toss_server.Client.bench_to_json r));
+              if
+                (not allow_errors)
+                && (r.Toss_server.Client.transport_errors > 0
+                   || r.Toss_server.Client.errors <> [])
+              then exit 1
+              else `Ok ())
+      | None -> (
+          match Toss_server.Client.connect ~socket with
+          | Error msg -> `Error (false, msg)
+          | Ok conn -> (
+              let result = Toss_server.Client.call conn ?deadline_ms request in
+              Toss_server.Client.close conn;
+              match result with
+              | Ok payload ->
+                  (* [--table] renders the human form of a stats payload;
+                     everything else prints the result as one JSON line. *)
+                  (match
+                     if table then
+                       Option.bind (Toss_json.member "table" payload)
+                         Toss_json.to_str
+                     else None
+                   with
+                  | Some text -> print_string text
+                  | None -> print_endline (Toss_json.to_string payload));
+                  `Ok ()
+              | Error (Toss_server.Client.Wire e) ->
+                  Printf.eprintf "error %s: %s\n"
+                    (Toss_server.Protocol.code_name e.Toss_server.Protocol.code)
+                    e.Toss_server.Protocol.message;
+                  exit 1
+              | Error (Toss_server.Client.Transport msg) -> `Error (false, msg))))
+
+let client_cmd =
+  let socket =
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket of the server.")
+  in
+  let op =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OP"
+           ~doc:"One of ping, insert, query, explain, stats, shutdown.")
+  in
+  let arg1 = Arg.(value & pos 1 (some string) None & info [] ~docv:"COLLECTION") in
+  let arg2 = Arg.(value & pos 2 (some string) None & info [] ~docv:"ARG") in
+  let mode =
+    Arg.(value
+         & opt (enum [ ("toss", Executor.Toss); ("tax", Executor.Tax) ]) Executor.Toss
+         & info [ "mode" ] ~docv:"MODE" ~doc:"Semantics: toss (default) or tax.")
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ]
+           ~doc:"Ask the server to bypass its result cache for this query.")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Per-request deadline.")
+  in
+  let bench =
+    Arg.(value & opt (some int) None & info [ "bench" ] ~docv:"N"
+           ~doc:"Closed-loop benchmark: send the request $(docv) times and \
+                 print a latency/error summary as JSON. Exits 1 on any \
+                 error unless $(b,--allow-errors).")
+  in
+  let concurrency =
+    Arg.(value & opt int 4 & info [ "concurrency" ] ~docv:"C"
+           ~doc:"Bench connections (threads), each with one request \
+                 outstanding.")
+  in
+  let allow_errors =
+    Arg.(value & flag & info [ "allow-errors" ]
+           ~doc:"Bench only: report errors in the summary instead of \
+                 exiting 1 (for deliberately induced overload).")
+  in
+  let table =
+    Arg.(value & flag & info [ "table" ]
+           ~doc:"With $(b,stats): print the human-readable metrics table \
+                 instead of JSON.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Talk to a running $(b,toss serve): one-shot requests or a \
+             closed-loop benchmark.")
+    Term.(ret
+            (const client_run $ socket $ op $ arg1 $ arg2 $ mode $ no_cache
+             $ deadline_ms $ bench $ concurrency $ allow_errors $ table))
+
 let check_run seed runs op fault repro_out =
   match Toss_check.Harness.fault_of_string fault with
   | None ->
@@ -516,4 +737,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ generate_cmd; info_cmd; xpath_cmd; ontology_cmd; clusters_cmd; dot_cmd;
-            query_cmd; stats_cmd; check_cmd ]))
+            query_cmd; stats_cmd; check_cmd; serve_cmd; client_cmd ]))

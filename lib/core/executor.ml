@@ -122,8 +122,8 @@ let finish ~op ~plan (results, (exec : Plan.exec_stats)) trace =
       trace;
     } )
 
-let select ?(mode = Toss) ?(use_index = true) ?max_expansion ?(planner = true) seo
-    collection ~pattern ~sl =
+let select ?(mode = Toss) ?(use_index = true) ?max_expansion ?(planner = true)
+    ?check seo collection ~pattern ~sl =
   Metrics.incr m_selects;
   event_query_start ~op:"select" ~mode collection;
   let eval = evaluator_of mode seo in
@@ -135,12 +135,12 @@ let select ?(mode = Toss) ?(use_index = true) ?max_expansion ?(planner = true) s
                 ~optimize:planner seo collection ~pattern ~sl)
         in
         event_rewrite_done ~op:"select" (Plan.label_queries plan);
-        (plan, Plan.run ~use_index ~eval ~coll_of:(fun _ -> collection) plan))
+        (plan, Plan.run ?check ~use_index ~eval ~coll_of:(fun _ -> collection) plan))
   in
   finish ~op:"select" ~plan outcome trace
 
-let join ?(mode = Toss) ?(use_index = true) ?max_expansion ?(planner = true) seo
-    left_coll right_coll ~pattern ~sl =
+let join ?(mode = Toss) ?(use_index = true) ?max_expansion ?(planner = true)
+    ?check seo left_coll right_coll ~pattern ~sl =
   Metrics.incr m_joins;
   event_query_start ~op:"join" ~mode left_coll;
   let eval = evaluator_of mode seo in
@@ -156,6 +156,6 @@ let join ?(mode = Toss) ?(use_index = true) ?max_expansion ?(planner = true) seo
                 seo left_coll right_coll ~pattern ~sl)
         in
         event_rewrite_done ~op:"join" (Plan.label_queries plan);
-        (plan, Plan.run ~use_index ~eval ~coll_of plan))
+        (plan, Plan.run ?check ~use_index ~eval ~coll_of plan))
   in
   finish ~op:"join" ~plan outcome trace

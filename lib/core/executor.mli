@@ -63,6 +63,7 @@ val select :
   ?use_index:bool ->
   ?max_expansion:int ->
   ?planner:bool ->
+  ?check:(unit -> unit) ->
   Seo.t ->
   Toss_store.Collection.t ->
   pattern:Toss_tax.Pattern.t ->
@@ -70,13 +71,16 @@ val select :
   Toss_xml.Tree.t list * stats
 (** [σ_{P,SL}] over every document of the collection. [planner]
     (default true) enables cost-based scan ordering and candidate-doc
-    pruning. *)
+    pruning. [check] is forwarded to {!Plan.run} as its cooperative
+    cancellation checkpoint (the query server's per-request deadline);
+    whatever it raises propagates out of this call. *)
 
 val join :
   ?mode:mode ->
   ?use_index:bool ->
   ?max_expansion:int ->
   ?planner:bool ->
+  ?check:(unit -> unit) ->
   Seo.t ->
   Toss_store.Collection.t ->
   Toss_store.Collection.t ->

@@ -87,24 +87,8 @@ let pp ppf t =
 
 let to_string t = Format.asprintf "%a" pp t
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
 let to_json t =
-  let str s = "\"" ^ json_escape s ^ "\"" in
+  let str s = Toss_json.quote s in
   let arr items = "[" ^ String.concat "," items ^ "]" in
   let queries =
     List.map

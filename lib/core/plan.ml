@@ -202,11 +202,12 @@ let rec candidate_filters = function
 (* Phase ii: run every scan of one side, in order, each in its own
    [xpath] span (annotated by the store with rows / index hit counts)
    with an [Xpath_exec] event reusing the span's measured elapsed. *)
-let fetch_side ~use_index coll scans =
+let fetch_side ~check ~use_index coll scans =
   let table : (int * int, Doc.node list) Hashtbl.t = Hashtbl.create 64 in
   let total = ref 0 in
   List.iter
     (fun s ->
+      check ();
       let hits, sp =
         Span.timed
           ~meta:[ ("label", string_of_int s.scan_label) ]
@@ -234,12 +235,13 @@ let fetch_side ~use_index coll scans =
 
 let side_name = function Single -> "single" | Left -> "left" | Right -> "right"
 
-let run ?(use_index = true) ~eval ~coll_of plan =
+let run ?(check = ignore) ?(use_index = true) ~eval ~coll_of plan =
   (* Phase ii: all label scans, one [execute] span. *)
   let fetched =
     Span.with_ Names.execute (fun () ->
         List.map
-          (fun (side, scans) -> (side, fetch_side ~use_index (coll_of side) scans))
+          (fun (side, scans) ->
+            (side, fetch_side ~check ~use_index (coll_of side) scans))
           (candidate_filters plan.root))
   in
   let n_candidates = List.fold_left (fun acc (_, (_, n)) -> acc + n) 0 fetched in
@@ -316,6 +318,7 @@ let run ?(use_index = true) ~eval ~coll_of plan =
             Trees
               (List.concat_map
                  (fun doc_id ->
+                   check ();
                    Span.with_
                      ~meta:[ ("doc", string_of_int doc_id) ]
                      Names.embed
@@ -352,6 +355,7 @@ let run ?(use_index = true) ~eval ~coll_of plan =
               ( spec,
                 List.concat_map
                   (fun doc_id ->
+                    check ();
                     Span.with_
                       ~meta:[ ("side", name); ("doc", string_of_int doc_id) ]
                       Names.embed
@@ -389,6 +393,7 @@ let run ?(use_index = true) ~eval ~coll_of plan =
                let results =
                  List.concat_map
                    (fun l ->
+                     check ();
                      List.filter_map
                        (fun r ->
                          if eval (pair_env l r) cross_condition then
@@ -425,6 +430,7 @@ let run ?(use_index = true) ~eval ~coll_of plan =
                let results =
                  List.concat_map
                    (fun ((ldoc, lbind) as l) ->
+                     check ();
                      match key_of (binding_env ldoc lbind) lterms with
                      | None -> []
                      | Some k ->

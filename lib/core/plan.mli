@@ -109,6 +109,7 @@ type fault =
 val fault : fault ref
 
 val run :
+  ?check:(unit -> unit) ->
   ?use_index:bool ->
   eval:(Toss_tax.Condition.env -> Toss_tax.Condition.t -> bool) ->
   coll_of:(side -> Toss_store.Collection.t) ->
@@ -118,4 +119,14 @@ val run :
     (and [Xpath_exec] event) per scan, then one [assemble] span
     containing the [prune], per-document [embed] and (for joins) [pair]
     spans. Must be called inside an executor root span for the trace to
-    be observable; works standalone too (spans become no-ops). *)
+    be observable; works standalone too (spans become no-ops).
+
+    [check] is a cooperative cancellation checkpoint, called before
+    every label scan, every per-document embedding enumeration, and
+    every outer pairing iteration — the interpreter's unit-of-work
+    boundaries. It does nothing by default; the query server passes one
+    that raises once the request's deadline has passed, which unwinds
+    the interpreter mid-plan (no partial results escape: the exception
+    propagates through {!Executor}). Checkpoint granularity bounds how
+    long a runaway query can overstay its deadline by the cost of one
+    scan or one document's embedding enumeration. *)

@@ -34,9 +34,17 @@ let add_collection t name =
   | Some c -> c
   | None -> Database.create_collection t.database name
 
-let add_document t ~collection tree =
-  ignore (Collection.add_document (add_collection t collection) tree);
-  invalidate t
+let insert t ~collection tree =
+  let id = Collection.add_document (add_collection t collection) tree in
+  invalidate t;
+  id
+
+let add_document t ~collection tree = ignore (insert t ~collection tree)
+
+let version t ~collection =
+  match Database.collection t.database collection with
+  | Some c -> Collection.version c
+  | None -> 0
 
 let add_xml t ~collection xml =
   match Collection.add_xml (add_collection t collection) xml with
@@ -77,14 +85,17 @@ let with_query t text f =
       | Error msg -> Error msg
       | Ok context -> f q context)
 
-let query ?(mode = Executor.Toss) t ~collection:name text =
+let query ?(mode = Executor.Toss) ?check t ~collection:name text =
   match Database.collection t.database name with
   | None -> Error (Printf.sprintf "unknown collection %S" name)
   | Some coll ->
       with_query t text (fun q context ->
           match q.Tql.target with
           | Tql.Select sl ->
-              let trees, stats = Executor.select ~mode context coll ~pattern:q.Tql.pattern ~sl in
+              let trees, stats =
+                Executor.select ~mode ?check context coll ~pattern:q.Tql.pattern
+                  ~sl
+              in
               Ok { trees; stats = Some stats }
           | Tql.Project pl ->
               let eval =
@@ -102,7 +113,7 @@ let query ?(mode = Executor.Toss) t ~collection:name text =
               in
               Ok { trees; stats = None })
 
-let join ?(mode = Executor.Toss) t ~left ~right text =
+let join ?(mode = Executor.Toss) ?check t ~left ~right text =
   match (Database.collection t.database left, Database.collection t.database right) with
   | None, _ -> Error (Printf.sprintf "unknown collection %S" left)
   | _, None -> Error (Printf.sprintf "unknown collection %S" right)
@@ -112,6 +123,6 @@ let join ?(mode = Executor.Toss) t ~left ~right text =
           | Tql.Project _ -> Error "join does not support PROJECT"
           | Tql.Select sl ->
               let trees, stats =
-                Executor.join ~mode context l r ~pattern:q.Tql.pattern ~sl
+                Executor.join ~mode ?check context l r ~pattern:q.Tql.pattern ~sl
               in
               Ok { trees; stats = Some stats })

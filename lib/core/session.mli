@@ -22,6 +22,20 @@ val add_collection : t -> string -> Toss_store.Collection.t
 (** Creates (or returns) a named collection. *)
 
 val add_document : t -> collection:string -> Toss_xml.Tree.t -> unit
+
+val insert :
+  t -> collection:string -> Toss_xml.Tree.t -> Toss_store.Collection.doc_id
+(** {!add_document} returning the new document's id — the server needs
+    it to answer the insert and to append the document file to its
+    [--db] directory. *)
+
+val version : t -> collection:string -> int
+(** The collection's monotonic write counter ({!Toss_store.Collection.version});
+    [0] for collections that don't exist yet. Together with the
+    collection name this identifies the exact state a query ran
+    against — the result-cache key and the anchor of the concurrency
+    stress test's replay check. *)
+
 val add_xml : t -> collection:string -> string -> (unit, Toss_xml.Parser.error) result
 val collection : t -> string -> Toss_store.Collection.t option
 val collection_names : t -> string list
@@ -36,13 +50,22 @@ type answer = {
 }
 
 val query :
-  ?mode:Executor.mode -> t -> collection:string -> string -> (answer, string) result
+  ?mode:Executor.mode ->
+  ?check:(unit -> unit) ->
+  t ->
+  collection:string ->
+  string ->
+  (answer, string) result
 (** Parses a TQL string and runs it against one collection (selection
     through the store executor, projection through the in-memory
-    algebra). *)
+    algebra). [check] is the executor's cooperative cancellation
+    checkpoint (see {!Executor.select}); anything it raises propagates
+    out of this call. It is not consulted on projections, which bypass
+    the plan interpreter. *)
 
 val join :
   ?mode:Executor.mode ->
+  ?check:(unit -> unit) ->
   t ->
   left:string ->
   right:string ->

@@ -5,33 +5,26 @@ let v ~label entries =
   if label = "" then invalid_arg "Baseline.v: empty label";
   { label; entries }
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
+(* The artifact is written through the shared JSON writer; medians keep
+   full precision (the writer escalates to %.17g whenever a shorter
+   rendering would not re-parse to the same float). *)
 let to_json t =
-  let experiments =
-    String.concat ","
-      (List.map
-         (fun (name, e) ->
-           Printf.sprintf "\"%s\":{\"median_s\":%.9f,\"runs\":%d}"
-             (json_escape name) e.median_s e.runs)
-         t.entries)
-  in
-  Printf.sprintf "{\"bench\":\"%s\",\"experiments\":{%s}}" (json_escape t.label)
-    experiments
+  Json_lite.to_string
+    (Json_lite.Obj
+       [
+         ("bench", Json_lite.Str t.label);
+         ( "experiments",
+           Json_lite.Obj
+             (List.map
+                (fun (name, e) ->
+                  ( name,
+                    Json_lite.Obj
+                      [
+                        ("median_s", Json_lite.Num e.median_s);
+                        ("runs", Json_lite.Num (float_of_int e.runs));
+                      ] ))
+                t.entries) );
+       ])
 
 let of_json s =
   match Json_lite.parse s with

@@ -1,184 +1,5 @@
-type t =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | Arr of t list
-  | Obj of (string * t) list
-
-exception Fail of string
-
-let fail pos msg = raise (Fail (Printf.sprintf "%s at offset %d" msg pos))
-
-(* Recursive descent over [s] with a mutable cursor. *)
-let parse_value s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let skip_ws () =
-    while
-      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
-    do
-      advance ()
-    done
-  in
-  let expect c =
-    match peek () with
-    | Some got when got = c -> advance ()
-    | _ -> fail !pos (Printf.sprintf "expected %C" c)
-  in
-  let literal word value =
-    let w = String.length word in
-    if !pos + w <= n && String.sub s !pos w = word then begin
-      pos := !pos + w;
-      value
-    end
-    else fail !pos (Printf.sprintf "expected %s" word)
-  in
-  (* Encode a decoded \uXXXX code point as UTF-8 bytes. *)
-  let add_utf8 buf cp =
-    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
-    else if cp < 0x800 then begin
-      Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
-      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
-    end
-    else begin
-      Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
-      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
-      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
-    end
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      if !pos >= n then fail !pos "unterminated string"
-      else
-        match s.[!pos] with
-        | '"' -> advance ()
-        | '\\' ->
-            advance ();
-            (if !pos >= n then fail !pos "unterminated escape"
-             else
-               match s.[!pos] with
-               | '"' -> Buffer.add_char buf '"'; advance ()
-               | '\\' -> Buffer.add_char buf '\\'; advance ()
-               | '/' -> Buffer.add_char buf '/'; advance ()
-               | 'b' -> Buffer.add_char buf '\b'; advance ()
-               | 'f' -> Buffer.add_char buf '\012'; advance ()
-               | 'n' -> Buffer.add_char buf '\n'; advance ()
-               | 'r' -> Buffer.add_char buf '\r'; advance ()
-               | 't' -> Buffer.add_char buf '\t'; advance ()
-               | 'u' ->
-                   advance ();
-                   if !pos + 4 > n then fail !pos "truncated \\u escape";
-                   let hex = String.sub s !pos 4 in
-                   (match int_of_string_opt ("0x" ^ hex) with
-                   | Some cp ->
-                       add_utf8 buf cp;
-                       pos := !pos + 4
-                   | None -> fail !pos "bad \\u escape")
-               | c -> fail !pos (Printf.sprintf "bad escape %C" c));
-            go ()
-        | c ->
-            Buffer.add_char buf c;
-            advance ();
-            go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    let number_char c =
-      match c with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while !pos < n && number_char s.[!pos] do
-      advance ()
-    done;
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> f
-    | None -> fail start "bad number"
-  in
-  let rec value () =
-    skip_ws ();
-    match peek () with
-    | None -> fail !pos "unexpected end of input"
-    | Some '"' -> Str (parse_string ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin
-          advance ();
-          Arr []
-        end
-        else begin
-          let rec items acc =
-            let v = value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                items (v :: acc)
-            | Some ']' ->
-                advance ();
-                List.rev (v :: acc)
-            | _ -> fail !pos "expected ',' or ']'"
-          in
-          Arr (items [])
-        end
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin
-          advance ();
-          Obj []
-        end
-        else begin
-          let parse_member () =
-            skip_ws ();
-            let key = parse_string () in
-            skip_ws ();
-            expect ':';
-            (key, value ())
-          in
-          let rec members acc =
-            let kv = parse_member () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                members (kv :: acc)
-            | Some '}' ->
-                advance ();
-                List.rev (kv :: acc)
-            | _ -> fail !pos "expected ',' or '}'"
-          in
-          Obj (members [])
-        end
-    | Some _ -> Num (parse_number ())
-  in
-  let v = value () in
-  skip_ws ();
-  if !pos < n then fail !pos "trailing input after value";
-  v
-
-let parse s =
-  match parse_value s with v -> Ok v | exception Fail msg -> Error msg
-
-let parse_exn s =
-  match parse s with
-  | Ok v -> v
-  | Error msg -> invalid_arg ("Json_lite.parse: " ^ msg)
-
-let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
-let to_list = function Arr items -> Some items | _ -> None
-let to_num = function Num f -> Some f | _ -> None
-let to_str = function Str s -> Some s | _ -> None
-let to_bool = function Bool b -> Some b | _ -> None
+(* Deprecated alias: the reader grew a writer and moved to the shared
+   [Toss_json] library (lib/json) so the server wire protocol,
+   [Toss_core.Explain.to_json] and the bench baselines share one
+   implementation. Existing [Toss_eval.Json_lite] users keep working. *)
+include Toss_json

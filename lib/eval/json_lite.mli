@@ -1,35 +1,12 @@
-(** A minimal JSON reader.
+(** Deprecated alias of {!Toss_json}.
 
-    Just enough of RFC 8259 to read back the artifacts this repository
-    writes (bench baselines, metrics snapshots, profiler event logs) —
-    kept dependency-free on purpose: the container pins the toolchain,
-    so no [yojson]. Numbers are all parsed as [float]; strings decode
-    the standard escapes including [\uXXXX] (encoded back to UTF-8;
-    surrogate pairs are not combined). Object member order is
-    preserved; duplicate keys are kept ([member] returns the first). *)
+    The JSON reader was promoted to the shared dependency-free
+    [toss.json] library (gaining a writer on the way) so the server's
+    wire protocol, [Explain.to_json] and the bench baseline artifacts
+    share one implementation. Use {!Toss_json} directly in new code.
 
-type t =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | Arr of t list
-  | Obj of (string * t) list
+    @deprecated Use {!Toss_json}. *)
 
-val parse : string -> (t, string) result
-(** Parses one JSON value (surrounding whitespace allowed); [Error]
-    carries a message with a byte offset. Trailing non-whitespace after
-    the value is an error. *)
-
-val parse_exn : string -> t
-(** @raise Invalid_argument on parse failure. *)
-
-(** {1 Accessors} — all total, returning [None] on kind mismatch. *)
-
-val member : string -> t -> t option
-(** First binding of the key in an [Obj]. *)
-
-val to_list : t -> t list option
-val to_num : t -> float option
-val to_str : t -> string option
-val to_bool : t -> bool option
+include module type of struct
+  include Toss_json
+end

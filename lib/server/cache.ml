@@ -1,0 +1,82 @@
+module Metrics = Toss_obs.Metrics
+
+type key = {
+  collection : string;
+  version : int;
+  config : string;
+  mode : string;
+  tql : string;
+}
+
+type t = {
+  lock : Mutex.t;
+  capacity : int;
+  table : (key, Toss_json.t) Hashtbl.t;
+  order : key Queue.t;  (** insertion order, for FIFO eviction *)
+}
+
+let m_hits = Metrics.counter "server.cache.hits"
+let m_misses = Metrics.counter "server.cache.misses"
+let m_evictions = Metrics.counter "server.cache.evictions"
+let m_invalidations = Metrics.counter "server.cache.invalidations"
+let g_entries = Metrics.gauge "server.cache.entries"
+
+let create ?(capacity = 256) () =
+  {
+    lock = Mutex.create ();
+    capacity;
+    table = Hashtbl.create (max 16 capacity);
+    order = Queue.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let note_size t = Metrics.set g_entries (float_of_int (Hashtbl.length t.table))
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some v ->
+          Metrics.incr m_hits;
+          Some v
+      | None ->
+          Metrics.incr m_misses;
+          None)
+
+(* The order queue may hold keys already removed from the table (by
+   [invalidate] or a same-key replace); eviction skips them. *)
+let rec evict_one t =
+  match Queue.take_opt t.order with
+  | None -> ()
+  | Some oldest ->
+      if Hashtbl.mem t.table oldest then (
+        Hashtbl.remove t.table oldest;
+        Metrics.incr m_evictions)
+      else evict_one t
+
+let add t key value =
+  if t.capacity > 0 then
+    locked t (fun () ->
+        if not (Hashtbl.mem t.table key) then begin
+          while Hashtbl.length t.table >= t.capacity do
+            evict_one t
+          done;
+          Queue.push key t.order
+        end;
+        Hashtbl.replace t.table key value;
+        note_size t)
+
+let invalidate t ~collection =
+  locked t (fun () ->
+      let stale =
+        Hashtbl.fold
+          (fun k _ acc -> if k.collection = collection then k :: acc else acc)
+          t.table []
+      in
+      List.iter (Hashtbl.remove t.table) stale;
+      if stale <> [] then Metrics.incr m_invalidations;
+      note_size t)
+
+let size t = locked t (fun () -> Hashtbl.length t.table)

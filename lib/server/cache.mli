@@ -1,0 +1,41 @@
+(** The server's versioned query-result cache.
+
+    Entries are keyed on everything that determines a query's answer:
+    the collection's name {e and version} (the monotonic write counter,
+    {!Toss_store.Collection.version}), the SEO configuration fingerprint
+    of the serving session, the query semantics, and the TQL text. A
+    write bumps the collection version, so stale entries simply stop
+    being addressable; {!invalidate} additionally drops a collection's
+    entries eagerly so the table doesn't fill with dead keys under
+    write-heavy load.
+
+    Capacity-bounded with FIFO eviction; all operations are
+    mutex-protected. Hits, misses, evictions, invalidations and the
+    live entry count are published to {!Toss_obs.Metrics} under
+    [server.cache.*]. *)
+
+type key = {
+  collection : string;
+  version : int;  (** the collection's write counter when the query ran *)
+  config : string;  (** SEO configuration fingerprint (metric, eps, …) *)
+  mode : string;  (** ["tax"] or ["toss"] *)
+  tql : string;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 256 entries. [capacity] of 0 disables storage (every
+    lookup misses), which is how [--no-cache] is implemented. *)
+
+val find : t -> key -> Toss_json.t option
+(** Counts a [server.cache.hits] or [server.cache.misses] metric. *)
+
+val add : t -> key -> Toss_json.t -> unit
+(** Evicts the oldest entry when full. Replaces an existing entry for
+    the same key. *)
+
+val invalidate : t -> collection:string -> unit
+(** Drops every entry for the collection, whatever its version. *)
+
+val size : t -> int

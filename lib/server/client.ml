@@ -1,0 +1,175 @@
+module J = Toss_json
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+type failure = Wire of Protocol.error | Transport of string
+
+let failure_to_string = function
+  | Wire e -> Printf.sprintf "%s: %s" (Protocol.code_name e.Protocol.code) e.Protocol.message
+  | Transport msg -> Printf.sprintf "transport: %s" msg
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () ->
+      Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      Error
+        (Printf.sprintf "cannot connect to %S: %s" socket (Unix.error_message e))
+
+let close t = try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
+
+let call t ?id ?deadline_ms request =
+  let line = Protocol.request_to_line { Protocol.id; deadline_ms; request } in
+  match
+    output_string t.oc line;
+    output_char t.oc '\n';
+    flush t.oc;
+    input_line t.ic
+  with
+  | exception End_of_file -> Error (Transport "connection closed by server")
+  | exception Sys_error msg -> Error (Transport msg)
+  | reply -> (
+      match Protocol.parse_response reply with
+      | Error msg -> Error (Transport ("bad response line: " ^ msg))
+      | Ok { Protocol.body = Ok payload; _ } -> Ok payload
+      | Ok { Protocol.body = Error e; _ } -> Error (Wire e))
+
+type bench_result = {
+  requests : int;
+  ok : int;
+  cache_hits : int;
+  errors : (string * int) list;
+  transport_errors : int;
+  elapsed_s : float;
+  p50_ms : float;
+  p95_ms : float;
+  max_ms : float;
+}
+
+type thread_tally = {
+  mutable t_ok : int;
+  mutable t_hits : int;
+  mutable t_errors : (string * int) list;
+  mutable t_transport : int;
+  mutable t_latencies : float list;  (** milliseconds *)
+}
+
+let count_error tally code =
+  let name = Protocol.code_name code in
+  let n = try List.assoc name tally.t_errors with Not_found -> 0 in
+  tally.t_errors <- (name, n + 1) :: List.remove_assoc name tally.t_errors
+
+let is_cache_hit payload =
+  match Option.bind (J.member "cache" payload) J.to_str with
+  | Some "hit" -> true
+  | _ -> false
+
+let bench_thread ~socket ?deadline_ms make_request indices tally =
+  match connect ~socket with
+  | Error _ -> tally.t_transport <- tally.t_transport + List.length indices
+  | Ok conn ->
+      List.iter
+        (fun i ->
+          let t0 = Unix.gettimeofday () in
+          (match call conn ?deadline_ms (make_request i) with
+          | Ok payload ->
+              tally.t_ok <- tally.t_ok + 1;
+              if is_cache_hit payload then tally.t_hits <- tally.t_hits + 1
+          | Error (Wire e) -> count_error tally e.Protocol.code
+          | Error (Transport _) -> tally.t_transport <- tally.t_transport + 1);
+          tally.t_latencies <-
+            ((Unix.gettimeofday () -. t0) *. 1000.) :: tally.t_latencies)
+        indices;
+      close conn
+
+let percentile sorted q =
+  match sorted with
+  | [||] -> 0.
+  | a ->
+      let n = Array.length a in
+      let idx = int_of_float (ceil (q *. float_of_int n)) - 1 in
+      a.(max 0 (min (n - 1) idx))
+
+let bench ~socket ~requests ~concurrency ?deadline_ms make_request =
+  let concurrency = max 1 concurrency in
+  (* Probe once so "no server" is an error, not a bench full of zeros. *)
+  match connect ~socket with
+  | Error msg -> Error msg
+  | Ok probe ->
+      close probe;
+      let shares =
+        (* round-robin assignment of request indices to threads *)
+        Array.make concurrency [] |> fun a ->
+        for i = requests - 1 downto 0 do
+          a.(i mod concurrency) <- i :: a.(i mod concurrency)
+        done;
+        a
+      in
+      let tallies =
+        Array.init concurrency (fun _ ->
+            {
+              t_ok = 0;
+              t_hits = 0;
+              t_errors = [];
+              t_transport = 0;
+              t_latencies = [];
+            })
+      in
+      let t0 = Unix.gettimeofday () in
+      let threads =
+        Array.mapi
+          (fun i indices ->
+            Thread.create
+              (fun () ->
+                bench_thread ~socket ?deadline_ms make_request indices
+                  tallies.(i))
+              ())
+          shares
+      in
+      Array.iter Thread.join threads;
+      let elapsed_s = Unix.gettimeofday () -. t0 in
+      let merge f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
+      let errors =
+        Array.fold_left
+          (fun acc t ->
+            List.fold_left
+              (fun acc (name, n) ->
+                let prev = try List.assoc name acc with Not_found -> 0 in
+                (name, prev + n) :: List.remove_assoc name acc)
+              acc t.t_errors)
+          [] tallies
+      in
+      let latencies =
+        Array.to_list tallies |> List.concat_map (fun t -> t.t_latencies)
+        |> Array.of_list
+      in
+      Array.sort compare latencies;
+      Ok
+        {
+          requests;
+          ok = merge (fun t -> t.t_ok);
+          cache_hits = merge (fun t -> t.t_hits);
+          errors = List.sort compare errors;
+          transport_errors = merge (fun t -> t.t_transport);
+          elapsed_s;
+          p50_ms = percentile latencies 0.5;
+          p95_ms = percentile latencies 0.95;
+          max_ms = percentile latencies 1.0;
+        }
+
+let bench_to_json r =
+  J.Obj
+    [
+      ("requests", J.Num (float_of_int r.requests));
+      ("ok", J.Num (float_of_int r.ok));
+      ("cache_hits", J.Num (float_of_int r.cache_hits));
+      ( "errors",
+        J.Obj (List.map (fun (k, n) -> (k, J.Num (float_of_int n))) r.errors) );
+      ("transport_errors", J.Num (float_of_int r.transport_errors));
+      ("elapsed_s", J.Num r.elapsed_s);
+      ("p50_ms", J.Num r.p50_ms);
+      ("p95_ms", J.Num r.p95_ms);
+      ("max_ms", J.Num r.max_ms);
+    ]

@@ -1,0 +1,51 @@
+(** Client for the [toss serve] wire protocol: [toss client]'s engine
+    and the in-process harness of the server tests.
+
+    {!call} is synchronous (send one line, read one line). A transport
+    failure (connect refused, EOF mid-response, malformed response line)
+    is distinguished from a typed wire error so callers can tell "the
+    server said no" from "there is no server". *)
+
+type t
+
+type failure =
+  | Wire of Protocol.error  (** the server answered [ok:false] *)
+  | Transport of string  (** connection or framing failure *)
+
+val failure_to_string : failure -> string
+
+val connect : socket:string -> (t, string) result
+val close : t -> unit
+
+val call :
+  t -> ?id:int -> ?deadline_ms:int -> Protocol.request -> (Toss_json.t, failure) result
+
+(** {1 Closed-loop load generation} — [toss client --bench] and the CI
+    smoke test. *)
+
+type bench_result = {
+  requests : int;
+  ok : int;
+  cache_hits : int;  (** responses whose payload says ["cache":"hit"] *)
+  errors : (string * int) list;  (** wire error code -> count *)
+  transport_errors : int;
+  elapsed_s : float;
+  p50_ms : float;
+  p95_ms : float;
+  max_ms : float;
+}
+
+val bench :
+  socket:string ->
+  requests:int ->
+  concurrency:int ->
+  ?deadline_ms:int ->
+  (int -> Protocol.request) ->
+  (bench_result, string) result
+(** Runs [requests] requests across [concurrency] threads, each with its
+    own connection, each thread issuing its share sequentially (closed
+    loop: a thread has at most one request outstanding). The request
+    factory is called with the global request index. [Error] only if no
+    connection could be established at all. *)
+
+val bench_to_json : bench_result -> Toss_json.t

@@ -1,0 +1,210 @@
+module J = Toss_json
+module Session = Toss_core.Session
+module Tql = Toss_core.Tql
+module Executor = Toss_core.Executor
+module Explain = Toss_core.Explain
+module Planner = Toss_core.Planner
+module Collection = Toss_store.Collection
+module Database = Toss_store.Database
+module Persist = Toss_store.Persist
+module Printer = Toss_xml.Printer
+module Parser = Toss_xml.Parser
+module Doc = Toss_xml.Tree.Doc
+module Metrics = Toss_obs.Metrics
+
+exception Deadline
+
+type t = {
+  lock : Mutex.t;
+  session : Session.t;
+  cache : Cache.t;
+  cache_capacity : int;
+  config : string;
+  db_dir : string option;
+}
+
+let m_requests op = Metrics.counter ~labels:[ ("op", op) ] "server.requests.total"
+let m_errors code = Metrics.counter ~labels:[ ("code", code) ] "server.errors.total"
+let h_seconds op = Metrics.histogram ~labels:[ ("op", op) ] "server.request.seconds"
+
+let err code fmt = Printf.ksprintf (fun m -> Error (Protocol.error code m)) fmt
+
+let hydrate session dir =
+  if Sys.file_exists dir then
+    match Persist.load_database ~dir with
+    | Error msg -> Error msg
+    | Ok db ->
+        List.iter
+          (fun name ->
+            let coll = Database.collection_exn db name in
+            List.iter
+              (fun id ->
+                Session.add_document session ~collection:name
+                  (Doc.to_tree (Collection.doc coll id)))
+              (Collection.doc_ids coll))
+          (Database.collection_names db);
+        Ok ()
+  else
+    match Sys.mkdir dir 0o755 with
+    | () -> Ok ()
+    | exception Sys_error msg ->
+        Error (Printf.sprintf "cannot create database directory %S: %s" dir msg)
+
+let create ?db_dir ?metric ?(eps = 2.0) ?(cache_capacity = 256) () =
+  let metric =
+    Option.value metric ~default:Toss_similarity.Levenshtein.metric
+  in
+  let session = Session.create ~metric ~eps () in
+  let hydrated =
+    match db_dir with None -> Ok () | Some dir -> hydrate session dir
+  in
+  match hydrated with
+  | Error msg -> Error msg
+  | Ok () ->
+      Ok
+        {
+          lock = Mutex.create ();
+          session;
+          cache = Cache.create ~capacity:cache_capacity ();
+          cache_capacity;
+          config =
+            Printf.sprintf "%s;eps=%g" metric.Toss_similarity.Metric.name eps;
+          db_dir;
+        }
+
+let config_fingerprint t = t.config
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let mode_name = function Executor.Tax -> "tax" | Executor.Toss -> "toss"
+
+let check_of_deadline deadline () =
+  match deadline with
+  | Some d when Unix.gettimeofday () > d -> raise Deadline
+  | _ -> ()
+
+(* The cached payload carries its compute-time cost; the cache status is
+   stamped per response so a hit is distinguishable from the miss that
+   populated it. *)
+let with_cache_status status = function
+  | J.Obj fields -> J.Obj (fields @ [ ("cache", J.Str status) ])
+  | v -> v
+
+let do_insert t ~collection ~xml =
+  match Parser.parse xml with
+  | Error e -> err Protocol.Parse_error "%s" (Format.asprintf "%a" Parser.pp_error e)
+  | Ok tree ->
+      let id = Session.insert t.session ~collection tree in
+      let version = Session.version t.session ~collection in
+      Option.iter
+        (fun dir -> Persist.append_document ~dir ~collection id tree)
+        t.db_dir;
+      Cache.invalidate t.cache ~collection;
+      Ok
+        (J.Obj
+           [
+             ("collection", J.Str collection);
+             ("doc_id", J.Num (float_of_int id));
+             ("version", J.Num (float_of_int version));
+           ])
+
+let do_query t ~deadline ~collection ~tql ~mode ~cache =
+  match Session.collection t.session collection with
+  | None -> err Protocol.Unknown_collection "unknown collection %S" collection
+  | Some _ -> (
+      let version = Session.version t.session ~collection in
+      let key =
+        {
+          Cache.collection;
+          version;
+          config = t.config;
+          mode = mode_name mode;
+          tql;
+        }
+      in
+      let use_cache = cache && t.cache_capacity > 0 in
+      match if use_cache then Cache.find t.cache key else None with
+      | Some payload -> Ok (with_cache_status "hit" payload)
+      | None -> (
+          let t0 = Unix.gettimeofday () in
+          let check = check_of_deadline deadline in
+          match Session.query ~mode ~check t.session ~collection tql with
+          | exception Deadline ->
+              err Protocol.Deadline_exceeded "deadline exceeded during execution"
+          | Error msg -> err Protocol.Query_error "%s" msg
+          | Ok answer ->
+              let compute_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+              let payload =
+                J.Obj
+                  [
+                    ("collection", J.Str collection);
+                    ("version", J.Num (float_of_int version));
+                    ("count", J.Num (float_of_int (List.length answer.trees)));
+                    ("compute_ms", J.Num compute_ms);
+                    ( "trees",
+                      J.Arr
+                        (List.map
+                           (fun tr -> J.Str (Printer.to_string ~decl:false tr))
+                           answer.trees) );
+                  ]
+              in
+              if use_cache then Cache.add t.cache key payload;
+              Ok (with_cache_status "miss" payload)))
+
+let do_explain t ~collection ~tql ~mode =
+  match Session.collection t.session collection with
+  | None -> err Protocol.Unknown_collection "unknown collection %S" collection
+  | Some coll -> (
+      match Tql.parse tql with
+      | Error msg -> err Protocol.Query_error "TQL: %s" msg
+      | Ok q -> (
+          match Session.seo t.session with
+          | Error msg -> err Protocol.Query_error "%s" msg
+          | Ok seo -> (
+              match q.Tql.target with
+              | Tql.Project _ ->
+                  err Protocol.Query_error "explain supports SELECT queries only"
+              | Tql.Select sl ->
+                  let plan =
+                    Planner.plan_select ~mode ~optimize:true seo coll
+                      ~pattern:q.Tql.pattern ~sl
+                  in
+                  let e =
+                    Explain.with_plan (Explain.explain ~mode seo q.Tql.pattern) plan
+                  in
+                  Ok (J.parse_exn (Explain.to_json e)))))
+
+let do_stats () =
+  let snap = Metrics.snapshot () in
+  Ok
+    (J.Obj
+       [
+         ("metrics", J.parse_exn (Metrics.to_json snap));
+         ("table", J.Str (Metrics.to_table snap));
+       ])
+
+let exec t ~deadline request =
+  let op = Protocol.op_name request in
+  Metrics.incr (m_requests op);
+  let t0 = Unix.gettimeofday () in
+  let result =
+    if (match deadline with Some d -> t0 > d | None -> false) then
+      err Protocol.Deadline_exceeded "deadline exceeded before execution"
+    else
+      match request with
+      | Protocol.Ping | Protocol.Shutdown -> Ok (J.Obj [ ("pong", J.Bool true) ])
+      | Protocol.Stats -> do_stats ()
+      | Protocol.Insert { collection; xml } ->
+          locked t (fun () -> do_insert t ~collection ~xml)
+      | Protocol.Query { collection; tql; mode; cache } ->
+          locked t (fun () -> do_query t ~deadline ~collection ~tql ~mode ~cache)
+      | Protocol.Explain { collection; tql; mode } ->
+          locked t (fun () -> do_explain t ~collection ~tql ~mode)
+  in
+  Metrics.observe (h_seconds op) (Unix.gettimeofday () -. t0);
+  (match result with
+  | Error e -> Metrics.incr (m_errors (Protocol.code_name e.Protocol.code))
+  | Ok _ -> ());
+  result

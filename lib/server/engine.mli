@@ -1,0 +1,43 @@
+(** The server's request executor: one {!Toss_core.Session} plus the
+    result cache and durable storage, behind a single mutex.
+
+    OCaml systhreads share one runtime lock, so serializing engine
+    access costs no real parallelism — queries were never going to run
+    OCaml code concurrently. The serving concurrency lives in the
+    connection and pool layers; the engine guarantees that every
+    request observes a consistent (session, version, cache) state:
+    an insert bumps the collection version, appends the document file
+    and invalidates the cache in one critical section, so a cached
+    entry can never be served for a version it did not run against.
+
+    [exec] is deadline-aware: the deadline is an absolute
+    [Unix.gettimeofday] instant, checked on entry and then cooperatively
+    inside the plan interpreter via {!Toss_core.Plan.run}'s [check]
+    hook. A missed deadline surfaces as the typed [deadline_exceeded]
+    wire error, never a partial result. *)
+
+type t
+
+val create :
+  ?db_dir:string ->
+  ?metric:Toss_similarity.Metric.t ->
+  ?eps:float ->
+  ?cache_capacity:int ->
+  unit ->
+  (t, string) result
+(** [db_dir]: hydrate the session from the database directory
+    (created if missing) and append every subsequent insert to it.
+    [metric] is the similarity measure (default Levenshtein, the
+    {!Toss_core.Session} default); its name enters the cache-key
+    fingerprint, so engines with different measures never share
+    entries. [cache_capacity] of 0 disables the result cache
+    (default 256). [Error] aggregates hydration failures
+    ({!Toss_store.Persist.load_database}). *)
+
+val config_fingerprint : t -> string
+(** The SEO-configuration component of the cache key. *)
+
+val exec :
+  t -> deadline:float option -> Protocol.request -> (Toss_json.t, Protocol.error) result
+(** Executes one request. [Shutdown] is not the engine's business and
+    answers like [Ping] (the server layer intercepts it first). *)

@@ -1,0 +1,90 @@
+module Metrics = Toss_obs.Metrics
+
+type t = {
+  lock : Mutex.t;
+  wake : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  max_queue : int;
+  mutable stopping : bool;
+  mutable inflight : int;
+  mutable threads : Thread.t list;
+}
+
+type outcome = Accepted | Overloaded | Stopped
+
+let g_depth = Metrics.gauge "server.queue.depth"
+let g_inflight = Metrics.gauge "server.inflight"
+let m_shed = Metrics.counter "server.shed.total"
+
+let note t =
+  Metrics.set g_depth (float_of_int (Queue.length t.jobs));
+  Metrics.set g_inflight (float_of_int t.inflight)
+
+(* Workers exit only once the queue is drained AND the pool is stopping,
+   so every accepted job runs even across shutdown. *)
+let rec worker t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.jobs && not t.stopping do
+    Condition.wait t.wake t.lock
+  done;
+  match Queue.take_opt t.jobs with
+  | None ->
+      (* stopping && empty *)
+      Mutex.unlock t.lock
+  | Some job ->
+      t.inflight <- t.inflight + 1;
+      note t;
+      Mutex.unlock t.lock;
+      (try job () with _ -> ());
+      Mutex.lock t.lock;
+      t.inflight <- t.inflight - 1;
+      note t;
+      Mutex.unlock t.lock;
+      worker t
+
+let create ~workers ~max_queue =
+  let t =
+    {
+      lock = Mutex.create ();
+      wake = Condition.create ();
+      jobs = Queue.create ();
+      max_queue;
+      stopping = false;
+      inflight = 0;
+      threads = [];
+    }
+  in
+  t.threads <- List.init workers (fun _ -> Thread.create worker t);
+  t
+
+let submit t job =
+  Mutex.lock t.lock;
+  let outcome =
+    if t.stopping then Stopped
+    else if Queue.length t.jobs >= t.max_queue then (
+      Metrics.incr m_shed;
+      Overloaded)
+    else begin
+      Queue.push job t.jobs;
+      note t;
+      Condition.signal t.wake;
+      Accepted
+    end
+  in
+  Mutex.unlock t.lock;
+  outcome
+
+let queue_depth t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.jobs in
+  Mutex.unlock t.lock;
+  n
+
+let stop t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.wake;
+  let threads = t.threads in
+  t.threads <- [];
+  Mutex.unlock t.lock;
+  List.iter Thread.join threads

@@ -1,0 +1,31 @@
+(** Fixed worker thread pool with a bounded queue — the server's
+    admission-control stage.
+
+    [submit] never blocks: a job either enters the queue ([Accepted]),
+    is shed because the queue is at [max_queue] ([Overloaded] — the
+    wire's typed [overloaded] error), or is refused because the pool is
+    stopping ([Stopped]). Workers dequeue FIFO.
+
+    Queue depth and in-flight jobs are published as the
+    [server.queue.depth] and [server.inflight] gauges; shed jobs count
+    [server.shed.total].
+
+    [workers = 0] is allowed: nothing ever dequeues, so with
+    [max_queue = 0] every submit is shed — the deterministic overload
+    configuration the cram tests rely on. *)
+
+type t
+
+type outcome = Accepted | Overloaded | Stopped
+
+val create : workers:int -> max_queue:int -> t
+
+val submit : t -> (unit -> unit) -> outcome
+(** Exceptions escaping the job are swallowed (the job is responsible
+    for reporting its own errors to its client). *)
+
+val queue_depth : t -> int
+
+val stop : t -> unit
+(** Stops accepting work, lets workers drain the queue, then joins
+    them. Idempotent. *)

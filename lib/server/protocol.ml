@@ -1,0 +1,222 @@
+module J = Toss_json
+
+type error_code =
+  | Bad_request
+  | Parse_error
+  | Unknown_collection
+  | Query_error
+  | Overloaded
+  | Deadline_exceeded
+  | Shutting_down
+
+type error = { code : error_code; message : string }
+
+let code_name = function
+  | Bad_request -> "bad_request"
+  | Parse_error -> "parse_error"
+  | Unknown_collection -> "unknown_collection"
+  | Query_error -> "query_error"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Shutting_down -> "shutting_down"
+
+let code_of_name = function
+  | "bad_request" -> Some Bad_request
+  | "parse_error" -> Some Parse_error
+  | "unknown_collection" -> Some Unknown_collection
+  | "query_error" -> Some Query_error
+  | "overloaded" -> Some Overloaded
+  | "deadline_exceeded" -> Some Deadline_exceeded
+  | "shutting_down" -> Some Shutting_down
+  | _ -> None
+
+let error code message = { code; message }
+
+type request =
+  | Ping
+  | Insert of { collection : string; xml : string }
+  | Query of {
+      collection : string;
+      tql : string;
+      mode : Toss_core.Executor.mode;
+      cache : bool;
+    }
+  | Explain of {
+      collection : string;
+      tql : string;
+      mode : Toss_core.Executor.mode;
+    }
+  | Stats
+  | Shutdown
+
+let op_name = function
+  | Ping -> "ping"
+  | Insert _ -> "insert"
+  | Query _ -> "query"
+  | Explain _ -> "explain"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+type envelope = { id : int option; deadline_ms : int option; request : request }
+
+let mode_name = function Toss_core.Executor.Tax -> "tax" | Toss -> "toss"
+
+let mode_of_name = function
+  | "tax" -> Some Toss_core.Executor.Tax
+  | "toss" -> Some Toss_core.Executor.Toss
+  | _ -> None
+
+(* Field decoding helpers: [required] distinguishes a missing member
+   from one of the wrong kind, so the error message says which. *)
+
+let required obj field conv kind =
+  match J.member field obj with
+  | None -> Error (error Bad_request (Printf.sprintf "missing field %S" field))
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None ->
+          Error
+            (error Bad_request
+               (Printf.sprintf "field %S must be a %s" field kind)))
+
+let optional obj field conv kind ~default =
+  match J.member field obj with
+  | None -> Ok default
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None ->
+          Error
+            (error Bad_request
+               (Printf.sprintf "field %S must be a %s" field kind)))
+
+let ( let* ) = Result.bind
+
+let mode_field obj =
+  let* name = optional obj "mode" J.to_str "string" ~default:"toss" in
+  match mode_of_name name with
+  | Some m -> Ok m
+  | None ->
+      Error
+        (error Bad_request
+           (Printf.sprintf "field \"mode\" must be \"tax\" or \"toss\" (got %S)"
+              name))
+
+let decode_request obj op =
+  match op with
+  | "ping" -> Ok Ping
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | "insert" ->
+      let* collection = required obj "collection" J.to_str "string" in
+      let* xml = required obj "xml" J.to_str "string" in
+      Ok (Insert { collection; xml })
+  | "query" ->
+      let* collection = required obj "collection" J.to_str "string" in
+      let* tql = required obj "tql" J.to_str "string" in
+      let* mode = mode_field obj in
+      let* cache = optional obj "cache" J.to_bool "boolean" ~default:true in
+      Ok (Query { collection; tql; mode; cache })
+  | "explain" ->
+      let* collection = required obj "collection" J.to_str "string" in
+      let* tql = required obj "tql" J.to_str "string" in
+      let* mode = mode_field obj in
+      Ok (Explain { collection; tql; mode })
+  | other -> Error (error Bad_request (Printf.sprintf "unknown op %S" other))
+
+let parse_request line =
+  match J.parse line with
+  | Error msg -> Error (error Parse_error msg)
+  | Ok (J.Obj _ as obj) ->
+      let* op = required obj "op" J.to_str "string" in
+      let* id = optional obj "id" (fun v -> Option.map Option.some (J.to_int v)) "number" ~default:None in
+      let* deadline_ms =
+        optional obj "deadline_ms"
+          (fun v -> Option.map Option.some (J.to_int v))
+          "number" ~default:None
+      in
+      let* request = decode_request obj op in
+      Ok { id; deadline_ms; request }
+  | Ok _ -> Error (error Bad_request "request must be a JSON object")
+
+let request_to_line { id; deadline_ms; request } =
+  let base = [ ("op", J.Str (op_name request)) ] in
+  let id_field =
+    match id with Some i -> [ ("id", J.Num (float_of_int i)) ] | None -> []
+  in
+  let deadline_field =
+    match deadline_ms with
+    | Some ms -> [ ("deadline_ms", J.Num (float_of_int ms)) ]
+    | None -> []
+  in
+  let op_fields =
+    match request with
+    | Ping | Stats | Shutdown -> []
+    | Insert { collection; xml } ->
+        [ ("collection", J.Str collection); ("xml", J.Str xml) ]
+    | Query { collection; tql; mode; cache } ->
+        [
+          ("collection", J.Str collection);
+          ("tql", J.Str tql);
+          ("mode", J.Str (mode_name mode));
+          ("cache", J.Bool cache);
+        ]
+    | Explain { collection; tql; mode } ->
+        [
+          ("collection", J.Str collection);
+          ("tql", J.Str tql);
+          ("mode", J.Str (mode_name mode));
+        ]
+  in
+  J.to_string (J.Obj (base @ id_field @ deadline_field @ op_fields))
+
+type response = { rid : int option; body : (J.t, error) result }
+
+let response_to_line { rid; body } =
+  let id_field =
+    match rid with Some i -> [ ("id", J.Num (float_of_int i)) ] | None -> []
+  in
+  let rest =
+    match body with
+    | Ok result -> [ ("ok", J.Bool true); ("result", result) ]
+    | Error { code; message } ->
+        [
+          ("ok", J.Bool false);
+          ( "error",
+            J.Obj
+              [ ("code", J.Str (code_name code)); ("message", J.Str message) ]
+          );
+        ]
+  in
+  J.to_string (J.Obj (id_field @ rest))
+
+let parse_response line =
+  match J.parse line with
+  | Error msg -> Error msg
+  | Ok obj -> (
+      let rid = Option.bind (J.member "id" obj) J.to_int in
+      match Option.bind (J.member "ok" obj) J.to_bool with
+      | Some true -> (
+          match J.member "result" obj with
+          | Some result -> Ok { rid; body = Ok result }
+          | None -> Error "response has ok:true but no result")
+      | Some false -> (
+          match J.member "error" obj with
+          | Some err ->
+              let message =
+                Option.value ~default:""
+                  (Option.bind (J.member "message" err) J.to_str)
+              in
+              let code =
+                match
+                  Option.bind
+                    (Option.bind (J.member "code" err) J.to_str)
+                    code_of_name
+                with
+                | Some c -> c
+                | None -> Bad_request
+              in
+              Ok { rid; body = Error { code; message } }
+          | None -> Error "response has ok:false but no error")
+      | _ -> Error "response lacks a boolean ok field")

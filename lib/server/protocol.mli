@@ -1,0 +1,87 @@
+(** The wire protocol of [toss serve]: newline-delimited JSON.
+
+    One request per line, one response line per request. A request is an
+    object with an ["op"] field selecting the operation, an optional
+    client-chosen ["id"] echoed back verbatim in the response (so a
+    pipelining client can match responses to requests), and an optional
+    ["deadline_ms"] overriding the server's default deadline for this
+    request. Responses are [{"id":…, "ok":true, "result":…}] or
+    [{"id":…, "ok":false, "error":{"code":…, "message":…}}].
+
+    Error codes are a closed vocabulary so clients can switch on them:
+
+    - [bad_request] — the line was valid JSON but not a valid request
+      (unknown op, missing field, wrong type);
+    - [parse_error] — the line was not JSON, or an insert carried
+      unparseable XML;
+    - [unknown_collection] — the named collection does not exist;
+    - [query_error] — TQL parse or execution failure;
+    - [overloaded] — admission control shed the request (queue full);
+    - [deadline_exceeded] — the deadline passed while queued or
+      mid-execution;
+    - [shutting_down] — the server is stopping and accepts no new work. *)
+
+type error_code =
+  | Bad_request
+  | Parse_error
+  | Unknown_collection
+  | Query_error
+  | Overloaded
+  | Deadline_exceeded
+  | Shutting_down
+
+type error = { code : error_code; message : string }
+
+val code_name : error_code -> string
+(** The wire name, e.g. ["deadline_exceeded"]. *)
+
+val code_of_name : string -> error_code option
+
+val error : error_code -> string -> error
+
+type request =
+  | Ping
+  | Insert of { collection : string; xml : string }
+  | Query of {
+      collection : string;
+      tql : string;
+      mode : Toss_core.Executor.mode;  (** default [Toss] *)
+      cache : bool;  (** consult/populate the result cache; default true *)
+    }
+  | Explain of {
+      collection : string;
+      tql : string;
+      mode : Toss_core.Executor.mode;
+    }
+  | Stats
+  | Shutdown
+
+val op_name : request -> string
+(** The ["op"] field value — also the label of the server's per-op
+    request metrics. *)
+
+type envelope = {
+  id : int option;  (** echoed back in the response *)
+  deadline_ms : int option;  (** per-request deadline override *)
+  request : request;
+}
+
+val parse_request : string -> (envelope, error) result
+(** Decodes one request line. [Error] distinguishes [parse_error] (not
+    JSON) from [bad_request] (JSON, but not a request). *)
+
+val request_to_line : envelope -> string
+(** Encodes a request as one line (no trailing newline) — the client
+    side of {!parse_request}. *)
+
+type response = {
+  rid : int option;  (** the request's [id], if it carried one *)
+  body : (Toss_json.t, error) result;
+}
+
+val response_to_line : response -> string
+(** Encodes a response as one line (no trailing newline). *)
+
+val parse_response : string -> (response, string) result
+(** Decodes one response line — the client side of
+    {!response_to_line}. *)

@@ -1,0 +1,245 @@
+module J = Toss_json
+module Metrics = Toss_obs.Metrics
+
+type config = {
+  socket_path : string;
+  db_dir : string option;
+  workers : int;
+  max_queue : int;
+  default_deadline_ms : int option;
+  cache_capacity : int;
+  metric : Toss_similarity.Metric.t option;
+  eps : float;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    db_dir = None;
+    workers = 4;
+    max_queue = 64;
+    default_deadline_ms = None;
+    cache_capacity = 256;
+    metric = None;
+    eps = 2.0;
+  }
+
+type state = {
+  engine : Engine.t;
+  pool : Pool.t;
+  config : config;
+  lock : Mutex.t;  (** guards [stopping], [conns] and [threads] *)
+  mutable stopping : bool;
+  mutable conns : Unix.file_descr list;
+  mutable threads : Thread.t list;
+}
+
+let g_connections = Metrics.gauge "server.connections"
+
+let note_error code =
+  Metrics.incr_c ~labels:[ ("code", Protocol.code_name code) ] "server.errors.total"
+
+let stopped state =
+  Mutex.lock state.lock;
+  let s = state.stopping in
+  Mutex.unlock state.lock;
+  s
+
+let request_stop state =
+  Mutex.lock state.lock;
+  state.stopping <- true;
+  Mutex.unlock state.lock
+
+(* The fd is registered before its thread is spawned, so the thread's
+   [remove_conn] always finds it — whoever removes it closes it. *)
+let add_conn state fd =
+  Mutex.lock state.lock;
+  state.conns <- fd :: state.conns;
+  Metrics.set g_connections (float_of_int (List.length state.conns));
+  Mutex.unlock state.lock
+
+let add_thread state thread =
+  Mutex.lock state.lock;
+  state.threads <- thread :: state.threads;
+  Mutex.unlock state.lock
+
+(* Connection fds have exactly one closer: normally the connection
+   thread, but shutdown empties [conns] first and then owns them all
+   (see [run]'s cleanup), so [remove_conn]'s result says whether this
+   thread still holds the fd. *)
+let remove_conn state fd =
+  Mutex.lock state.lock;
+  let mine = List.memq fd state.conns in
+  if mine then state.conns <- List.filter (fun c -> c != fd) state.conns;
+  Metrics.set g_connections (float_of_int (List.length state.conns));
+  Mutex.unlock state.lock;
+  mine
+
+(* One writer mutex per connection: pool workers complete out of order,
+   and interleaved [output_string]s would shear response lines. *)
+let sender oc =
+  let wlock = Mutex.create () in
+  fun resp ->
+    Mutex.lock wlock;
+    (try
+       output_string oc (Protocol.response_to_line resp);
+       output_char oc '\n';
+       flush oc
+     with Sys_error _ -> ());
+    Mutex.unlock wlock
+
+let handle_request state ~send (env : Protocol.envelope) =
+  let rid = env.id in
+  match env.request with
+  | Protocol.Ping | Protocol.Stats ->
+      (* Answered inline: observability must survive pool saturation. *)
+      send { Protocol.rid; body = Engine.exec state.engine ~deadline:None env.request }
+  | Protocol.Shutdown ->
+      send { Protocol.rid; body = Ok (J.Obj [ ("stopping", J.Bool true) ]) };
+      request_stop state
+  | Protocol.Insert _ | Protocol.Query _ | Protocol.Explain _ -> (
+      let deadline_ms =
+        match env.deadline_ms with
+        | Some _ as v -> v
+        | None -> state.config.default_deadline_ms
+      in
+      let deadline =
+        Option.map
+          (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+          deadline_ms
+      in
+      let job () =
+        let body =
+          match deadline with
+          | Some d when Unix.gettimeofday () > d ->
+              (* Died of old age while queued. *)
+              note_error Protocol.Deadline_exceeded;
+              Error
+                (Protocol.error Protocol.Deadline_exceeded
+                   "deadline exceeded while queued")
+          | _ -> Engine.exec state.engine ~deadline env.request
+        in
+        send { Protocol.rid; body }
+      in
+      match Pool.submit state.pool job with
+      | Pool.Accepted -> ()
+      | Pool.Overloaded ->
+          note_error Protocol.Overloaded;
+          send
+            {
+              Protocol.rid;
+              body = Error (Protocol.error Protocol.Overloaded "queue full");
+            }
+      | Pool.Stopped ->
+          note_error Protocol.Shutting_down;
+          send
+            {
+              Protocol.rid;
+              body =
+                Error (Protocol.error Protocol.Shutting_down "server stopping");
+            })
+
+let handle_conn state fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let send = sender oc in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line when String.trim line = "" -> loop ()
+    | line ->
+        (match Protocol.parse_request line with
+        | Error e ->
+            note_error e.Protocol.code;
+            send { Protocol.rid = None; body = Error e }
+        | Ok env -> handle_request state ~send env);
+        loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if remove_conn state fd then try Unix.close fd with Unix.Unix_error _ -> ())
+    loop
+
+let bind_socket path =
+  (* ADDR_UNIX paths are limited to ~100 bytes by the kernel; fail with
+     a real message instead of a truncated bind. *)
+  if String.length path > 100 then
+    Error (Printf.sprintf "socket path too long (%d bytes): %s" (String.length path) path)
+  else begin
+    if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.bind fd (Unix.ADDR_UNIX path) with
+    | () ->
+        Unix.listen fd 64;
+        Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+        Unix.close fd;
+        Error
+          (Printf.sprintf "cannot bind %S: %s" path (Unix.error_message e))
+  end
+
+let run ?(ready = fun () -> ()) config =
+  match
+    Engine.create ?db_dir:config.db_dir ?metric:config.metric ~eps:config.eps
+      ~cache_capacity:config.cache_capacity ()
+  with
+  | Error msg -> Error msg
+  | Ok engine -> (
+      match bind_socket config.socket_path with
+      | Error msg -> Error msg
+      | Ok listen_fd ->
+          (* A client disconnecting mid-response must not kill the
+             process. *)
+          (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+           with Invalid_argument _ -> ());
+          let state =
+            {
+              engine;
+              pool = Pool.create ~workers:config.workers ~max_queue:config.max_queue;
+              config;
+              lock = Mutex.create ();
+              stopping = false;
+              conns = [];
+              threads = [];
+            }
+          in
+          ready ();
+          let rec accept_loop () =
+            if not (stopped state) then begin
+              (* Short select timeout so a shutdown request (set by a
+                 connection thread) is noticed promptly. *)
+              (match Unix.select [ listen_fd ] [] [] 0.2 with
+              | [], _, _ -> ()
+              | _ :: _, _, _ -> (
+                  match Unix.accept listen_fd with
+                  | exception Unix.Unix_error (_, _, _) -> ()
+                  | fd, _ ->
+                      add_conn state fd;
+                      add_thread state
+                        (Thread.create (fun () -> handle_conn state fd) ())));
+              accept_loop ()
+            end
+          in
+          accept_loop ();
+          Unix.close listen_fd;
+          (try Sys.remove config.socket_path with Sys_error _ -> ());
+          (* Drain accepted work first — pending responses still flow to
+             open connections — then take ownership of every remaining
+             fd, wake the readers with a shutdown, and join. *)
+          Pool.stop state.pool;
+          Mutex.lock state.lock;
+          let doomed = state.conns in
+          state.conns <- [];
+          let threads = state.threads in
+          state.threads <- [];
+          Mutex.unlock state.lock;
+          List.iter
+            (fun fd ->
+              try Unix.shutdown fd Unix.SHUTDOWN_ALL
+              with Unix.Unix_error (_, _, _) -> ())
+            doomed;
+          List.iter Thread.join threads;
+          List.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+            doomed;
+          Ok ())

@@ -1,0 +1,50 @@
+(** The [toss serve] daemon: a Unix-domain socket accept loop in front
+    of {!Engine} and {!Pool}.
+
+    Request flow (the admission-control state machine documented in
+    ARCHITECTURE.md):
+
+    + a connection thread reads one line and parses it;
+    + [ping], [stats] and [shutdown] are answered inline on the
+      connection thread — they must work even when the pool is saturated
+      (that is how an operator observes an overloaded server);
+    + [insert], [query] and [explain] are submitted to the pool with an
+      absolute deadline stamped at admission. [Pool.submit] refusing the
+      job produces the typed [overloaded] (queue full) or
+      [shutting_down] error immediately — load is shed at the door, not
+      buffered without bound;
+    + a worker re-checks the deadline when it dequeues the job (a
+      request can die of old age while queued) and then executes it
+      through {!Engine.exec}, whose interpreter checkpoints enforce the
+      deadline mid-plan.
+
+    Responses may therefore complete out of order on one connection;
+    clients match them by [id]. One writer mutex per connection keeps
+    response lines whole. *)
+
+type config = {
+  socket_path : string;
+  db_dir : string option;  (** hydrate from / append to this directory *)
+  workers : int;
+  max_queue : int;
+  default_deadline_ms : int option;
+      (** applied when a request carries no [deadline_ms]; [None] means
+          no deadline *)
+  cache_capacity : int;  (** 0 disables the result cache *)
+  metric : Toss_similarity.Metric.t option;
+      (** similarity measure for the engine's session; [None] = the
+          session default (Levenshtein). The CLI passes the same
+          composite measure one-shot [toss query] uses, so both
+          surfaces return the same answers. *)
+  eps : float;
+}
+
+val default_config : socket_path:string -> config
+(** 4 workers, queue of 64, no default deadline, cache of 256,
+    [eps = 2]. *)
+
+val run : ?ready:(unit -> unit) -> config -> (unit, string) result
+(** Binds the socket (removing a stale socket file first), calls
+    [ready] once listening, and serves until a [shutdown] request
+    arrives. Drains the pool, closes every connection and removes the
+    socket file before returning. *)

@@ -21,6 +21,10 @@ type t = {
   mutable entries : entry array;
   mutable count : int;
   mutable total_bytes : int;
+  mutable version : int;
+      (* monotonic write counter; every successful mutation bumps it, so
+         (name, version) identifies one exact state of the collection —
+         the server's result-cache key *)
   mutable tag_stats : (string, int * int) Hashtbl.t option;
       (* tag -> (nodes, docs); rebuilt lazily, dropped on insertion *)
 }
@@ -34,10 +38,12 @@ let create ?max_bytes name =
     entries = [||];
     count = 0;
     total_bytes = 0;
+    version = 0;
     tag_stats = None;
   }
 
 let name t = t.coll_name
+let version t = t.version
 
 let add_document t tree =
   let bytes = Printer.byte_size tree in
@@ -55,6 +61,7 @@ let add_document t tree =
   t.entries.(t.count) <- entry;
   t.count <- t.count + 1;
   t.total_bytes <- t.total_bytes + bytes;
+  t.version <- t.version + 1;
   t.tag_stats <- None;
   Metrics.incr m_docs;
   t.count - 1

@@ -19,6 +19,12 @@ val create : ?max_bytes:int -> string -> t
 val name : t -> string
 (** The name given at {!create}. *)
 
+val version : t -> int
+(** Monotonic write counter: [0] when empty, bumped by every successful
+    {!add_document}. [(name, version)] therefore identifies one exact
+    state of the collection — what the query server keys its result
+    cache on and returns alongside every answer. *)
+
 val add_document : t -> Toss_xml.Tree.t -> doc_id
 (** Freezes and stores the tree, returning its id (ids are dense,
     starting at 0, in insertion order).

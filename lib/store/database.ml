@@ -9,6 +9,12 @@ let create_collection ?max_bytes t name =
   Hashtbl.add t.collections name c;
   c
 
+let register t c =
+  let name = Collection.name c in
+  if Hashtbl.mem t.collections name then
+    invalid_arg (Printf.sprintf "Database.register: %S already exists" name);
+  Hashtbl.add t.collections name c
+
 let collection t name = Hashtbl.find_opt t.collections name
 
 let collection_exn t name =

@@ -9,6 +9,12 @@ val create : unit -> t
 val create_collection : ?max_bytes:int -> t -> string -> Collection.t
 (** @raise Invalid_argument when the name is already taken. *)
 
+val register : t -> Collection.t -> unit
+(** Adopts an existing collection under its own {!Collection.name} —
+    how {!Persist.load_database} installs loaded collections without
+    copying their documents.
+    @raise Invalid_argument when the name is already taken. *)
+
 val collection : t -> string -> Collection.t option
 val collection_exn : t -> string -> Collection.t
 val drop_collection : t -> string -> unit

@@ -6,17 +6,25 @@ let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
 
 let doc_filename id = Printf.sprintf "%06d.xml" id
 
+let write_doc ~path tree =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Printer.to_string ~decl:true tree))
+
 let save_collection collection ~dir =
   ensure_dir dir;
   List.iter
     (fun id ->
       let tree = Tree.Doc.to_tree (Collection.doc collection id) in
-      let path = Filename.concat dir (doc_filename id) in
-      let oc = open_out_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () -> output_string oc (Printer.to_string ~decl:true tree)))
+      write_doc ~path:(Filename.concat dir (doc_filename id)) tree)
     (Collection.doc_ids collection)
+
+let append_document ~dir ~collection id tree =
+  ensure_dir dir;
+  let coll_dir = Filename.concat dir collection in
+  ensure_dir coll_dir;
+  write_doc ~path:(Filename.concat coll_dir (doc_filename id)) tree
 
 let read_file path =
   let ic = open_in_bin path in
@@ -24,6 +32,10 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Every file of the directory is attempted even after a failure, so one
+   corrupt document reports alongside every other corrupt document
+   instead of masking them; the collection is only returned when all of
+   them load (a partial collection would silently renumber ids). *)
 let load_collection ?max_bytes ~name dir =
   if not (Sys.file_exists dir && Sys.is_directory dir) then
     Error (Printf.sprintf "%s: not a directory" dir)
@@ -34,17 +46,22 @@ let load_collection ?max_bytes ~name dir =
       |> List.sort String.compare
     in
     let collection = Collection.create ?max_bytes name in
-    let rec load = function
-      | [] -> Ok collection
-      | file :: rest -> (
+    let errors =
+      List.filter_map
+        (fun file ->
           let path = Filename.concat dir file in
           match Collection.add_xml collection (read_file path) with
-          | Ok _ -> load rest
-          | Error e -> Error (Format.asprintf "%s: %a" path Parser.pp_error e)
+          | Ok _ -> None
+          | Error e -> Some (Format.asprintf "%s: %a" path Parser.pp_error e)
           | exception Collection.Collection_full { limit; _ } ->
-              Error (Printf.sprintf "%s: collection size limit %d exceeded" path limit))
+              Some
+                (Printf.sprintf "%s: collection size limit %d exceeded" path
+                   limit))
+        files
     in
-    load files
+    match errors with
+    | [] -> Ok collection
+    | errors -> Error (String.concat "\n" errors)
   end
 
 let save_database db ~dir =
@@ -56,6 +73,9 @@ let save_database db ~dir =
       | None -> ())
     (Database.collection_names db)
 
+(* Like [load_collection], keeps going past a failing collection and
+   aggregates every error; one bad collection no longer hides problems
+   in its siblings. *)
 let load_database ~dir =
   if not (Sys.file_exists dir && Sys.is_directory dir) then
     Error (Printf.sprintf "%s: not a directory" dir)
@@ -66,21 +86,15 @@ let load_database ~dir =
       |> List.sort String.compare
     in
     let db = Database.create () in
-    let rec load = function
-      | [] -> Ok db
-      | name :: rest -> (
+    let errors =
+      List.filter_map
+        (fun name ->
           match load_collection ~name (Filename.concat dir name) with
           | Ok collection ->
-              (* Re-register under the database. *)
-              let target = Database.create_collection db name in
-              List.iter
-                (fun id ->
-                  ignore
-                    (Collection.add_document target
-                       (Tree.Doc.to_tree (Collection.doc collection id))))
-                (Collection.doc_ids collection);
-              load rest
-          | Error _ as e -> e)
+              Database.register db collection;
+              None
+          | Error e -> Some e)
+        subdirs
     in
-    load subdirs
+    match errors with [] -> Ok db | errors -> Error (String.concat "\n" errors)
   end

@@ -11,12 +11,25 @@ val save_collection : Collection.t -> dir:string -> unit
 (** Creates [dir] if needed and (re)writes every document.
     @raise Sys_error on filesystem failures. *)
 
+val append_document :
+  dir:string -> collection:string -> Collection.doc_id -> Toss_xml.Tree.t -> unit
+(** [append_document ~dir ~collection id tree] writes one document file
+    into the database directory [dir] under [collection]'s
+    subdirectory, creating both directories if needed — how the query
+    server keeps its [--db] directory durable across inserts without
+    rewriting the whole database.
+    @raise Sys_error on filesystem failures. *)
+
 val load_collection : ?max_bytes:int -> name:string -> string -> (Collection.t, string) result
 (** [load_collection ~name dir] loads every [*.xml] file of [dir] in
-    lexicographic (= insertion) order. *)
+    lexicographic (= insertion) order. Every file is attempted: on
+    failure the error lists {e all} unloadable files (newline-separated,
+    each with its path), not just the first. *)
 
 val save_database : Database.t -> dir:string -> unit
 (** One subdirectory per collection, named after it. *)
 
 val load_database : dir:string -> (Database.t, string) result
-(** Every subdirectory becomes a collection. *)
+(** Every subdirectory becomes a collection. Like {!load_collection},
+    aggregates the errors of every failing collection instead of
+    stopping at the first. *)

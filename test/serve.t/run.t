@@ -1,0 +1,103 @@
+The query server end to end: a Unix-domain socket, a worker pool with
+admission control, per-request deadlines, and the versioned result
+cache. Socket paths must stay short (the kernel's sun_path limit), so
+everything lives in a fresh temp directory.
+
+  $ D=$(mktemp -d)
+  $ S=$D/toss.sock
+
+Flag and usage errors come back before any socket is touched:
+
+  $ toss serve --socket $S --workers -1 2>&1 | grep toss:
+  toss: unknown option '-1'.
+  $ toss client --socket $S frobnicate 2>&1 | grep toss:
+  toss: unknown op "frobnicate" (expected ping, insert, query, explain, stats or shutdown)
+  $ toss client --socket $S insert bib 2>&1 | grep toss:
+  toss: insert needs COLLECTION and an XML FILE
+  $ toss client --socket $D/none.sock ping 2>&1 | sed "s#$D#DIR#"
+  toss: cannot connect to "DIR/none.sock": No such file or directory
+
+Start a server with a small pool and a durable database directory:
+
+  $ toss serve --socket $S --db $D/db --workers 2 > serve.log 2>&1 &
+  $ for i in $(seq 1 100); do [ -S $S ] && break; sleep 0.1; done
+
+Ping, then insert a generated document (responses are one JSON line
+each; the insert reports the assigned doc id and the new collection
+version):
+
+  $ toss client --socket $S ping
+  {"pong":true}
+  $ toss generate --papers 5 --seed 1 -o doc.xml
+  $ toss client --socket $S insert bib doc.xml
+  {"collection":"bib","doc_id":0,"version":1}
+
+A query misses cold and hits warm:
+
+  $ Q='MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1'
+  $ toss client --socket $S query bib "$Q" | grep -o '"cache":"[a-z]*"'
+  "cache":"miss"
+  $ toss client --socket $S query bib "$Q" | grep -o '"cache":"[a-z]*"'
+  "cache":"hit"
+
+An insert bumps the version, so the next query misses (and then warms
+the cache for the new version):
+
+  $ toss client --socket $S insert bib doc.xml
+  {"collection":"bib","doc_id":1,"version":2}
+  $ toss client --socket $S query bib "$Q" | grep -o '"cache":"[a-z]*"'
+  "cache":"miss"
+  $ toss client --socket $S query bib "$Q" | grep -o '"version":[0-9]*,.*"cache":"[a-z]*"' | sed 's/,.*,/,/'
+  "version":2,"cache":"hit"
+
+Typed wire errors: an unknown collection, and a request whose deadline
+has already passed (the exact failure point varies, the code does not):
+
+  $ toss client --socket $S query nope "$Q"
+  error unknown_collection: unknown collection "nope"
+  [1]
+  $ toss client --socket $S --deadline-ms 0 query bib "$Q" 2>&1 | sed 's/exceeded .*/exceeded/'
+  error deadline_exceeded: deadline exceeded
+
+The closed-loop bench exits cleanly when every request succeeds:
+
+  $ toss client --socket $S --bench 40 --concurrency 4 query bib "$Q" | grep -o '"requests":40,"ok":40'
+  "requests":40,"ok":40
+
+Server-side observability over the wire: the cache counters moved.
+
+  $ toss client --socket $S stats --table | awk '$1 == "server.cache.hits" && $2 > 0 { print "cache hits > 0" }'
+  cache hits > 0
+
+Admission control: a server with no workers and no queue sheds every
+pooled request with the typed overloaded error, while ping keeps
+answering inline:
+
+  $ S2=$D/over.sock
+  $ toss serve --socket $S2 --workers 0 --max-queue 0 > serve2.log 2>&1 &
+  $ for i in $(seq 1 100); do [ -S $S2 ] && break; sleep 0.1; done
+  $ toss client --socket $S2 ping
+  {"pong":true}
+  $ toss client --socket $S2 query bib "$Q"
+  error overloaded: queue full
+  [1]
+  $ toss client --socket $S2 shutdown
+  {"stopping":true}
+
+Clean shutdown of the main server:
+
+  $ toss client --socket $S shutdown
+  {"stopping":true}
+  $ wait
+  $ tail -1 serve.log
+  toss serve: stopped
+  $ grep -c listening serve.log
+  1
+
+Inserts were durable — one numbered file per document:
+
+  $ ls $D/db/bib
+  000000.xml
+  000001.xml
+
+  $ rm -rf $D

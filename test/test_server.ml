@@ -1,0 +1,541 @@
+(* Tests for the query server: wire protocol, result cache, worker
+   pool, engine semantics (deadlines, cache invalidation, durable
+   hydration), and a live-socket concurrency stress test whose every
+   answer is replayed against a single-threaded engine. *)
+
+module J = Toss_json
+module Protocol = Toss_server.Protocol
+module Cache = Toss_server.Cache
+module Pool = Toss_server.Pool
+module Engine = Toss_server.Engine
+module Server = Toss_server.Server
+module Client = Toss_server.Client
+module Session = Toss_core.Session
+module Executor = Toss_core.Executor
+module Parser = Toss_xml.Parser
+module Tree = Toss_xml.Tree
+module Metrics = Toss_obs.Metrics
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let temp_name prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  path
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_roundtrip () =
+  let envs =
+    [
+      { Protocol.id = None; deadline_ms = None; request = Protocol.Ping };
+      { Protocol.id = Some 7; deadline_ms = Some 250; request = Protocol.Stats };
+      {
+        Protocol.id = Some 1;
+        deadline_ms = None;
+        request = Protocol.Insert { collection = "bib"; xml = "<a b=\"c\">x</a>" };
+      };
+      {
+        Protocol.id = None;
+        deadline_ms = Some 10;
+        request =
+          Protocol.Query
+            {
+              collection = "bib";
+              tql = "MATCH #1:a SELECT #1";
+              mode = Executor.Tax;
+              cache = false;
+            };
+      };
+      {
+        Protocol.id = Some 3;
+        deadline_ms = None;
+        request =
+          Protocol.Explain
+            { collection = "c"; tql = "MATCH #1:a SELECT #1"; mode = Executor.Toss };
+      };
+      { Protocol.id = None; deadline_ms = None; request = Protocol.Shutdown };
+    ]
+  in
+  List.iter
+    (fun env ->
+      let line = Protocol.request_to_line env in
+      match Protocol.parse_request line with
+      | Error e -> Alcotest.fail (line ^ ": " ^ e.Protocol.message)
+      | Ok env' -> checkb ("round-trip " ^ line) true (env = env'))
+    envs
+
+let code_of = function
+  | Error e -> Protocol.code_name e.Protocol.code
+  | Ok _ -> "ok"
+
+let test_protocol_errors () =
+  checks "not json" "parse_error" (code_of (Protocol.parse_request "nope"));
+  checks "not an object" "bad_request" (code_of (Protocol.parse_request "[1]"));
+  checks "no op" "bad_request" (code_of (Protocol.parse_request "{}"));
+  checks "unknown op" "bad_request"
+    (code_of (Protocol.parse_request {|{"op":"frobnicate"}|}));
+  checks "missing field" "bad_request"
+    (code_of (Protocol.parse_request {|{"op":"insert","collection":"c"}|}));
+  checks "wrong type" "bad_request"
+    (code_of (Protocol.parse_request {|{"op":"query","collection":"c","tql":3}|}));
+  checks "bad mode" "bad_request"
+    (code_of
+       (Protocol.parse_request
+          {|{"op":"query","collection":"c","tql":"q","mode":"turbo"}|}))
+
+let test_response_roundtrip () =
+  let responses =
+    [
+      { Protocol.rid = Some 4; body = Ok (J.Obj [ ("pong", J.Bool true) ]) };
+      {
+        Protocol.rid = None;
+        body = Error (Protocol.error Protocol.Overloaded "queue full");
+      };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Protocol.parse_response (Protocol.response_to_line r) with
+      | Error msg -> Alcotest.fail msg
+      | Ok r' -> checkb "response round-trip" true (r = r'))
+    responses
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let key ?(version = 1) ?(mode = "toss") tql =
+  { Cache.collection = "c"; version; config = "eps=2"; mode; tql }
+
+let test_cache_basics () =
+  let c = Cache.create ~capacity:2 () in
+  checkb "cold miss" true (Cache.find c (key "q1") = None);
+  Cache.add c (key "q1") (J.Str "r1");
+  checkb "hit" true (Cache.find c (key "q1") = Some (J.Str "r1"));
+  checkb "version isolates" true (Cache.find c (key ~version:2 "q1") = None);
+  checkb "mode isolates" true (Cache.find c (key ~mode:"tax" "q1") = None);
+  Cache.add c (key "q2") (J.Str "r2");
+  Cache.add c (key "q3") (J.Str "r3");
+  (* capacity 2: q1 was oldest and is gone *)
+  checki "bounded" 2 (Cache.size c);
+  checkb "fifo evicted q1" true (Cache.find c (key "q1") = None);
+  checkb "q3 present" true (Cache.find c (key "q3") = Some (J.Str "r3"));
+  Cache.invalidate c ~collection:"c";
+  checki "invalidate drops all versions" 0 (Cache.size c);
+  let off = Cache.create ~capacity:0 () in
+  Cache.add off (key "q1") (J.Str "r");
+  checkb "capacity 0 stores nothing" true (Cache.find off (key "q1") = None)
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_runs_jobs () =
+  let pool = Pool.create ~workers:2 ~max_queue:64 in
+  let lock = Mutex.create () in
+  let count = ref 0 in
+  for _ = 1 to 20 do
+    match
+      Pool.submit pool (fun () ->
+          Mutex.lock lock;
+          incr count;
+          Mutex.unlock lock)
+    with
+    | Pool.Accepted -> ()
+    | Pool.Overloaded | Pool.Stopped -> Alcotest.fail "unexpected refusal"
+  done;
+  Pool.stop pool;
+  checki "all accepted jobs ran before stop returned" 20 !count;
+  checkb "stopped pool refuses" true (Pool.submit pool ignore = Pool.Stopped)
+
+let test_pool_sheds () =
+  (* No workers, no queue: admission control is the whole story. *)
+  let pool = Pool.create ~workers:0 ~max_queue:0 in
+  checkb "shed" true (Pool.submit pool ignore = Pool.Overloaded);
+  Pool.stop pool;
+  (* One slot, no workers: first queues, second sheds. *)
+  let pool = Pool.create ~workers:0 ~max_queue:1 in
+  checkb "first queues" true (Pool.submit pool ignore = Pool.Accepted);
+  checkb "second sheds" true (Pool.submit pool ignore = Pool.Overloaded)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let paper i =
+  Printf.sprintf "<paper><author>Name%d</author><title>T%d</title></paper>" i i
+
+let tql = "MATCH #1:paper(/#2:author) WHERE #2.content ~ \"Name1\" SELECT #1"
+
+let exec_ok engine request =
+  match Engine.exec engine ~deadline:None request with
+  | Ok payload -> payload
+  | Error e -> Alcotest.fail (Protocol.code_name e.Protocol.code ^ ": " ^ e.Protocol.message)
+
+let query_request ?(cache = true) tql =
+  Protocol.Query { collection = "bib"; tql; mode = Executor.Toss; cache }
+
+let member_str name payload = Option.bind (J.member name payload) J.to_str
+let member_int name payload = Option.bind (J.member name payload) J.to_int
+
+let test_engine_cache_and_invalidation () =
+  let engine = Result.get_ok (Engine.create ()) in
+  (match Engine.exec engine ~deadline:None (query_request tql) with
+  | Error e -> checks "unknown collection" "unknown_collection" (Protocol.code_name e.Protocol.code)
+  | Ok _ -> Alcotest.fail "expected unknown_collection");
+  let ins =
+    exec_ok engine (Protocol.Insert { collection = "bib"; xml = paper 1 })
+  in
+  checkb "insert returns doc_id" true (member_int "doc_id" ins = Some 0);
+  checkb "insert returns version" true (member_int "version" ins = Some 1);
+  let r1 = exec_ok engine (query_request tql) in
+  checkb "first query misses" true (member_str "cache" r1 = Some "miss");
+  checkb "one result" true (member_int "count" r1 = Some 1);
+  let r2 = exec_ok engine (query_request tql) in
+  checkb "second query hits" true (member_str "cache" r2 = Some "hit");
+  checkb "hit payload agrees" true
+    (member_int "count" r2 = member_int "count" r1);
+  let r3 = exec_ok engine (query_request ~cache:false tql) in
+  checkb "cache:false bypasses" true (member_str "cache" r3 = Some "miss");
+  ignore (exec_ok engine (Protocol.Insert { collection = "bib"; xml = paper 2 }));
+  let r4 = exec_ok engine (query_request tql) in
+  checkb "insert invalidates" true (member_str "cache" r4 = Some "miss");
+  checkb "new version visible" true (member_int "version" r4 = Some 2);
+  checkb "both similar authors match" true (member_int "count" r4 = Some 2)
+
+let test_engine_deadline () =
+  let engine = Result.get_ok (Engine.create ()) in
+  ignore (exec_ok engine (Protocol.Insert { collection = "bib"; xml = paper 1 }));
+  match
+    Engine.exec engine ~deadline:(Some (Unix.gettimeofday () -. 1.))
+      (query_request tql)
+  with
+  | Error e ->
+      checks "typed error" "deadline_exceeded" (Protocol.code_name e.Protocol.code)
+  | Ok _ -> Alcotest.fail "expected deadline_exceeded"
+
+let test_engine_explain_and_stats () =
+  let engine = Result.get_ok (Engine.create ()) in
+  ignore (exec_ok engine (Protocol.Insert { collection = "bib"; xml = paper 1 }));
+  let e =
+    exec_ok engine
+      (Protocol.Explain
+         { collection = "bib"; tql; mode = Executor.Toss })
+  in
+  checkb "explain has a plan" true (J.member "plan" e <> None);
+  let s = exec_ok engine Protocol.Stats in
+  checkb "stats carries the table" true (member_str "table" s <> None);
+  checkb "stats carries metrics json" true (J.member "metrics" s <> None)
+
+let test_engine_hydration () =
+  let db_dir = temp_name "toss_serve_db" in
+  let engine = Result.get_ok (Engine.create ~db_dir ()) in
+  ignore (exec_ok engine (Protocol.Insert { collection = "bib"; xml = paper 1 }));
+  ignore (exec_ok engine (Protocol.Insert { collection = "bib"; xml = paper 2 }));
+  let r = exec_ok engine (query_request tql) in
+  (* A second engine over the same directory sees the same state. *)
+  let engine' = Result.get_ok (Engine.create ~db_dir ()) in
+  let r' = exec_ok engine' (query_request tql) in
+  checkb "hydrated count agrees" true
+    (member_int "count" r' = member_int "count" r);
+  checkb "hydrated version agrees" true (member_int "version" r' = Some 2)
+
+(* ------------------------------------------------------------------ *)
+(* Live server: concurrency stress with single-threaded replay          *)
+(* ------------------------------------------------------------------ *)
+
+(* Start an in-process server on a fresh socket; returns the socket
+   path and a stop function that requests shutdown and joins. *)
+let start_server ?(workers = 3) ?(max_queue = 64) ?db_dir ?(cache_capacity = 256)
+    () =
+  let socket_path = temp_name "toss_srv" in
+  let config =
+    {
+      (Server.default_config ~socket_path) with
+      Server.workers;
+      max_queue;
+      db_dir;
+      cache_capacity;
+    }
+  in
+  let ready = Mutex.create () in
+  let started = ref false in
+  let cond = Condition.create () in
+  let outcome = ref (Ok ()) in
+  let thread =
+    Thread.create
+      (fun () ->
+        outcome :=
+          Server.run
+            ~ready:(fun () ->
+              Mutex.lock ready;
+              started := true;
+              Condition.signal cond;
+              Mutex.unlock ready)
+            config)
+      ()
+  in
+  Mutex.lock ready;
+  while not !started do
+    Condition.wait cond ready
+  done;
+  Mutex.unlock ready;
+  let stop () =
+    (match Client.connect ~socket:socket_path with
+    | Ok conn ->
+        ignore (Client.call conn Protocol.Shutdown);
+        Client.close conn
+    | Error _ -> ());
+    Thread.join thread;
+    match !outcome with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail ("server exited with: " ^ msg)
+  in
+  (socket_path, stop)
+
+type answer_obs = {
+  a_tql : string;
+  a_mode : Executor.mode;
+  a_version : int;
+  a_trees : string list;
+}
+
+type observation =
+  | Inserted of { doc_id : int; xml : string }
+  | Answered of answer_obs
+
+let stress_thread socket seed ops out =
+  match Client.connect ~socket with
+  | Error msg -> out := Error msg
+  | Ok conn ->
+      let observations = ref [] in
+      let failure = ref None in
+      let tqls =
+        [|
+          (tql, Executor.Toss);
+          (tql, Executor.Tax);
+          ("MATCH #1:paper(/#2:title) WHERE #2.content ~ \"T2\" SELECT #1", Executor.Toss);
+        |]
+      in
+      for i = 0 to ops - 1 do
+        if !failure = None then
+          if i mod 3 = 0 then begin
+            let xml = paper ((seed * 1000) + i) in
+            match
+              Client.call conn (Protocol.Insert { collection = "bib"; xml })
+            with
+            | Ok payload -> (
+                match member_int "doc_id" payload with
+                | Some doc_id ->
+                    observations := Inserted { doc_id; xml } :: !observations
+                | None -> failure := Some "insert reply without doc_id")
+            | Error f -> failure := Some (Client.failure_to_string f)
+          end
+          else begin
+            let tql, mode = tqls.((seed + i) mod Array.length tqls) in
+            match
+              Client.call conn
+                (Protocol.Query { collection = "bib"; tql; mode; cache = true })
+            with
+            | Ok payload -> (
+                match
+                  ( member_int "version" payload,
+                    Option.bind (J.member "trees" payload) J.to_list )
+                with
+                | Some version, Some trees ->
+                    let trees = List.filter_map J.to_str trees in
+                    observations :=
+                      Answered
+                        { a_tql = tql; a_mode = mode; a_version = version; a_trees = trees }
+                      :: !observations
+                | _ -> failure := Some "query reply missing version/trees")
+            | Error (Client.Wire e)
+              when e.Protocol.code = Protocol.Unknown_collection ->
+                (* Legal before the first insert lands. *)
+                ()
+            | Error f -> failure := Some (Client.failure_to_string f)
+          end
+      done;
+      Client.close conn;
+      out :=
+        (match !failure with
+        | Some msg -> Error msg
+        | None -> Ok (List.rev !observations))
+
+let canonical_xml trees =
+  List.map
+    (fun t -> Toss_xml.Printer.to_string ~decl:false t)
+    (Toss_check.Diff.canonical trees)
+
+let test_stress_replay () =
+  let socket, stop = start_server () in
+  let n_threads = 4 and ops = 24 in
+  let outs = Array.init n_threads (fun _ -> ref (Ok [])) in
+  let threads =
+    Array.init n_threads (fun i ->
+        Thread.create (fun () -> stress_thread socket (i + 1) ops outs.(i)) ())
+  in
+  Array.iter Thread.join threads;
+  stop ();
+  let observations =
+    Array.to_list outs
+    |> List.concat_map (fun out ->
+           match !out with
+           | Error msg -> Alcotest.fail msg
+           | Ok obs -> obs)
+  in
+  let inserts =
+    List.filter_map
+      (function Inserted { doc_id; xml } -> Some (doc_id, xml) | _ -> None)
+      observations
+    |> List.sort compare
+  in
+  let answers =
+    List.filter_map (function Answered a -> Some a | _ -> None) observations
+  in
+  checkb "some inserts happened" true (List.length inserts > 0);
+  checkb "some queries were answered" true (List.length answers > 0);
+  (* doc_ids are exactly 0..n-1: every insert is visible exactly once. *)
+  List.iteri
+    (fun i (doc_id, _) -> checki "doc_ids are dense" i doc_id)
+    inserts;
+  (* Replay: a query answered at version v ran against documents
+     0..v-1. A fresh single-threaded session must answer identically
+     (canonicalized: witness order is not part of the contract). *)
+  let docs = Array.of_list (List.map snd inserts) in
+  List.iter
+    (fun { a_tql; a_mode; a_version; a_trees } ->
+      checkb "version within bounds" true (a_version <= Array.length docs);
+      let session = Session.create () in
+      for i = 0 to a_version - 1 do
+        Session.add_document session ~collection:"bib"
+          (Parser.parse_exn docs.(i))
+      done;
+      match Session.query ~mode:a_mode session ~collection:"bib" a_tql with
+      | Error msg -> Alcotest.fail ("replay failed: " ^ msg)
+      | Ok answer ->
+          let served = canonical_xml (List.map Parser.parse_exn a_trees) in
+          let replayed = canonical_xml answer.Session.trees in
+          checkb
+            (Printf.sprintf "answer at version %d matches replay" a_version)
+            true (served = replayed))
+    answers
+
+let find_counter snap ?labels name =
+  Option.value ~default:0 (Metrics.find_counter snap ?labels name)
+
+let test_stress_cache_metrics () =
+  (* Deterministic warm-up on a quiet server: same query twice must hit,
+     and the global counters must reflect it. *)
+  let socket, stop = start_server () in
+  let conn = Result.get_ok (Client.connect ~socket) in
+  let call request =
+    match Client.call conn request with
+    | Ok payload -> payload
+    | Error f -> Alcotest.fail (Client.failure_to_string f)
+  in
+  ignore (call (Protocol.Insert { collection = "bib"; xml = paper 1 }));
+  let snap0 = Metrics.snapshot () in
+  let r1 = call (query_request tql) in
+  let r2 = call (query_request tql) in
+  checkb "cold miss" true (member_str "cache" r1 = Some "miss");
+  checkb "warm hit" true (member_str "cache" r2 = Some "hit");
+  let snap = Metrics.snapshot () in
+  checkb "hit counter advanced" true
+    (find_counter snap "server.cache.hits" > find_counter snap0 "server.cache.hits");
+  ignore (call (Protocol.Insert { collection = "bib"; xml = paper 2 }));
+  let r3 = call (query_request tql) in
+  checkb "insert invalidates across the wire" true
+    (member_str "cache" r3 = Some "miss");
+  Client.close conn;
+  stop ()
+
+let test_overload_and_deadline_wire () =
+  (* workers=0, max_queue=0: every pooled request is shed, while ping
+     and stats still answer inline. *)
+  let socket, stop = start_server ~workers:0 ~max_queue:0 () in
+  let conn = Result.get_ok (Client.connect ~socket) in
+  (match Client.call conn Protocol.Ping with
+  | Ok _ -> ()
+  | Error f -> Alcotest.fail (Client.failure_to_string f));
+  (match Client.call conn (query_request tql) with
+  | Error (Client.Wire e) ->
+      checks "typed overload" "overloaded" (Protocol.code_name e.Protocol.code)
+  | Ok _ | Error (Client.Transport _) -> Alcotest.fail "expected overloaded");
+  (match Client.call conn Protocol.Stats with
+  | Ok s ->
+      let snap_sheds = member_str "table" s in
+      checkb "stats alive under overload" true (snap_sheds <> None)
+  | Error f -> Alcotest.fail (Client.failure_to_string f));
+  Client.close conn;
+  stop ();
+  (* deadline_ms 0: the request dies of old age before or during
+     execution, with the typed error either way. *)
+  let socket, stop = start_server () in
+  let conn = Result.get_ok (Client.connect ~socket) in
+  ignore (Client.call conn (Protocol.Insert { collection = "bib"; xml = paper 1 }));
+  (match Client.call conn ~deadline_ms:0 (query_request tql) with
+  | Error (Client.Wire e) ->
+      checks "typed deadline" "deadline_exceeded" (Protocol.code_name e.Protocol.code)
+  | Ok _ | Error (Client.Transport _) -> Alcotest.fail "expected deadline_exceeded");
+  Client.close conn;
+  stop ()
+
+let test_server_hydration () =
+  let db_dir = temp_name "toss_srv_db" in
+  let socket, stop = start_server ~db_dir () in
+  let conn = Result.get_ok (Client.connect ~socket) in
+  ignore (Client.call conn (Protocol.Insert { collection = "bib"; xml = paper 1 }));
+  ignore (Client.call conn (Protocol.Insert { collection = "bib"; xml = paper 2 }));
+  Client.close conn;
+  stop ();
+  let socket, stop = start_server ~db_dir () in
+  let conn = Result.get_ok (Client.connect ~socket) in
+  (match Client.call conn (query_request tql) with
+  | Ok payload ->
+      checkb "restarted server sees both docs" true
+        (member_int "count" payload = Some 2)
+  | Error f -> Alcotest.fail (Client.failure_to_string f));
+  Client.close conn;
+  stop ()
+
+let () =
+  Alcotest.run "toss_server"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request round-trip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "request errors" `Quick test_protocol_errors;
+          Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
+        ] );
+      ( "cache",
+        [ Alcotest.test_case "hit/miss/evict/invalidate" `Quick test_cache_basics ] );
+      ( "pool",
+        [
+          Alcotest.test_case "runs and drains" `Quick test_pool_runs_jobs;
+          Alcotest.test_case "sheds when full" `Quick test_pool_sheds;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "cache and invalidation" `Quick
+            test_engine_cache_and_invalidation;
+          Alcotest.test_case "deadline" `Quick test_engine_deadline;
+          Alcotest.test_case "explain and stats" `Quick test_engine_explain_and_stats;
+          Alcotest.test_case "hydration" `Quick test_engine_hydration;
+        ] );
+      ( "live server",
+        [
+          Alcotest.test_case "stress replay" `Slow test_stress_replay;
+          Alcotest.test_case "cache metrics over the wire" `Quick
+            test_stress_cache_metrics;
+          Alcotest.test_case "overload and deadline" `Quick
+            test_overload_and_deadline_wire;
+          Alcotest.test_case "hydration across restart" `Quick
+            test_server_hydration;
+        ] );
+    ]

@@ -294,6 +294,91 @@ let test_persist_database () =
       checki "query works after reload" 2
         (List.length (Database.query db' ~collection:"beta" "//a"))
 
+(* Content that exercises every XML-escaping path: markup characters in
+   text and attributes, quotes, whitespace-significant text. The
+   save/load round-trip must preserve the trees exactly — the serving
+   path depends on it (the server's durable inserts are
+   [append_document] files re-parsed at hydration). *)
+let test_persist_escaping_roundtrip () =
+  let nasty =
+    [
+      "<doc a=\"5 &lt; 6 &amp; 7 &gt; 2\"><t>a &lt; b &amp;&amp; c &gt; d</t></doc>";
+      "<doc q=\"say &quot;hi&quot; &apos;there&apos;\"><t>\"mixed' quotes</t></doc>";
+      "<doc><pre>  spaced   text  </pre><t>tab\there</t></doc>";
+      "<doc><t>brackets ]]&gt; and entities &amp;amp; survive</t></doc>";
+    ]
+  in
+  let c = Collection.create "nasty" in
+  List.iter (fun xml -> ignore (Collection.add_xml c xml)) nasty;
+  checki "all docs stored" (List.length nasty) (Collection.n_documents c);
+  let dir = Filename.concat (temp_dir ()) "nasty" in
+  Persist.save_collection c ~dir;
+  (match Persist.load_collection ~name:"nasty" dir with
+  | Error msg -> Alcotest.fail msg
+  | Ok c' ->
+      List.iter
+        (fun id ->
+          checkb
+            (Printf.sprintf "doc %d round-trips" id)
+            true
+            (Tree.equal
+               (Doc.to_tree (Collection.doc c id))
+               (Doc.to_tree (Collection.doc c' id))))
+        (Collection.doc_ids c));
+  (* The incremental write path must agree with the bulk one. *)
+  let dir2 = temp_dir () in
+  List.iteri
+    (fun id xml ->
+      Persist.append_document ~dir:dir2 ~collection:"nasty"
+        id (Parser.parse_exn xml))
+    nasty;
+  match Persist.load_database ~dir:dir2 with
+  | Error msg -> Alcotest.fail msg
+  | Ok db ->
+      let c' = Database.collection_exn db "nasty" in
+      List.iter
+        (fun id ->
+          checkb
+            (Printf.sprintf "appended doc %d round-trips" id)
+            true
+            (Tree.equal
+               (Doc.to_tree (Collection.doc c id))
+               (Doc.to_tree (Collection.doc c' id))))
+        (Collection.doc_ids c)
+
+(* A broken database reports every unloadable file, not just the
+   first. *)
+let test_persist_aggregated_errors () =
+  let dir = temp_dir () in
+  let write path content =
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc
+  in
+  Sys.mkdir (Filename.concat dir "good") 0o755;
+  write (Filename.concat dir "good/000000.xml") "<ok/>";
+  Sys.mkdir (Filename.concat dir "bad") 0o755;
+  write (Filename.concat dir "bad/000000.xml") "<broken>";
+  write (Filename.concat dir "bad/000001.xml") "also not xml";
+  Sys.mkdir (Filename.concat dir "worse") 0o755;
+  write (Filename.concat dir "worse/000000.xml") "<nope";
+  match Persist.load_database ~dir with
+  | Ok _ -> Alcotest.fail "expected load errors"
+  | Error msg ->
+      let contains hay needle =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i =
+          i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      (* both files of [bad] and the one of [worse] are all reported *)
+      List.iter
+        (fun file ->
+          checkb (Printf.sprintf "error mentions %s" file) true
+            (contains msg file))
+        [ "bad/000000.xml"; "bad/000001.xml"; "worse/000000.xml" ]
+
 let test_persist_errors () =
   (match Persist.load_collection ~name:"x" "/nonexistent/path" with
   | Ok _ -> Alcotest.fail "expected an error for a missing directory"
@@ -349,5 +434,9 @@ let () =
           Alcotest.test_case "collection roundtrip" `Quick test_persist_collection;
           Alcotest.test_case "database roundtrip" `Quick test_persist_database;
           Alcotest.test_case "load errors" `Quick test_persist_errors;
+          Alcotest.test_case "escaping content roundtrip" `Quick
+            test_persist_escaping_roundtrip;
+          Alcotest.test_case "aggregated load errors" `Quick
+            test_persist_aggregated_errors;
         ] );
     ]
