@@ -43,11 +43,35 @@ let parse_value s =
       Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
       Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
     end
-    else begin
+    else if cp < 0x10000 then begin
       Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
       Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
       Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
     end
+    else begin
+      Buffer.add_char buf (Char.chr (0xf0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+  in
+  (* Exactly four hex digits — [int_of_string "0x…"] would also admit
+     OCaml numeric-literal underscores and signs. *)
+  let read_hex4 () =
+    if !pos + 4 > n then fail !pos "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> fail !pos "bad \\u escape"
+      in
+      v := (!v lsl 4) lor d;
+      advance ()
+    done;
+    !v
   in
   let parse_string () =
     expect '"';
@@ -72,13 +96,31 @@ let parse_value s =
                | 't' -> Buffer.add_char buf '\t'; advance ()
                | 'u' ->
                    advance ();
-                   if !pos + 4 > n then fail !pos "truncated \\u escape";
-                   let hex = String.sub s !pos 4 in
-                   (match int_of_string_opt ("0x" ^ hex) with
-                   | Some cp ->
-                       add_utf8 buf cp;
-                       pos := !pos + 4
-                   | None -> fail !pos "bad \\u escape")
+                   let start = !pos in
+                   let cp = read_hex4 () in
+                   let cp =
+                     (* UTF-16 surrogate halves are not code points: a
+                        high surrogate must combine with the low
+                        surrogate escaped right after it, anything else
+                        would decode to invalid UTF-8 (CESU-8). *)
+                     if cp >= 0xd800 && cp <= 0xdbff then begin
+                       if
+                         not
+                           (!pos + 2 <= n
+                           && s.[!pos] = '\\'
+                           && s.[!pos + 1] = 'u')
+                       then fail start "unpaired high surrogate";
+                       pos := !pos + 2;
+                       let lo = read_hex4 () in
+                       if lo >= 0xdc00 && lo <= 0xdfff then
+                         0x10000 + ((cp - 0xd800) lsl 10) + (lo - 0xdc00)
+                       else fail start "unpaired high surrogate"
+                     end
+                     else if cp >= 0xdc00 && cp <= 0xdfff then
+                       fail start "unpaired low surrogate"
+                     else cp
+                   in
+                   add_utf8 buf cp
                | c -> fail !pos (Printf.sprintf "bad escape %C" c));
             go ()
         | c ->

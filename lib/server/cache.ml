@@ -56,6 +56,23 @@ let rec evict_one t =
         Metrics.incr m_evictions)
       else evict_one t
 
+(* Rebuild [order] keeping only the first occurrence of each key still
+   in the table. Without this, keys removed by [invalidate] would sit in
+   the queue forever whenever the table never reaches capacity (only
+   [evict_one] drains stale entries otherwise). *)
+let compact t =
+  let seen = Hashtbl.create (Hashtbl.length t.table) in
+  let keep = Queue.create () in
+  Queue.iter
+    (fun k ->
+      if Hashtbl.mem t.table k && not (Hashtbl.mem seen k) then begin
+        Hashtbl.add seen k ();
+        Queue.push k keep
+      end)
+    t.order;
+  Queue.clear t.order;
+  Queue.transfer keep t.order
+
 let add t key value =
   if t.capacity > 0 then
     locked t (fun () ->
@@ -63,7 +80,11 @@ let add t key value =
           while Hashtbl.length t.table >= t.capacity do
             evict_one t
           done;
-          Queue.push key t.order
+          Queue.push key t.order;
+          (* Backstop: bound the queue even under patterns [invalidate]'s
+             compaction doesn't see (e.g. repeated re-adds of a key whose
+             stale copy is still queued). *)
+          if Queue.length t.order > (2 * t.capacity) + 16 then compact t
         end;
         Hashtbl.replace t.table key value;
         note_size t)
@@ -76,7 +97,11 @@ let invalidate t ~collection =
           t.table []
       in
       List.iter (Hashtbl.remove t.table) stale;
-      if stale <> [] then Metrics.incr m_invalidations;
+      if stale <> [] then begin
+        Metrics.incr m_invalidations;
+        compact t
+      end;
       note_size t)
 
 let size t = locked t (fun () -> Hashtbl.length t.table)
+let queue_length t = locked t (fun () -> Queue.length t.order)

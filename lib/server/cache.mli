@@ -39,3 +39,8 @@ val invalidate : t -> collection:string -> unit
 (** Drops every entry for the collection, whatever its version. *)
 
 val size : t -> int
+
+val queue_length : t -> int
+(** Length of the internal FIFO eviction queue — exposed so tests can
+    assert it stays bounded: keys dropped by {!invalidate} are purged
+    from the queue rather than leaking until the table fills. *)

@@ -8,6 +8,7 @@ type error_code =
   | Overloaded
   | Deadline_exceeded
   | Shutting_down
+  | Internal
 
 type error = { code : error_code; message : string }
 
@@ -19,6 +20,7 @@ let code_name = function
   | Overloaded -> "overloaded"
   | Deadline_exceeded -> "deadline_exceeded"
   | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
 
 let code_of_name = function
   | "bad_request" -> Some Bad_request
@@ -28,6 +30,7 @@ let code_of_name = function
   | "overloaded" -> Some Overloaded
   | "deadline_exceeded" -> Some Deadline_exceeded
   | "shutting_down" -> Some Shutting_down
+  | "internal" -> Some Internal
   | _ -> None
 
 let error code message = { code; message }

@@ -19,7 +19,10 @@
     - [overloaded] — admission control shed the request (queue full);
     - [deadline_exceeded] — the deadline passed while queued or
       mid-execution;
-    - [shutting_down] — the server is stopping and accepts no new work. *)
+    - [shutting_down] — the server is stopping and accepts no new work;
+    - [internal] — the request raised an unexpected exception inside the
+      server (e.g. a persistence I/O failure); the request got no normal
+      answer but the connection and server remain usable. *)
 
 type error_code =
   | Bad_request
@@ -29,6 +32,7 @@ type error_code =
   | Overloaded
   | Deadline_exceeded
   | Shutting_down
+  | Internal
 
 type error = { code : error_code; message : string }
 

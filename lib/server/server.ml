@@ -64,9 +64,10 @@ let add_thread state thread =
   Mutex.unlock state.lock
 
 (* Connection fds have exactly one closer: normally the connection
-   thread, but shutdown empties [conns] first and then owns them all
-   (see [run]'s cleanup), so [remove_conn]'s result says whether this
-   thread still holds the fd. *)
+   side (the reader thread, or the last queued job — see [conn]), but
+   shutdown empties [conns] first and then owns them all (see [run]'s
+   cleanup), so [remove_conn]'s result says whether the connection side
+   still holds the fd. *)
 let remove_conn state fd =
   Mutex.lock state.lock;
   let mine = List.memq fd state.conns in
@@ -75,27 +76,93 @@ let remove_conn state fd =
   Mutex.unlock state.lock;
   mine
 
-(* One writer mutex per connection: pool workers complete out of order,
-   and interleaved [output_string]s would shear response lines. *)
-let sender oc =
-  let wlock = Mutex.create () in
-  fun resp ->
-    Mutex.lock wlock;
-    (try
-       output_string oc (Protocol.response_to_line resp);
-       output_char oc '\n';
-       flush oc
-     with Sys_error _ -> ());
-    Mutex.unlock wlock
+(* A connection shared between its reader thread and the pool jobs it
+   queued. [wlock] serializes response lines (pool workers complete out
+   of order, and interleaved [output_string]s would shear lines).
+   [inflight] counts queued/running jobs that still hold this record:
+   the fd is closed by whoever drops the last reference — the reader
+   thread at EOF if nothing is queued, otherwise the final job — so a
+   late response can never hit a recycled fd number and leak to a
+   freshly accepted client. [fd_closed] makes the close idempotent and
+   turns any later [send] into a no-op. *)
+type conn = {
+  fd : Unix.file_descr;
+  oc : out_channel;
+  wlock : Mutex.t;
+  mutable inflight : int;
+  mutable reader_done : bool;  (** reader owns the fd and wants it closed *)
+  mutable fd_closed : bool;
+}
 
-let handle_request state ~send (env : Protocol.envelope) =
+let conn_of_fd fd =
+  {
+    fd;
+    oc = Unix.out_channel_of_descr fd;
+    wlock = Mutex.create ();
+    inflight = 0;
+    reader_done = false;
+    fd_closed = false;
+  }
+
+let send conn resp =
+  Mutex.lock conn.wlock;
+  (if not conn.fd_closed then
+     try
+       output_string conn.oc (Protocol.response_to_line resp);
+       output_char conn.oc '\n';
+       flush conn.oc
+     with Sys_error _ -> ());
+  Mutex.unlock conn.wlock
+
+let conn_retain conn =
+  Mutex.lock conn.wlock;
+  conn.inflight <- conn.inflight + 1;
+  Mutex.unlock conn.wlock
+
+(* [release_job] / [release_reader] drop one reference; the caller that
+   observes [inflight] at zero with the reader gone performs the close
+   outside the lock. [release_reader] is only called when the reader
+   still owns the fd (see [remove_conn]). *)
+let conn_close_if_last conn =
+  let close_now = conn.reader_done && conn.inflight = 0 && not conn.fd_closed in
+  if close_now then conn.fd_closed <- true;
+  close_now
+
+let release_job conn =
+  Mutex.lock conn.wlock;
+  conn.inflight <- conn.inflight - 1;
+  let close_now = conn_close_if_last conn in
+  Mutex.unlock conn.wlock;
+  if close_now then try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let release_reader conn =
+  Mutex.lock conn.wlock;
+  conn.reader_done <- true;
+  let close_now = conn_close_if_last conn in
+  Mutex.unlock conn.wlock;
+  if close_now then try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+(* [Engine.exec] can raise (persistence I/O failures, bugs); an
+   unanswered request would wedge a pipelining client forever, so every
+   escape becomes a typed [internal] response. *)
+let exec_guarded state ~deadline request =
+  match Engine.exec state.engine ~deadline request with
+  | body -> body
+  | exception exn ->
+      note_error Protocol.Internal;
+      Error
+        (Protocol.error Protocol.Internal
+           ("internal error: " ^ Printexc.to_string exn))
+
+let handle_request state conn (env : Protocol.envelope) =
   let rid = env.id in
   match env.request with
   | Protocol.Ping | Protocol.Stats ->
       (* Answered inline: observability must survive pool saturation. *)
-      send { Protocol.rid; body = Engine.exec state.engine ~deadline:None env.request }
+      send conn
+        { Protocol.rid; body = exec_guarded state ~deadline:None env.request }
   | Protocol.Shutdown ->
-      send { Protocol.rid; body = Ok (J.Obj [ ("stopping", J.Bool true) ]) };
+      send conn { Protocol.rid; body = Ok (J.Obj [ ("stopping", J.Bool true) ]) };
       request_stop state
   | Protocol.Insert _ | Protocol.Query _ | Protocol.Explain _ -> (
       let deadline_ms =
@@ -109,40 +176,44 @@ let handle_request state ~send (env : Protocol.envelope) =
           deadline_ms
       in
       let job () =
-        let body =
-          match deadline with
-          | Some d when Unix.gettimeofday () > d ->
-              (* Died of old age while queued. *)
-              note_error Protocol.Deadline_exceeded;
-              Error
-                (Protocol.error Protocol.Deadline_exceeded
-                   "deadline exceeded while queued")
-          | _ -> Engine.exec state.engine ~deadline env.request
-        in
-        send { Protocol.rid; body }
+        Fun.protect
+          ~finally:(fun () -> release_job conn)
+          (fun () ->
+            let body =
+              match deadline with
+              | Some d when Unix.gettimeofday () > d ->
+                  (* Died of old age while queued. *)
+                  note_error Protocol.Deadline_exceeded;
+                  Error
+                    (Protocol.error Protocol.Deadline_exceeded
+                       "deadline exceeded while queued")
+              | _ -> exec_guarded state ~deadline env.request
+            in
+            send conn { Protocol.rid; body })
       in
+      conn_retain conn;
       match Pool.submit state.pool job with
       | Pool.Accepted -> ()
       | Pool.Overloaded ->
+          release_job conn;
           note_error Protocol.Overloaded;
-          send
+          send conn
             {
               Protocol.rid;
               body = Error (Protocol.error Protocol.Overloaded "queue full");
             }
       | Pool.Stopped ->
+          release_job conn;
           note_error Protocol.Shutting_down;
-          send
+          send conn
             {
               Protocol.rid;
               body =
                 Error (Protocol.error Protocol.Shutting_down "server stopping");
             })
 
-let handle_conn state fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  let send = sender oc in
+let handle_conn state conn =
+  let ic = Unix.in_channel_of_descr conn.fd in
   let rec loop () =
     match input_line ic with
     | exception (End_of_file | Sys_error _) -> ()
@@ -151,20 +222,40 @@ let handle_conn state fd =
         (match Protocol.parse_request line with
         | Error e ->
             note_error e.Protocol.code;
-            send { Protocol.rid = None; body = Error e }
-        | Ok env -> handle_request state ~send env);
+            send conn { Protocol.rid = None; body = Error e }
+        | Ok env -> handle_request state conn env);
         loop ()
   in
   Fun.protect
-    ~finally:(fun () ->
-      if remove_conn state fd then try Unix.close fd with Unix.Unix_error _ -> ())
+    ~finally:(fun () -> if remove_conn state conn.fd then release_reader conn)
     loop
+
+(* A live listener accepts (or queues) a probe connect; a stale socket
+   file left by a dead server refuses it with ECONNREFUSED (as does a
+   plain file at the path). Only claim the path in the refused case —
+   unlinking unconditionally would silently steal the address from a
+   running server, leaving it alive but unreachable. *)
+let socket_in_use path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+          false
+      | exception Unix.Unix_error (_, _, _) ->
+          (* EACCES, EAGAIN, … — can't prove it's dead, so don't steal. *)
+          true)
 
 let bind_socket path =
   (* ADDR_UNIX paths are limited to ~100 bytes by the kernel; fail with
      a real message instead of a truncated bind. *)
   if String.length path > 100 then
     Error (Printf.sprintf "socket path too long (%d bytes): %s" (String.length path) path)
+  else if Sys.file_exists path && socket_in_use path then
+    Error
+      (Printf.sprintf "%S: a server is already listening on this socket" path)
   else begin
     if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ());
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -215,8 +306,9 @@ let run ?(ready = fun () -> ()) config =
                   | exception Unix.Unix_error (_, _, _) -> ()
                   | fd, _ ->
                       add_conn state fd;
+                      let conn = conn_of_fd fd in
                       add_thread state
-                        (Thread.create (fun () -> handle_conn state fd) ())));
+                        (Thread.create (fun () -> handle_conn state conn) ())));
               accept_loop ()
             end
           in

@@ -69,6 +69,14 @@ Server-side observability over the wire: the cache counters moved.
   $ toss client --socket $S stats --table | awk '$1 == "server.cache.hits" && $2 > 0 { print "cache hits > 0" }'
   cache hits > 0
 
+A second server refuses a socket something is already listening on,
+and leaves the live server's socket alone:
+
+  $ toss serve --socket $S 2>&1 | sed "s#$D#DIR#"
+  toss: "DIR/toss.sock": a server is already listening on this socket
+  $ toss client --socket $S ping
+  {"pong":true}
+
 Admission control: a server with no workers and no queue sheds every
 pooled request with the typed overloaded error, while ping keeps
 answering inline:

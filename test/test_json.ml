@@ -94,6 +94,36 @@ let prop_roundtrip =
   QCheck2.Test.make ~count:200 ~name:"to_string/parse round-trip" gen (fun v ->
       J.parse (J.to_string v) = Ok v)
 
+let test_unicode_escapes () =
+  let ok input expect =
+    match J.parse input with
+    | Ok (J.Str got) -> checks input expect got
+    | Ok _ -> Alcotest.fail (input ^ ": decoded to a non-string")
+    | Error msg -> Alcotest.fail (input ^ ": " ^ msg)
+  in
+  let rejected input =
+    checkb (input ^ " rejected") true (Result.is_error (J.parse input))
+  in
+  ok {|"\u0041"|} "A";
+  ok {|"\u00e9"|} "\xc3\xa9";
+  ok {|"\u20ac"|} "\xe2\x82\xac";
+  (* A surrogate pair decodes to one 4-byte UTF-8 sequence, not two
+     3-byte surrogate code points (CESU-8). *)
+  ok {|"\ud83d\ude00"|} "\xf0\x9f\x98\x80";
+  ok {|"\ud834\udd1e"|} "\xf0\x9d\x84\x9e";
+  ok {|"a\ud83d\ude00b"|} "a\xf0\x9f\x98\x80b";
+  (* lone high surrogate *)
+  rejected {|"\ud83d"|};
+  rejected {|"\ud83dxxxx"|};
+  (* high surrogate paired with a non-low escape *)
+  rejected {|"\ud83dA"|};
+  (* lone low surrogate *)
+  rejected {|"\ude00"|};
+  (* int_of_string would admit underscores *)
+  rejected {|"\u1_2f"|};
+  rejected {|"\u-123"|};
+  rejected {|"\u12"|}
+
 let test_accessors () =
   let v = J.parse_exn {|{"a": 1, "b": [true, "x"], "a": 2}|} in
   checkb "first duplicate wins" true (Option.bind (J.member "a" v) J.to_int = Some 1);
@@ -109,6 +139,7 @@ let () =
           Alcotest.test_case "escape" `Quick test_escape;
           Alcotest.test_case "to_string" `Quick test_to_string;
           Alcotest.test_case "round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "unicode escapes" `Quick test_unicode_escapes;
           Alcotest.test_case "accessors" `Quick test_accessors;
           QCheck_alcotest.to_alcotest prop_roundtrip;
         ] );

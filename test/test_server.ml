@@ -131,6 +131,22 @@ let test_cache_basics () =
   Cache.add off (key "q1") (J.Str "r");
   checkb "capacity 0 stores nothing" true (Cache.find off (key "q1") = None)
 
+let test_cache_order_bounded () =
+  (* Regression: under a query→insert interleaving the table never
+     fills, so invalidated keys used to leak in the eviction queue for
+     the life of the server. *)
+  let c = Cache.create ~capacity:8 () in
+  for v = 1 to 200 do
+    Cache.add c (key ~version:v "q") (J.Str "r");
+    Cache.invalidate c ~collection:"c"
+  done;
+  checki "table empty after invalidations" 0 (Cache.size c);
+  checkb "eviction queue stays bounded" true
+    (Cache.queue_length c <= (2 * 8) + 16);
+  Cache.add c (key "q1") (J.Str "r1");
+  Cache.add c (key "q2") (J.Str "r2");
+  checki "live entries keep one slot each" 2 (Cache.queue_length c)
+
 (* ------------------------------------------------------------------ *)
 (* Pool                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -252,8 +268,10 @@ let test_engine_hydration () =
 (* Start an in-process server on a fresh socket; returns the socket
    path and a stop function that requests shutdown and joins. *)
 let start_server ?(workers = 3) ?(max_queue = 64) ?db_dir ?(cache_capacity = 256)
-    () =
-  let socket_path = temp_name "toss_srv" in
+    ?socket_path () =
+  let socket_path =
+    match socket_path with Some p -> p | None -> temp_name "toss_srv"
+  in
   let config =
     {
       (Server.default_config ~socket_path) with
@@ -486,6 +504,73 @@ let test_overload_and_deadline_wire () =
   Client.close conn;
   stop ()
 
+let test_half_close_drains_responses () =
+  (* Regression for a use-after-close race: the reader thread used to
+     close the fd the moment input hit EOF, while responses for still-
+     queued pool jobs were pending — they were silently dropped, or,
+     with fd-number reuse, delivered to a different client. A client
+     that pipelines requests and then half-closes its sending side must
+     still receive every response. *)
+  let socket, stop = start_server ~workers:1 () in
+  let conn = Result.get_ok (Client.connect ~socket) in
+  ignore (Client.call conn (Protocol.Insert { collection = "bib"; xml = paper 1 }));
+  Client.close conn;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  let oc = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  let n = 24 in
+  for i = 1 to n do
+    output_string oc
+      (Protocol.request_to_line
+         {
+           Protocol.id = Some i;
+           deadline_ms = None;
+           request = query_request ~cache:false tql;
+         });
+    output_char oc '\n'
+  done;
+  flush oc;
+  (* The server's reader sees EOF while most jobs are still queued
+     behind the single worker. *)
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  let seen = Hashtbl.create n in
+  (try
+     for _ = 1 to n do
+       match Protocol.parse_response (input_line ic) with
+       | Ok { Protocol.rid = Some i; body = Ok _ } -> Hashtbl.replace seen i ()
+       | Ok { Protocol.rid = _; body = Error e } ->
+           Alcotest.fail ("unexpected error: " ^ e.Protocol.message)
+       | Ok { Protocol.rid = None; _ } -> Alcotest.fail "response without id"
+       | Error msg -> Alcotest.fail msg
+     done
+   with End_of_file | Sys_error _ -> ());
+  checki "every pipelined response arrives after half-close" n
+    (Hashtbl.length seen);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  stop ()
+
+let test_socket_claiming () =
+  (* A stale socket file left by a dead server is reclaimed… *)
+  let path = temp_name "toss_sock" in
+  let stale = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind stale (Unix.ADDR_UNIX path);
+  Unix.close stale;
+  checkb "stale file left behind" true (Sys.file_exists path);
+  let _, stop = start_server ~socket_path:path () in
+  (* …but a second server must refuse a socket something is listening
+     on, without unlinking it from under the live server. *)
+  (match Server.run (Server.default_config ~socket_path:path) with
+  | Ok () -> Alcotest.fail "second server bound a live socket"
+  | Error _ -> ());
+  checkb "live socket not unlinked" true (Sys.file_exists path);
+  let conn = Result.get_ok (Client.connect ~socket:path) in
+  (match Client.call conn Protocol.Ping with
+  | Ok _ -> ()
+  | Error f -> Alcotest.fail (Client.failure_to_string f));
+  Client.close conn;
+  stop ()
+
 let test_server_hydration () =
   let db_dir = temp_name "toss_srv_db" in
   let socket, stop = start_server ~db_dir () in
@@ -514,7 +599,11 @@ let () =
           Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
         ] );
       ( "cache",
-        [ Alcotest.test_case "hit/miss/evict/invalidate" `Quick test_cache_basics ] );
+        [
+          Alcotest.test_case "hit/miss/evict/invalidate" `Quick test_cache_basics;
+          Alcotest.test_case "eviction queue bounded" `Quick
+            test_cache_order_bounded;
+        ] );
       ( "pool",
         [
           Alcotest.test_case "runs and drains" `Quick test_pool_runs_jobs;
@@ -537,5 +626,8 @@ let () =
             test_overload_and_deadline_wire;
           Alcotest.test_case "hydration across restart" `Quick
             test_server_hydration;
+          Alcotest.test_case "half-close drains responses" `Quick
+            test_half_close_drains_responses;
+          Alcotest.test_case "socket claiming" `Quick test_socket_claiming;
         ] );
     ]
