@@ -5,7 +5,8 @@
      dune exec bench/main.exe -- fig15a fig16c  -- run a subset
 
    Experiments: fig15a fig15b fig15c fig16a fig16b fig16c
-                abl-sea abl-fuse abl-idx abl-plan serve-cache micro
+                abl-sea abl-fuse abl-idx abl-plan serve-cache
+                serve-parallel micro
 
    Absolute times differ from the paper (their substrate was Xindice on a
    1.4 GHz Windows 2000 PC); the shapes -- who wins, by what factor, and
@@ -58,15 +59,17 @@ let emit name ~columns rows =
 (* Shared data preparation                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Bench collections are write-once: build, then hand the executor an
+   immutable snapshot (the only form it accepts since the MVCC split). *)
 let collection_of_tree name tree =
   let c = Collection.create name in
   ignore (Collection.add_document c tree);
-  c
+  Collection.snapshot c
 
 let collection_of_trees name trees =
   let c = Collection.create name in
   List.iter (fun t -> ignore (Collection.add_document c t)) trees;
-  c
+  Collection.snapshot c
 
 let seo_of_docs ?lexicon ?content_tags ?max_content_terms ~eps docs =
   match
@@ -630,6 +633,85 @@ let serve_cache () =
      an insert bumps the collection version so the next query misses --\n\
      a cached result is never served across a write\n"
 
+(* The parallel read path: N worker domains hammer the same collection
+   with the uncached query for a fixed window; the row is completed
+   queries per second. Every query pins its own MVCC snapshot and runs
+   lock-free, so on an M-core machine QPS should scale up to
+   min(domains, M). The experiment is also a gate: wherever the core
+   count allows real parallelism the rate must climb step to step, and
+   where it doesn't (domains > cores) oversubscription must not
+   collapse throughput. *)
+let serve_parallel_qps eng ~n_domains ~duration_s =
+  let stop_at = Unix.gettimeofday () +. duration_s in
+  let one () =
+    let n = ref 0 in
+    while Unix.gettimeofday () < stop_at do
+      ignore (serve_query ~cache:false eng);
+      incr n
+    done;
+    !n
+  in
+  let domains = List.init n_domains (fun _ -> Domain.spawn one) in
+  let total = List.fold_left (fun acc d -> acc + Domain.join d) 0 domains in
+  float_of_int total /. duration_s
+
+let serve_parallel () =
+  B.print_header
+    "Serving: parallel read path -- uncached QPS vs worker domains";
+  let eng = serve_engine ~seed:91 ~n_papers:100 in
+  (* Pay the SEO precompute once, outside the measured windows. *)
+  ignore (serve_query ~cache:false eng);
+  let cores = Domain.recommended_domain_count () in
+  let duration_s = 0.5 in
+  let levels = [ 1; 2; 4; 8 ] in
+  let rows =
+    List.map
+      (fun n -> (n, serve_parallel_qps eng ~n_domains:n ~duration_s))
+      levels
+  in
+  let qps1 = match rows with (_, q) :: _ -> q | [] -> 1. in
+  emit "serve-parallel"
+    ~columns:[ "domains"; "qps"; "speedup vs 1" ]
+    (List.map
+       (fun (n, qps) -> [ string_of_int n; B.f2 qps; B.f2 (qps /. qps1) ])
+       rows);
+  Printf.printf
+    "\n%d core(s) available: queries pin immutable snapshots and run with\n\
+     no lock held, so QPS scales with domains up to the core count\n"
+    cores;
+  (* The gate. Up to the core count each doubling of domains must
+     actually climb (1.2x per step is well under the ~2x ideal, leaving
+     room for noise). Past the core count parallelism is fictional --
+     domains time-share one core and every minor GC is a cross-domain
+     rendezvous -- so the only requirement is that oversubscription
+     does not destroy throughput relative to the best honest level. *)
+  let capacity_qps =
+    List.fold_left
+      (fun acc (n, qps) -> if cores >= n then Some qps else acc)
+      None rows
+  in
+  List.iter2
+    (fun (n_prev, qps_prev) (n_next, qps_next) ->
+      if cores >= n_next && qps_next < qps_prev *. 1.2 then
+        failwith
+          (Printf.sprintf
+             "serve-parallel gate: %d -> %d domains only scaled %.2fx on %d cores"
+             n_prev n_next (qps_next /. qps_prev) cores))
+    (List.filteri (fun i _ -> i < List.length rows - 1) rows)
+    (List.tl rows);
+  List.iter
+    (fun (n, qps) ->
+      match capacity_qps with
+      | Some cap when n > cores && qps < cap *. 0.25 ->
+          failwith
+            (Printf.sprintf
+               "serve-parallel gate: %d domains on %d core(s) fell to %.2fx of the \
+                in-capacity rate"
+               n cores (qps /. cap))
+      | _ -> ())
+    rows;
+  Printf.printf "serve-parallel gate: PASS\n"
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per figure kernel            *)
 (* ------------------------------------------------------------------ *)
@@ -680,7 +762,7 @@ let micro () =
            ignore
              (Toss_similarity.Name_rules.distance "Jeffrey David Ullman" "J. D. Ullman")));
       Test.make ~name:"kernel-xpath-eval" (Staged.stage (fun () ->
-           ignore (Collection.eval_string coll "//inproceedings[booktitle='VLDB']/author")));
+           ignore (Collection.Snapshot.eval_string coll "//inproceedings[booktitle='VLDB']/author")));
     ]
   in
   let benchmark test =
@@ -712,17 +794,17 @@ let micro () =
 
 (* A small, fast, deterministic suite over the same kernels as [micro],
    measured as wall-clock medians so runs are comparable across commits.
-   [--quick] records its medians as the baseline artifact (BENCH_4.json
+   [--quick] records its medians as the baseline artifact (BENCH_5.json
    at the repo root); [--check] re-measures and fails the process when
    any median regressed beyond the tolerance. Older baselines are kept
    so earlier refactors can still be gated against: BENCH_2.json is
-   pre-planner, BENCH_3.json pre-server (the gate only iterates
-   baseline entries, so kernels newer than a baseline are ignored when
-   checking against it). *)
+   pre-planner, BENCH_3.json pre-server, BENCH_4.json pre-MVCC (the
+   gate only iterates baseline entries, so kernels newer than a
+   baseline are ignored when checking against it). *)
 module Baseline = Toss_eval.Baseline
 
 let baseline_label = "toss-perf-suite"
-let default_baseline_path = "BENCH_4.json"
+let default_baseline_path = "BENCH_5.json"
 
 let perf_suite ~slowdown () =
   B.print_header "Perf suite (wall-clock medians for the regression gate)";
@@ -787,7 +869,7 @@ let perf_suite ~slowdown () =
             (Executor.join ~mode:Executor.Tax ~planner:false eq_seo eq_coll
                eq_coll ~pattern:eq_pattern ~sl:eq_sl));
       ("xpath-eval", fun () ->
-          ignore (Collection.eval_string coll "//inproceedings[booktitle='VLDB']/author"));
+          ignore (Collection.Snapshot.eval_string coll "//inproceedings[booktitle='VLDB']/author"));
       ("sea-enhance", fun () ->
           ignore (Sea.enhance ~metric:Levenshtein.metric ~eps:2.0 sea_h));
       (* Server kernels: the same query through the engine, uncached vs a
@@ -799,6 +881,18 @@ let perf_suite ~slowdown () =
          a 20% gate -- so the kernel measures a batch of 500. *)
       ("serve-cached", fun () ->
           for _ = 1 to 500 do ignore (serve_query srv) done);
+      (* The parallel read path: 8 uncached queries spread over 4 worker
+         domains, all pinning snapshots of the same collection. On one
+         core this is the serial cost of 8 queries; on many it shrinks
+         toward 2x one query -- either way a regression here means the
+         read path started contending. *)
+      ("serve-par4", fun () ->
+          let domains =
+            List.init 4 (fun _ ->
+                Domain.spawn (fun () ->
+                    for _ = 1 to 2 do ignore (serve_query ~cache:false srv) done))
+          in
+          List.iter Domain.join domains);
     ]
   in
   let entries =
@@ -872,13 +966,14 @@ let experiments =
     ("abl-idx", abl_idx);
     ("abl-plan", abl_plan);
     ("serve-cache", serve_cache);
+    ("serve-parallel", serve_parallel);
     ("micro", micro);
   ]
 
 let usage () =
   Printf.eprintf
     "usage: bench [EXPERIMENT...]\n\
-    \       bench --quick [--out FILE]                 record BENCH_4.json\n\
+    \       bench --quick [--out FILE]                 record BENCH_5.json\n\
     \       bench --quick --check [--baseline FILE]    gate against a baseline\n\
     \            [--tolerance X] [--slowdown F] [--out FILE]\n\
      experiments: %s\n"

@@ -1,0 +1,8 @@
+set datafile separator ','
+set key autotitle columnhead
+set xlabel "domains"
+set ylabel 'value'
+set term pngcairo size 800,500
+set output 'serve-parallel.png'
+plot 'serve-parallel.csv' using 1:2 with linespoints, \
+     'serve-parallel.csv' using 1:3 with linespoints

@@ -250,8 +250,9 @@ let query files query mode eps show_xpath explain no_planner trace show_stats
   Fun.protect ~finally:(fun () -> Option.iter close_out_noerr profile_oc)
   @@ fun () ->
   let trees = List.map load_doc files in
-  let coll = Collection.create "cli" in
-  List.iter (fun t -> ignore (Collection.add_document coll t)) trees;
+  let c = Collection.create "cli" in
+  List.iter (fun t -> ignore (Collection.add_document c t)) trees;
+  let coll = Collection.snapshot c in
   match Tql.parse query with
   | Error msg -> `Error (false, "TQL syntax error: " ^ msg)
   | Ok q -> (
@@ -404,8 +405,9 @@ let query_cmd =
 let stats_run files query mode eps =
   Toss_obs.Span.set_enabled true;
   let trees = List.map load_doc files in
-  let coll = Collection.create "cli" in
-  List.iter (fun t -> ignore (Collection.add_document coll t)) trees;
+  let c = Collection.create "cli" in
+  List.iter (fun t -> ignore (Collection.add_document c t)) trees;
+  let coll = Collection.snapshot c in
   match Tql.parse query with
   | Error msg -> `Error (false, "TQL syntax error: " ^ msg)
   | Ok q -> (
@@ -450,9 +452,9 @@ let stats_cmd =
 
 (* ----------------------------- serve ------------------------------ *)
 
-let serve_run socket db workers max_queue default_deadline_ms no_cache
+let serve_run socket db domains max_queue default_deadline_ms no_cache
     cache_capacity eps slow_ms =
-  if workers < 0 then `Error (true, "--workers must be >= 0")
+  if domains < 0 then `Error (true, "--domains must be >= 0")
   else if max_queue < 0 then `Error (true, "--max-queue must be >= 0")
   else begin
     Option.iter
@@ -468,7 +470,7 @@ let serve_run socket db workers max_queue default_deadline_ms no_cache
       {
         Toss_server.Server.socket_path = socket;
         db_dir = db;
-        workers;
+        domains;
         max_queue;
         default_deadline_ms;
         cache_capacity = (if no_cache then 0 else cache_capacity);
@@ -479,8 +481,8 @@ let serve_run socket db workers max_queue default_deadline_ms no_cache
       }
     in
     let ready () =
-      Printf.printf "toss serve: listening on %s (workers=%d, queue=%d, cache=%d)\n%!"
-        socket workers max_queue config.Toss_server.Server.cache_capacity
+      Printf.printf "toss serve: listening on %s (domains=%d, queue=%d, cache=%d)\n%!"
+        socket domains max_queue config.Toss_server.Server.cache_capacity
     in
     match Toss_server.Server.run ~ready config with
     | Ok () ->
@@ -499,9 +501,10 @@ let serve_cmd =
            ~doc:"Database directory: hydrate collections from it on start \
                  and append every insert to it (created if missing).")
   in
-  let workers =
-    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N"
-           ~doc:"Worker threads executing queued requests.")
+  let domains =
+    Arg.(value & opt int 4 & info [ "domains"; "workers" ] ~docv:"N"
+           ~doc:"Worker domains executing queued requests in parallel \
+                 ($(b,--workers) is accepted as an alias).")
   in
   let max_queue =
     Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N"
@@ -535,7 +538,7 @@ let serve_cmd =
              JSON protocol with a worker pool, per-request deadlines, \
              admission control and a versioned result cache.")
     Term.(ret
-            (const serve_run $ socket $ db $ workers $ max_queue
+            (const serve_run $ socket $ db $ domains $ max_queue
              $ default_deadline_ms $ no_cache $ cache_capacity $ eps $ slow_ms))
 
 (* ----------------------------- client ----------------------------- *)

@@ -30,6 +30,7 @@ let () =
   ignore (Collection.add_document left dblp.Dblp_gen.tree);
   let right = Collection.create "sigmod" in
   List.iter (fun t -> ignore (Collection.add_document right t)) sigmod.Sigmod_gen.trees;
+  let left = Collection.snapshot left and right = Collection.snapshot right in
 
   Printf.printf "DBLP rendering:  %d papers in one document\n"
     (Array.length corpus.Corpus.papers);

@@ -43,8 +43,10 @@ let modes = [ Executor.Tax; Executor.Toss ]
 
 let check_case (case : Gen.case) =
   let seo = Gen.seo_of case in
-  let coll = Collection.of_trees ~name:"check" case.Gen.docs in
-  let rcoll = Collection.of_trees ~name:"check-right" case.Gen.right_docs in
+  let coll = Collection.snapshot (Collection.of_trees ~name:"check" case.Gen.docs) in
+  let rcoll =
+    Collection.snapshot (Collection.of_trees ~name:"check-right" case.Gen.right_docs)
+  in
   let docs = List.map Doc.of_tree case.Gen.docs in
   let rdocs = List.map Doc.of_tree case.Gen.right_docs in
   let pattern = case.Gen.pattern and sl = case.Gen.sl in

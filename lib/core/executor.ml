@@ -74,7 +74,7 @@ let event_query_start ~op ~mode collection =
         [
           ("op", Event.Str op);
           ("mode", Event.Str (mode_name mode));
-          ("collection", Event.Str (Collection.name collection));
+          ("collection", Event.Str (Collection.Snapshot.name collection));
         ]
 
 let event_rewrite_done ~op queries =

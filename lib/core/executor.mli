@@ -65,15 +65,22 @@ val select :
   ?planner:bool ->
   ?check:(unit -> unit) ->
   Seo.t ->
-  Toss_store.Collection.t ->
+  Toss_store.Collection.Snapshot.t ->
   pattern:Toss_tax.Pattern.t ->
   sl:int list ->
   Toss_xml.Tree.t list * stats
-(** [σ_{P,SL}] over every document of the collection. [planner]
-    (default true) enables cost-based scan ordering and candidate-doc
-    pruning. [check] is forwarded to {!Plan.run} as its cooperative
-    cancellation checkpoint (the query server's per-request deadline);
-    whatever it raises propagates out of this call. *)
+(** [σ_{P,SL}] over every document of the pinned snapshot. Planning and
+    execution both read the same immutable version, so the answer is
+    exactly the one a stop-the-world run at that version would produce —
+    concurrent writers advancing the underlying collection have no
+    effect on an in-flight call. The call itself takes no locks and is
+    safe to run on any domain (its observability side effects go to the
+    domain-safe {!Toss_obs} registry and the calling domain's span
+    context). [planner] (default true) enables cost-based scan ordering
+    and candidate-doc pruning. [check] is forwarded to {!Plan.run} as
+    its cooperative cancellation checkpoint (the query server's
+    per-request deadline); whatever it raises propagates out of this
+    call. *)
 
 val join :
   ?mode:mode ->
@@ -82,12 +89,13 @@ val join :
   ?planner:bool ->
   ?check:(unit -> unit) ->
   Seo.t ->
-  Toss_store.Collection.t ->
-  Toss_store.Collection.t ->
+  Toss_store.Collection.Snapshot.t ->
+  Toss_store.Collection.Snapshot.t ->
   pattern:Toss_tax.Pattern.t ->
   sl:int list ->
   Toss_xml.Tree.t list * stats
-(** Condition join of two collections. The pattern's root must have
+(** Condition join of two pinned snapshots (same isolation and
+    domain-safety guarantees as {!select}). The pattern's root must have
     exactly two children — the sub-pattern matched in the left collection
     and the one matched in the right (as in the paper's Figure 14); the
     root itself stands for the product node and is not matched against

@@ -212,7 +212,7 @@ let fetch_side ~check ~use_index coll scans =
         Span.timed
           ~meta:[ ("label", string_of_int s.scan_label) ]
           Names.xpath
-          (fun () -> Collection.eval ~use_index coll s.xpath)
+          (fun () -> Collection.Snapshot.eval ~use_index coll s.xpath)
       in
       (if Event.active () then
          Event.emit Event.Xpath_exec
@@ -274,7 +274,7 @@ let run ?(check = ignore) ?(use_index = true) ~eval ~coll_of plan =
     | Label_scan _ ->
         invalid_arg "Plan.run: Label_scan outside a Candidate_filter"
     | Candidate_filter { side; _ } ->
-        Docs (side, Collection.doc_ids (coll_of side))
+        Docs (side, Collection.Snapshot.doc_ids (coll_of side))
     | Doc_prune { required; input } ->
         let side, ids = expect_docs (exec_node input) in
         let meta =
@@ -323,7 +323,7 @@ let run ?(check = ignore) ?(use_index = true) ~eval ~coll_of plan =
                      ~meta:[ ("doc", string_of_int doc_id) ]
                      Names.embed
                      (fun () ->
-                       let doc = Collection.doc coll doc_id in
+                       let doc = Collection.Snapshot.doc coll doc_id in
                        let bindings =
                          Embedding.enumerate
                            ~candidates:(lookup side doc_id)
@@ -360,7 +360,7 @@ let run ?(check = ignore) ?(use_index = true) ~eval ~coll_of plan =
                       ~meta:[ ("side", name); ("doc", string_of_int doc_id) ]
                       Names.embed
                       (fun () ->
-                        let doc = Collection.doc coll doc_id in
+                        let doc = Collection.Snapshot.doc coll doc_id in
                         let candidates label =
                           let fetched = lookup side doc_id label in
                           if spec.pin_root && label = side_root then

@@ -112,10 +112,14 @@ val run :
   ?check:(unit -> unit) ->
   ?use_index:bool ->
   eval:(Toss_tax.Condition.env -> Toss_tax.Condition.t -> bool) ->
-  coll_of:(side -> Toss_store.Collection.t) ->
+  coll_of:(side -> Toss_store.Collection.Snapshot.t) ->
   t ->
   Toss_xml.Tree.t list * exec_stats
-(** Interprets the plan: one [execute] span containing an [xpath] span
+(** Interprets the plan against pinned collection snapshots — the
+    interpreter performs no locking of its own and reads only immutable
+    version state, so concurrent runs on separate domains are safe and a
+    run's results are unaffected by writers advancing the collections
+    mid-flight. One [execute] span containing an [xpath] span
     (and [Xpath_exec] event) per scan, then one [assemble] span
     containing the [prune], per-document [embed] and (for joins) [pair]
     spans. Must be called inside an executor root span for the trace to

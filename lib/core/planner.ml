@@ -17,7 +17,7 @@ let scans_of ~optimize ~use_index coll queries =
       (fun (label, xpath) ->
         let est_rows =
           if optimize then
-            Some (Collection.estimate_rows ~value_index:use_index coll xpath)
+            Some (Collection.Snapshot.estimate_rows ~value_index:use_index coll xpath)
           else None
         in
         { Plan.scan_label = label; xpath; est_rows })

@@ -2,8 +2,11 @@
 
     The planner runs during the executor's [rewrite] phase: it rewrites
     the pattern into per-label XPath queries (through {!Rewrite}), then
-    uses the collection's per-term statistics
-    ({!Toss_store.Collection.estimate_rows}) to shape the physical plan:
+    uses the pinned snapshot's per-term statistics
+    ({!Toss_store.Collection.Snapshot.estimate_rows}) to shape the
+    physical plan. Planning reads only the immutable snapshot (statistics
+    are version-local), so it is safe from any domain and consistent with
+    the execution that interprets the plan against the same snapshot:
 
     - label scans are ordered most-selective-first, so the candidate
       tables that prune hardest are populated cheapest-first;
@@ -26,11 +29,11 @@ val plan_select :
   ?max_expansion:int ->
   ?optimize:bool ->
   Seo.t ->
-  Toss_store.Collection.t ->
+  Toss_store.Collection.Snapshot.t ->
   pattern:Toss_tax.Pattern.t ->
   sl:int list ->
   Plan.t
-(** The plan for [σ_{P,SL}] over the collection. [use_index] (default
+(** The plan for [σ_{P,SL}] over the snapshot. [use_index] (default
     true) gates the per-value statistics refinement so planning never
     forces an index build the execution itself would not perform. *)
 
@@ -40,8 +43,8 @@ val plan_join :
   ?max_expansion:int ->
   ?optimize:bool ->
   Seo.t ->
-  Toss_store.Collection.t ->
-  Toss_store.Collection.t ->
+  Toss_store.Collection.Snapshot.t ->
+  Toss_store.Collection.Snapshot.t ->
   pattern:Toss_tax.Pattern.t ->
   sl:int list ->
   Plan.t

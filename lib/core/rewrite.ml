@@ -23,27 +23,39 @@ let m_cacheable = Metrics.counter "rewrite.queries.seo_independent"
    on the physical SEO value — a rebuilt ontology is a new value and
    invalidates it wholesale — and holds a strong reference to the last
    SEO used, which is by design: the SEO is the long-lived precomputed
-   artifact of the TOSS architecture. *)
+   artifact of the TOSS architecture.
+
+   The cache lives in domain-local storage: rewrites run concurrently on
+   the server's domain pool, and a shared table would need a lock on the
+   rewrite hot path. Each domain warms its own copy (the expansions are
+   pure, so duplicated work is the only cost) and the owner check
+   resets a domain's cache the first time it sees a rebuilt SEO. *)
 let m_cache_hits = Metrics.counter "rewrite.cache.hits"
 let m_cache_misses = Metrics.counter "rewrite.cache.misses"
 
-let expansion_cache : (string * string, string list) Hashtbl.t = Hashtbl.create 64
-let cache_owner : Seo.t option ref = ref None
+type expansion_cache = {
+  table : (string * string, string list) Hashtbl.t;
+  mutable owner : Seo.t option;
+}
+
+let cache_key : expansion_cache Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { table = Hashtbl.create 64; owner = None })
 
 let cached_expansion seo ~op ~constant compute =
-  (match !cache_owner with
+  let cache = Domain.DLS.get cache_key in
+  (match cache.owner with
   | Some owner when owner == seo -> ()
   | _ ->
-      Hashtbl.reset expansion_cache;
-      cache_owner := Some seo);
-  match Hashtbl.find_opt expansion_cache (op, constant) with
+      Hashtbl.reset cache.table;
+      cache.owner <- Some seo);
+  match Hashtbl.find_opt cache.table (op, constant) with
   | Some terms ->
       Metrics.incr m_cache_hits;
       terms
   | None ->
       Metrics.incr m_cache_misses;
       let terms = compute seo constant in
-      Hashtbl.replace expansion_cache (op, constant) terms;
+      Hashtbl.replace cache.table (op, constant) terms;
       terms
 
 let similar_terms seo s = cached_expansion seo ~op:"~" ~constant:s Seo.similar_terms

@@ -6,6 +6,9 @@ module Metric = Toss_similarity.Metric
 module Levenshtein = Toss_similarity.Levenshtein
 
 type t = {
+  lock : Mutex.t;
+      (* guards [cached_seo] and makes (SEO, snapshot) capture atomic
+         with respect to writes; never held while a query executes *)
   database : Database.t;
   metric : Metric.t;
   eps : float;
@@ -18,6 +21,7 @@ type t = {
 let create ?(metric = Levenshtein.metric) ?(eps = 2.0) ?lexicon ?content_tags
     ?max_content_terms () =
   {
+    lock = Mutex.create ();
     database = Database.create ();
     metric;
     eps;
@@ -27,17 +31,24 @@ let create ?(metric = Levenshtein.metric) ?(eps = 2.0) ?lexicon ?content_tags
     cached_seo = None;
   }
 
-let invalidate t = t.cached_seo <- None
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let add_collection t name =
+let invalidate t = locked t (fun () -> t.cached_seo <- None)
+
+let add_collection_unlocked t name =
   match Database.collection t.database name with
   | Some c -> c
   | None -> Database.create_collection t.database name
 
+let add_collection t name = locked t (fun () -> add_collection_unlocked t name)
+
 let insert t ~collection tree =
-  let id = Collection.add_document (add_collection t collection) tree in
-  invalidate t;
-  id
+  locked t (fun () ->
+      let id = Collection.add_document (add_collection_unlocked t collection) tree in
+      t.cached_seo <- None;
+      id)
 
 let add_document t ~collection tree = ignore (insert t ~collection tree)
 
@@ -47,23 +58,25 @@ let version t ~collection =
   | None -> 0
 
 let add_xml t ~collection xml =
-  match Collection.add_xml (add_collection t collection) xml with
-  | Ok _ ->
-      invalidate t;
-      Ok ()
-  | Error e -> Error e
+  locked t (fun () ->
+      match Collection.add_xml (add_collection_unlocked t collection) xml with
+      | Ok _ ->
+          t.cached_seo <- None;
+          Ok ()
+      | Error e -> Error e)
 
 let collection t name = Database.collection t.database name
 let collection_names t = Database.collection_names t.database
 
 let all_docs t =
   List.concat_map
-    (fun name ->
-      let c = Database.collection_exn t.database name in
-      List.map (fun id -> Collection.doc c id) (Collection.doc_ids c))
-    (collection_names t)
+    (fun (_, snap) ->
+      List.map
+        (fun id -> Collection.Snapshot.doc snap id)
+        (Collection.Snapshot.doc_ids snap))
+    (Database.snapshot t.database)
 
-let seo t =
+let seo_unlocked t =
   match t.cached_seo with
   | Some result -> result
   | None ->
@@ -75,50 +88,83 @@ let seo t =
       t.cached_seo <- Some result;
       result
 
+let seo t = locked t (fun () -> seo_unlocked t)
+
+(* ------------------------- pinned queries ------------------------- *)
+
+type pinned = {
+  pin_seo : (Seo.t, string) result;
+  pin_snap : Collection.Snapshot.t;
+}
+
+let pin t ~collection =
+  locked t (fun () ->
+      match Database.collection t.database collection with
+      | None -> Error (Printf.sprintf "unknown collection %S" collection)
+      | Some coll ->
+          let pin_seo = seo_unlocked t in
+          Ok { pin_seo; pin_snap = Collection.snapshot coll })
+
+let pin2 t ~left ~right =
+  locked t (fun () ->
+      match
+        (Database.collection t.database left, Database.collection t.database right)
+      with
+      | None, _ -> Error (Printf.sprintf "unknown collection %S" left)
+      | _, None -> Error (Printf.sprintf "unknown collection %S" right)
+      | Some l, Some r ->
+          let pin_seo = seo_unlocked t in
+          Ok (pin_seo, Collection.snapshot l, Collection.snapshot r))
+
+let pinned_version p = Collection.Snapshot.version p.pin_snap
+let pinned_snapshot p = p.pin_snap
+let pinned_seo p = p.pin_seo
+
 type answer = { trees : Tree.t list; stats : Executor.stats option }
 
-let with_query t text f =
+let with_query seo_result text f =
   match Tql.parse text with
   | Error msg -> Error ("TQL: " ^ msg)
   | Ok q -> (
-      match seo t with
+      match seo_result with
       | Error msg -> Error msg
       | Ok context -> f q context)
 
-let query ?(mode = Executor.Toss) ?check t ~collection:name text =
-  match Database.collection t.database name with
-  | None -> Error (Printf.sprintf "unknown collection %S" name)
-  | Some coll ->
-      with_query t text (fun q context ->
-          match q.Tql.target with
-          | Tql.Select sl ->
-              let trees, stats =
-                Executor.select ~mode ?check context coll ~pattern:q.Tql.pattern
-                  ~sl
-              in
-              Ok { trees; stats = Some stats }
-          | Tql.Project pl ->
-              let eval =
-                match mode with
-                | Executor.Tax -> Toss_tax.Condition.eval_tax
-                | Executor.Toss -> Toss_condition.evaluator context
-              in
-              let inputs =
-                List.map
-                  (fun id -> Doc.to_tree (Collection.doc coll id))
-                  (Collection.doc_ids coll)
-              in
-              let trees =
-                Toss_tax.Algebra.project ~eval ~pattern:q.Tql.pattern ~pl inputs
-              in
-              Ok { trees; stats = None })
+let query_at ?(mode = Executor.Toss) ?check p text =
+  let snap = p.pin_snap in
+  with_query p.pin_seo text (fun q context ->
+      match q.Tql.target with
+      | Tql.Select sl ->
+          let trees, stats =
+            Executor.select ~mode ?check context snap ~pattern:q.Tql.pattern ~sl
+          in
+          Ok { trees; stats = Some stats }
+      | Tql.Project pl ->
+          let eval =
+            match mode with
+            | Executor.Tax -> Toss_tax.Condition.eval_tax
+            | Executor.Toss -> Toss_condition.evaluator context
+          in
+          let inputs =
+            List.map
+              (fun id -> Doc.to_tree (Collection.Snapshot.doc snap id))
+              (Collection.Snapshot.doc_ids snap)
+          in
+          let trees =
+            Toss_tax.Algebra.project ~eval ~pattern:q.Tql.pattern ~pl inputs
+          in
+          Ok { trees; stats = None })
+
+let query ?mode ?check t ~collection text =
+  match pin t ~collection with
+  | Error msg -> Error msg
+  | Ok p -> query_at ?mode ?check p text
 
 let join ?(mode = Executor.Toss) ?check t ~left ~right text =
-  match (Database.collection t.database left, Database.collection t.database right) with
-  | None, _ -> Error (Printf.sprintf "unknown collection %S" left)
-  | _, None -> Error (Printf.sprintf "unknown collection %S" right)
-  | Some l, Some r ->
-      with_query t text (fun q context ->
+  match pin2 t ~left ~right with
+  | Error msg -> Error msg
+  | Ok (seo_result, l, r) ->
+      with_query seo_result text (fun q context ->
           match q.Tql.target with
           | Tql.Project _ -> Error "join does not support PROJECT"
           | Tql.Select sl ->

@@ -76,11 +76,19 @@ type sink_impl =
 
 type sink = { id : int; impl : sink_impl }
 
-let next_sink_id = ref 0
+let next_sink_id = Atomic.make 0
 
-let make impl =
-  incr next_sink_id;
-  { id = !next_sink_id; impl }
+let make impl = { id = Atomic.fetch_and_add next_sink_id 1 + 1; impl }
+
+(* One lock serializes sink installation, removal, emission and sink
+   inspection: sink queues are mutable and events must arrive in [seq]
+   order, so delivery from parallel domains is a critical section. The
+   uninstrumented path ([active () = false]) never touches it. *)
+let sink_lock = Mutex.create ()
+
+let sink_locked f =
+  Mutex.lock sink_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sink_lock) f
 
 let null = make Null
 let memory ?(capacity = 1024) () =
@@ -88,9 +96,10 @@ let memory ?(capacity = 1024) () =
   make (Memory { capacity; q = Queue.create () })
 
 let events sink =
-  match sink.impl with
-  | Memory { q; _ } -> List.of_seq (Queue.to_seq q)
-  | _ -> []
+  sink_locked (fun () ->
+      match sink.impl with
+      | Memory { q; _ } -> List.of_seq (Queue.to_seq q)
+      | _ -> [])
 
 let jsonl write = make (Jsonl write)
 
@@ -103,14 +112,27 @@ let jsonl_to_channel oc =
 let slow_query ~threshold_s ~write =
   make (Slow { threshold_s; write; buf = Queue.create (); in_query = false })
 
-let sinks : sink list ref = ref []
-let install sink = if not (List.memq sink !sinks) then sinks := !sinks @ [ sink ]
-let remove sink = sinks := List.filter (fun s -> s.id <> sink.id) !sinks
-let clear_sinks () = sinks := []
-let active () = !sinks <> []
+(* The sink list itself is an atomic so [active ()] — consulted before
+   every payload construction on the query hot path — stays a lock-free
+   load; all writes happen under [sink_lock]. *)
+let sinks : sink list Atomic.t = Atomic.make []
+
+let install sink =
+  sink_locked (fun () ->
+      let cur = Atomic.get sinks in
+      if not (List.memq sink cur) then Atomic.set sinks (cur @ [ sink ]))
+
+let remove sink =
+  sink_locked (fun () ->
+      Atomic.set sinks
+        (List.filter (fun s -> s.id <> sink.id) (Atomic.get sinks)))
+
+let clear_sinks () = sink_locked (fun () -> Atomic.set sinks [])
+let active () = Atomic.get sinks <> []
 
 (* ------------------------------ Emission ------------------------------ *)
 
+(* [seq] and [last_ts] are only touched under [sink_lock] (see [emit]). *)
 let seq = ref 0
 let t0 = Unix.gettimeofday ()
 let last_ts = ref 0.
@@ -170,9 +192,13 @@ let deliver sink e =
       | _ -> if slow.in_query then Queue.push e slow.buf)
 
 let emit ?(payload = []) ?trace kind =
-  match !sinks with
+  match Atomic.get sinks with
   | [] -> ()
-  | sinks ->
-      incr seq;
-      let e = { seq = !seq; ts_s = now (); kind; payload; trace } in
-      List.iter (fun s -> deliver s e) sinks
+  | _ ->
+      sink_locked (fun () ->
+          match Atomic.get sinks with
+          | [] -> ()
+          | live ->
+              incr seq;
+              let e = { seq = !seq; ts_s = now (); kind; payload; trace } in
+              List.iter (fun s -> deliver s e) live)

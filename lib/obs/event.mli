@@ -14,7 +14,13 @@
     Emission is free when no sink is installed ({!emit} returns before
     allocating anything); instrumented code should guard payload
     construction with {!active}. Like the metrics registry, the sink
-    list is process-global and not thread-safe. *)
+    list is process-global — and, like it, domain-safe: {!active} is a
+    single lock-free load, while emission and sink management serialize
+    on an internal mutex, so events from parallel query domains arrive
+    whole and in one global [seq] order (interleaved {e across} queries,
+    as concurrent execution implies; the slow-query sink's
+    start-to-end buffering therefore assumes one query at a time and is
+    meant for the single-domain CLI). *)
 
 (** {1 Events} *)
 

@@ -3,10 +3,15 @@ type labels = (string * string) list
 let bucket_bounds =
   [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10.; 100.; 1_000.; 10_000.; infinity |]
 
-type counter = { mutable c : int }
-type gauge = { mutable g : float }
+(* Counters and gauges are single atomics (updates are one
+   fetch-and-add / exchange, lock-free from any domain); a histogram
+   mutates several fields per observation, so it carries its own mutex —
+   uncontended in the common case of distinct series per call site. *)
+type counter = int Atomic.t
+type gauge = float Atomic.t
 
 type histogram = {
+  hlock : Mutex.t;
   mutable count : int;
   mutable sum : float;
   mutable hmin : float;
@@ -16,8 +21,15 @@ type histogram = {
 
 type cell = C of counter | G of gauge | H of histogram
 
-(* The process-wide registry, keyed by (name, sorted labels). *)
+(* The process-wide registry, keyed by (name, sorted labels); all
+   structural access (registration, snapshot, reset) is serialized by
+   [registry_lock]. Handle updates never touch the lock. *)
 let registry : (string * labels, cell) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let registry_locked f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
 
 let normalize labels =
   List.sort (fun (a, _) (b, _) -> String.compare a b) labels
@@ -26,33 +38,35 @@ let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 
 let register ?(labels = []) name make describe =
   let key = (name, normalize labels) in
-  match Hashtbl.find_opt registry key with
-  | Some cell -> cell
-  | None ->
-      (* A name must keep one kind across all label sets. *)
-      Hashtbl.iter
-        (fun (n, _) cell ->
-          if n = name && kind_name cell <> describe then
-            invalid_arg
-              (Printf.sprintf "Metrics: %S already registered as a %s" name
-                 (kind_name cell)))
-        registry;
-      let cell = make () in
-      Hashtbl.replace registry key cell;
-      cell
+  registry_locked (fun () ->
+      match Hashtbl.find_opt registry key with
+      | Some cell -> cell
+      | None ->
+          (* A name must keep one kind across all label sets. *)
+          Hashtbl.iter
+            (fun (n, _) cell ->
+              if n = name && kind_name cell <> describe then
+                invalid_arg
+                  (Printf.sprintf "Metrics: %S already registered as a %s" name
+                     (kind_name cell)))
+            registry;
+          let cell = make () in
+          Hashtbl.replace registry key cell;
+          cell)
 
 let counter ?labels name =
-  match register ?labels name (fun () -> C { c = 0 }) "counter" with
+  match register ?labels name (fun () -> C (Atomic.make 0)) "counter" with
   | C c -> c
   | _ -> invalid_arg (Printf.sprintf "Metrics: %S is not a counter" name)
 
 let gauge ?labels name =
-  match register ?labels name (fun () -> G { g = 0. }) "gauge" with
+  match register ?labels name (fun () -> G (Atomic.make 0.)) "gauge" with
   | G g -> g
   | _ -> invalid_arg (Printf.sprintf "Metrics: %S is not a gauge" name)
 
 let new_histogram () =
   {
+    hlock = Mutex.create ();
     count = 0;
     sum = 0.;
     hmin = nan;
@@ -67,15 +81,16 @@ let histogram ?labels name =
 
 let incr ?(by = 1) c =
   if by < 0 then invalid_arg "Metrics.incr: counters only go up";
-  c.c <- c.c + by
+  ignore (Atomic.fetch_and_add c by)
 
-let set g v = g.g <- v
+let set g v = Atomic.set g v
 
 let bucket_index v =
   let rec go i = if v <= bucket_bounds.(i) then i else go (i + 1) in
   go 0
 
 let observe h v =
+  Mutex.lock h.hlock;
   h.count <- h.count + 1;
   h.sum <- h.sum +. v;
   if h.count = 1 then begin
@@ -87,7 +102,8 @@ let observe h v =
     if v > h.hmax then h.hmax <- v
   end;
   let i = bucket_index v in
-  h.bucket_counts.(i) <- h.bucket_counts.(i) + 1
+  h.bucket_counts.(i) <- h.bucket_counts.(i) + 1;
+  Mutex.unlock h.hlock
 
 let observe_int h v = observe h (float_of_int v)
 
@@ -107,44 +123,54 @@ type value = Counter of int | Gauge of float | Histogram of histogram_stats
 
 type snapshot = (string * labels * value) list
 
+(* Reads the histogram under its own lock, so a snapshot taken during a
+   storm of observations still sees each series at one instant. *)
 let stats_of (h : histogram) =
+  Mutex.lock h.hlock;
+  let count = h.count and sum = h.sum and hmin = h.hmin and hmax = h.hmax in
+  let bucket_counts = Array.copy h.bucket_counts in
+  Mutex.unlock h.hlock;
   let cumulative = ref 0 in
   let buckets =
     Array.to_list
       (Array.mapi
          (fun i bound ->
-           cumulative := !cumulative + h.bucket_counts.(i);
+           cumulative := !cumulative + bucket_counts.(i);
            (bound, !cumulative))
          bucket_bounds)
   in
-  { count = h.count; sum = h.sum; min = h.hmin; max = h.hmax; buckets }
+  { count; sum; min = hmin; max = hmax; buckets }
 
 let snapshot () =
-  Hashtbl.fold
-    (fun (name, labels) cell acc ->
-      let value =
-        match cell with
-        | C c -> Counter c.c
-        | G g -> Gauge g.g
-        | H h -> Histogram (stats_of h)
-      in
-      (name, labels, value) :: acc)
-    registry []
+  registry_locked (fun () ->
+      Hashtbl.fold
+        (fun (name, labels) cell acc ->
+          let value =
+            match cell with
+            | C c -> Counter (Atomic.get c)
+            | G g -> Gauge (Atomic.get g)
+            | H h -> Histogram (stats_of h)
+          in
+          (name, labels, value) :: acc)
+        registry [])
   |> List.sort compare
 
 let reset () =
-  Hashtbl.iter
-    (fun _ cell ->
-      match cell with
-      | C c -> c.c <- 0
-      | G g -> g.g <- 0.
-      | H h ->
-          h.count <- 0;
-          h.sum <- 0.;
-          h.hmin <- nan;
-          h.hmax <- nan;
-          Array.fill h.bucket_counts 0 (Array.length h.bucket_counts) 0)
-    registry
+  registry_locked (fun () ->
+      Hashtbl.iter
+        (fun _ cell ->
+          match cell with
+          | C c -> Atomic.set c 0
+          | G g -> Atomic.set g 0.
+          | H h ->
+              Mutex.lock h.hlock;
+              h.count <- 0;
+              h.sum <- 0.;
+              h.hmin <- nan;
+              h.hmax <- nan;
+              Array.fill h.bucket_counts 0 (Array.length h.bucket_counts) 0;
+              Mutex.unlock h.hlock)
+        registry)
 
 let names snap =
   List.sort_uniq String.compare (List.map (fun (n, _, _) -> n) snap)

@@ -13,8 +13,17 @@
     instruments at top level without coordination. Registering a name
     under two different kinds raises [Invalid_argument].
 
-    The registry is not thread-safe; TOSS is single-threaded today, and
-    the executor owns all instrumentation. *)
+    {2 Thread safety}
+
+    The registry is domain-safe: queries run in parallel on the server's
+    domain pool and all of them instrument these series. Counter and
+    gauge updates are single atomic operations (lock-free, no updates
+    lost under contention); each histogram serializes its observations
+    with its own mutex; registration, {!snapshot} and {!reset} serialize
+    on a registry mutex. {!snapshot} reads each cell atomically (per-cell
+    for counters/gauges, under the histogram's mutex for distributions),
+    so a snapshot taken mid-storm contains each series at one instant —
+    though different series are read at slightly different instants. *)
 
 type labels = (string * string) list
 (** Label pairs, e.g. [["phase", "execute"]]. Order-insensitive:

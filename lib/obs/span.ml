@@ -6,9 +6,9 @@ type t = {
   children : t list;
 }
 
-let tracing = ref false
-let set_enabled b = tracing := b
-let enabled () = !tracing
+let tracing = Atomic.make false
+let set_enabled b = Atomic.set tracing b
+let enabled () = Atomic.get tracing
 
 (* An open span under construction; children accumulate in reverse. *)
 type frame = {
@@ -19,23 +19,48 @@ type frame = {
   mutable rev_children : t list;
 }
 
-let stack : frame list ref = ref []
+(* The open-span stack is domain-local: each of the server's pool
+   domains runs one query at a time, so its stack nests cleanly while
+   other domains trace their own queries in parallel. (Systhreads within
+   one domain share that domain's stack — interleaved spans from such
+   threads can shear a trace, never crash; the server keeps its reader
+   threads span-free.) *)
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
+let stack () = Domain.DLS.get stack_key
+
+(* The ring of recent completed traces is shared across domains and
+   mutex-guarded: recording happens once per root span, far off any hot
+   path. *)
+let ring_lock = Mutex.create ()
 let capacity = ref 32
 let ring : t list ref = ref []
 
 let set_capacity n =
   if n < 1 then invalid_arg "Span.set_capacity";
+  Mutex.lock ring_lock;
   capacity := n;
-  ring := []
+  ring := [];
+  Mutex.unlock ring_lock
 
-let clear_recent () = ring := []
-let recent () = !ring
+let clear_recent () =
+  Mutex.lock ring_lock;
+  ring := [];
+  Mutex.unlock ring_lock
+
+let recent () =
+  Mutex.lock ring_lock;
+  let r = !ring in
+  Mutex.unlock ring_lock;
+  r
 
 let record root =
+  Mutex.lock ring_lock;
   ring := root :: !ring;
   if List.length !ring > !capacity then
-    ring := List.filteri (fun i _ -> i < !capacity) !ring
+    ring := List.filteri (fun i _ -> i < !capacity) !ring;
+  Mutex.unlock ring_lock
 
 let allocated_words () =
   let s = Gc.quick_stat () in
@@ -48,7 +73,7 @@ let word_bytes = float_of_int (Sys.word_size / 8)
 let finish frame =
   let elapsed_s = Unix.gettimeofday () -. frame.start_s in
   let alloc_bytes =
-    if !tracing then
+    if Atomic.get tracing then
       Float.max 0. ((allocated_words () -. frame.start_alloc) *. word_bytes)
     else 0.
   in
@@ -61,12 +86,13 @@ let finish frame =
   }
 
 let exec ?(meta = []) name fn =
+  let stack = stack () in
   let frame =
     {
       fname = name;
       fmeta = meta;
       start_s = Unix.gettimeofday ();
-      start_alloc = (if !tracing then allocated_words () else 0.);
+      start_alloc = (if Atomic.get tracing then allocated_words () else 0.);
       rev_children = [];
     }
   in
@@ -86,7 +112,7 @@ let exec ?(meta = []) name fn =
     let node = finish frame in
     (match !stack with
     | parent :: _ -> parent.rev_children <- node :: parent.rev_children
-    | [] -> if !tracing then record node);
+    | [] -> if Atomic.get tracing then record node);
     node
   in
   match fn () with
@@ -96,7 +122,7 @@ let exec ?(meta = []) name fn =
       raise e
 
 let annotate kvs =
-  match !stack with
+  match !(stack ()) with
   | [] -> ()
   | frame :: _ -> frame.fmeta <- frame.fmeta @ kvs
 
@@ -104,9 +130,10 @@ let with_ ?meta name fn = fst (exec ?meta name fn)
 let timed ?meta name fn = exec ?meta name fn
 
 let run ?meta name fn =
-  (* Temporarily detach from any enclosing stack so the caller gets a
-     self-contained tree. The finished span still lands in the ring
-     buffer (when tracing) — it is a root of its own trace. *)
+  (* Temporarily detach from any enclosing stack (of this domain) so the
+     caller gets a self-contained tree. The finished span still lands in
+     the ring buffer (when tracing) — it is a root of its own trace. *)
+  let stack = stack () in
   let saved = !stack in
   stack := [];
   Fun.protect

@@ -12,7 +12,15 @@
     view over the span tree, so timing cannot be optional), but GC
     sampling and ring-buffer retention only happen when tracing is
     enabled. Tracing is {e disabled by default}, so instrumented code
-    pays the same clock reads the hand-rolled timing did. *)
+    pays the same clock reads the hand-rolled timing did.
+
+    Concurrency: the open-span context is {e domain-local}, so queries
+    tracing on separate pool domains build independent, correctly
+    nested trees in parallel. Systhreads within one domain share that
+    domain's context — interleaved spans from such threads can attach to
+    the wrong parent (never crash); keep span-producing work one-per-
+    domain, as the server does. The {!recent} ring and the tracing flag
+    are shared across domains and internally synchronized. *)
 
 type t = {
   name : string;

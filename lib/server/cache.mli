@@ -10,9 +10,14 @@
     write-heavy load.
 
     Capacity-bounded with FIFO eviction; all operations are
-    mutex-protected. Hits, misses, evictions, invalidations and the
-    live entry count are published to {!Toss_obs.Metrics} under
-    [server.cache.*]. *)
+    mutex-protected and therefore domain-safe — query workers on
+    separate domains share one cache. Version-keying makes the one
+    lock-free race benign: a reader finishing at version [v] may re-add
+    its entry after a writer invalidated for [v+1], but that entry is
+    keyed at [v], which no later request can pin again (versions only
+    advance), so it is unreachable dead weight, never a stale answer.
+    Hits, misses, evictions, invalidations and the live entry count are
+    published to {!Toss_obs.Metrics} under [server.cache.*]. *)
 
 type key = {
   collection : string;

@@ -15,7 +15,10 @@ module Metrics = Toss_obs.Metrics
 exception Deadline
 
 type t = {
-  lock : Mutex.t;
+  write_lock : Mutex.t;
+      (* serializes the write path only: session insert + persistence
+         append + cache invalidation commit together. Queries never
+         take it — they pin a session snapshot and run lock-free. *)
   session : Session.t;
   cache : Cache.t;
   cache_capacity : int;
@@ -63,7 +66,7 @@ let create ?db_dir ?metric ?(eps = 2.0) ?(cache_capacity = 256) () =
   | Ok () ->
       Ok
         {
-          lock = Mutex.create ();
+          write_lock = Mutex.create ();
           session;
           cache = Cache.create ~capacity:cache_capacity ();
           cache_capacity;
@@ -74,9 +77,9 @@ let create ?db_dir ?metric ?(eps = 2.0) ?(cache_capacity = 256) () =
 
 let config_fingerprint t = t.config
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let write_locked t f =
+  Mutex.lock t.write_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.write_lock) f
 
 let mode_name = function Executor.Tax -> "tax" | Executor.Toss -> "toss"
 
@@ -110,11 +113,17 @@ let do_insert t ~collection ~xml =
              ("version", J.Num (float_of_int version));
            ])
 
+(* The linearization point of a read is [Session.pin]: it captures the
+   (SEO, snapshot) pair atomically with respect to writers, and both the
+   cache key's [version] and the executed query come from that capture —
+   so a cached payload and a computed answer for the same key are
+   answers to the same exact collection state, no matter how many writes
+   or other queries run meanwhile. *)
 let do_query t ~deadline ~collection ~tql ~mode ~cache =
-  match Session.collection t.session collection with
-  | None -> err Protocol.Unknown_collection "unknown collection %S" collection
-  | Some _ -> (
-      let version = Session.version t.session ~collection in
+  match Session.pin t.session ~collection with
+  | Error msg -> err Protocol.Unknown_collection "%s" msg
+  | Ok pinned -> (
+      let version = Session.pinned_version pinned in
       let key =
         {
           Cache.collection;
@@ -130,7 +139,7 @@ let do_query t ~deadline ~collection ~tql ~mode ~cache =
       | None -> (
           let t0 = Unix.gettimeofday () in
           let check = check_of_deadline deadline in
-          match Session.query ~mode ~check t.session ~collection tql with
+          match Session.query_at ~mode ~check pinned tql with
           | exception Deadline ->
               err Protocol.Deadline_exceeded "deadline exceeded during execution"
           | Error msg -> err Protocol.Query_error "%s" msg
@@ -154,13 +163,13 @@ let do_query t ~deadline ~collection ~tql ~mode ~cache =
               Ok (with_cache_status "miss" payload)))
 
 let do_explain t ~collection ~tql ~mode =
-  match Session.collection t.session collection with
-  | None -> err Protocol.Unknown_collection "unknown collection %S" collection
-  | Some coll -> (
+  match Session.pin t.session ~collection with
+  | Error msg -> err Protocol.Unknown_collection "%s" msg
+  | Ok pinned -> (
       match Tql.parse tql with
       | Error msg -> err Protocol.Query_error "TQL: %s" msg
       | Ok q -> (
-          match Session.seo t.session with
+          match Session.pinned_seo pinned with
           | Error msg -> err Protocol.Query_error "%s" msg
           | Ok seo -> (
               match q.Tql.target with
@@ -168,8 +177,8 @@ let do_explain t ~collection ~tql ~mode =
                   err Protocol.Query_error "explain supports SELECT queries only"
               | Tql.Select sl ->
                   let plan =
-                    Planner.plan_select ~mode ~optimize:true seo coll
-                      ~pattern:q.Tql.pattern ~sl
+                    Planner.plan_select ~mode ~optimize:true seo
+                      (Session.pinned_snapshot pinned) ~pattern:q.Tql.pattern ~sl
                   in
                   let e =
                     Explain.with_plan (Explain.explain ~mode seo q.Tql.pattern) plan
@@ -197,11 +206,11 @@ let exec t ~deadline request =
       | Protocol.Ping | Protocol.Shutdown -> Ok (J.Obj [ ("pong", J.Bool true) ])
       | Protocol.Stats -> do_stats ()
       | Protocol.Insert { collection; xml } ->
-          locked t (fun () -> do_insert t ~collection ~xml)
+          write_locked t (fun () -> do_insert t ~collection ~xml)
       | Protocol.Query { collection; tql; mode; cache } ->
-          locked t (fun () -> do_query t ~deadline ~collection ~tql ~mode ~cache)
+          do_query t ~deadline ~collection ~tql ~mode ~cache
       | Protocol.Explain { collection; tql; mode } ->
-          locked t (fun () -> do_explain t ~collection ~tql ~mode)
+          do_explain t ~collection ~tql ~mode
   in
   Metrics.observe (h_seconds op) (Unix.gettimeofday () -. t0);
   (match result with

@@ -1,20 +1,39 @@
 (** The server's request executor: one {!Toss_core.Session} plus the
-    result cache and durable storage, behind a single mutex.
+    result cache and durable storage, on the MVCC read/write split.
 
-    OCaml systhreads share one runtime lock, so serializing engine
-    access costs no real parallelism — queries were never going to run
-    OCaml code concurrently. The serving concurrency lives in the
-    connection and pool layers; the engine guarantees that every
-    request observes a consistent (session, version, cache) state:
-    an insert bumps the collection version, appends the document file
-    and invalidates the cache in one critical section, so a cached
-    entry can never be served for a version it did not run against.
+    {2 Concurrency contract}
+
+    [exec] is safe to call concurrently from any number of domains (the
+    {!Pool} workers) and threads:
+
+    - {b Reads} ([Query]/[Explain]) take no engine lock. Each request
+      pins one (SEO, snapshot) capture via {!Toss_core.Session.pin} —
+      the request's linearization point — and executes against it
+      lock-free. The pinned {!Toss_core.Session.pinned_version} is both
+      the result-cache key component and the [version] reported in the
+      answer, so every answer names the exact state it ran against, and
+      a cached payload is only ever served to a request that pinned the
+      same version (plus identical config/mode/TQL).
+    - {b Writes} ([Insert]) serialize on an internal write mutex: the
+      session insert (which publishes the new collection version), the
+      document append to [db_dir] and the cache invalidation commit as
+      one critical section. In-flight reads are unaffected — they keep
+      answering at their pinned version; reads that pin after the write
+      see the new version.
+    - A stale re-population racing an invalidation (a reader finishing
+      at version [v] after a writer published [v+1]) is harmless by
+      construction: its cache entry is keyed at [v], versions only
+      advance, so no future request can pin [v] again — the entry is
+      dead weight until FIFO eviction, never a wrong answer.
+    - [Stats]/[Ping] touch only the domain-safe {!Toss_obs.Metrics}
+      registry.
 
     [exec] is deadline-aware: the deadline is an absolute
     [Unix.gettimeofday] instant, checked on entry and then cooperatively
     inside the plan interpreter via {!Toss_core.Plan.run}'s [check]
-    hook. A missed deadline surfaces as the typed [deadline_exceeded]
-    wire error, never a partial result. *)
+    hook — per-request state, so cancellation is domain-safe. A missed
+    deadline surfaces as the typed [deadline_exceeded] wire error, never
+    a partial result. *)
 
 type t
 
@@ -39,5 +58,6 @@ val config_fingerprint : t -> string
 
 val exec :
   t -> deadline:float option -> Protocol.request -> (Toss_json.t, Protocol.error) result
-(** Executes one request. [Shutdown] is not the engine's business and
-    answers like [Ping] (the server layer intercepts it first). *)
+(** Executes one request, from any domain (see the concurrency contract
+    above). [Shutdown] is not the engine's business and answers like
+    [Ping] (the server layer intercepts it first). *)

@@ -7,7 +7,7 @@ type t = {
   max_queue : int;
   mutable stopping : bool;
   mutable inflight : int;
-  mutable threads : Thread.t list;
+  mutable domains : unit Domain.t list;
 }
 
 type outcome = Accepted | Overloaded | Stopped
@@ -21,7 +21,10 @@ let note t =
   Metrics.set g_inflight (float_of_int t.inflight)
 
 (* Workers exit only once the queue is drained AND the pool is stopping,
-   so every accepted job runs even across shutdown. *)
+   so every accepted job runs even across shutdown. Each worker is a
+   domain: jobs on different workers execute in parallel (separate
+   minor heaps, no shared runtime lock), which is the whole point —
+   queries pin immutable snapshots and never contend. *)
 let rec worker t =
   Mutex.lock t.lock;
   while Queue.is_empty t.jobs && not t.stopping do
@@ -42,7 +45,7 @@ let rec worker t =
       Mutex.unlock t.lock;
       worker t
 
-let create ~workers ~max_queue =
+let create ~domains ~max_queue =
   let t =
     {
       lock = Mutex.create ();
@@ -51,10 +54,10 @@ let create ~workers ~max_queue =
       max_queue;
       stopping = false;
       inflight = 0;
-      threads = [];
+      domains = [];
     }
   in
-  t.threads <- List.init workers (fun _ -> Thread.create worker t);
+  t.domains <- List.init domains (fun _ -> Domain.spawn (fun () -> worker t));
   t
 
 let submit t job =
@@ -84,7 +87,7 @@ let stop t =
   Mutex.lock t.lock;
   t.stopping <- true;
   Condition.broadcast t.wake;
-  let threads = t.threads in
-  t.threads <- [];
+  let domains = t.domains in
+  t.domains <- [];
   Mutex.unlock t.lock;
-  List.iter Thread.join threads
+  List.iter Domain.join domains

@@ -4,7 +4,7 @@ module Metrics = Toss_obs.Metrics
 type config = {
   socket_path : string;
   db_dir : string option;
-  workers : int;
+  domains : int;
   max_queue : int;
   default_deadline_ms : int option;
   cache_capacity : int;
@@ -16,7 +16,7 @@ let default_config ~socket_path =
   {
     socket_path;
     db_dir = None;
-    workers = 4;
+    domains = 4;
     max_queue = 64;
     default_deadline_ms = None;
     cache_capacity = 256;
@@ -286,7 +286,7 @@ let run ?(ready = fun () -> ()) config =
           let state =
             {
               engine;
-              pool = Pool.create ~workers:config.workers ~max_queue:config.max_queue;
+              pool = Pool.create ~domains:config.domains ~max_queue:config.max_queue;
               config;
               lock = Mutex.create ();
               stopping = false;

@@ -2,30 +2,34 @@
     of {!Engine} and {!Pool}.
 
     Request flow (the admission-control state machine documented in
-    ARCHITECTURE.md):
+    ARCHITECTURE.md; the MVCC/domain model in docs/CONCURRENCY.md):
 
-    + a connection thread reads one line and parses it;
+    + a connection thread (a systhread — cheap, I/O-bound) reads one
+      line and parses it;
     + [ping], [stats] and [shutdown] are answered inline on the
       connection thread — they must work even when the pool is saturated
       (that is how an operator observes an overloaded server);
-    + [insert], [query] and [explain] are submitted to the pool with an
-      absolute deadline stamped at admission. [Pool.submit] refusing the
-      job produces the typed [overloaded] (queue full) or
+    + [insert], [query] and [explain] are submitted to the domain pool
+      with an absolute deadline stamped at admission. [Pool.submit]
+      refusing the job produces the typed [overloaded] (queue full) or
       [shutting_down] error immediately — load is shed at the door, not
       buffered without bound;
-    + a worker re-checks the deadline when it dequeues the job (a
-      request can die of old age while queued) and then executes it
-      through {!Engine.exec}, whose interpreter checkpoints enforce the
-      deadline mid-plan.
+    + a worker {e domain} re-checks the deadline when it dequeues the
+      job (a request can die of old age while queued) and then executes
+      it through {!Engine.exec}: queries pin a snapshot and run in
+      parallel across workers, inserts serialize on the engine's write
+      lock.
 
     Responses may therefore complete out of order on one connection;
     clients match them by [id]. One writer mutex per connection keeps
-    response lines whole. *)
+    response lines whole across writer domains. *)
 
 type config = {
   socket_path : string;
   db_dir : string option;  (** hydrate from / append to this directory *)
-  workers : int;
+  domains : int;
+      (** query-worker domains; parallel query throughput scales with
+          this up to the core count *)
   max_queue : int;
   default_deadline_ms : int option;
       (** applied when a request carries no [deadline_ms]; [None] means
@@ -40,7 +44,7 @@ type config = {
 }
 
 val default_config : socket_path:string -> config
-(** 4 workers, queue of 64, no default deadline, cache of 256,
+(** 4 domains, queue of 64, no default deadline, cache of 256,
     [eps = 2]. *)
 
 val run : ?ready:(unit -> unit) -> config -> (unit, string) result

@@ -152,6 +152,15 @@ registry instead of results:
   rewrite.patterns
   rewrite.queries.seo_dependent
   rewrite.queries.seo_independent
+  server.cache.entries
+  server.cache.evictions
+  server.cache.hits
+  server.cache.invalidations
+  server.cache.misses
+  server.connections
+  server.inflight
+  server.queue.depth
+  server.shed.total
   store.documents.added
   store.eval.index_starts
   store.eval.indexed_paths

@@ -1,6 +1,6 @@
-The query server end to end: a Unix-domain socket, a worker pool with
-admission control, per-request deadlines, and the versioned result
-cache. Socket paths must stay short (the kernel's sun_path limit), so
+The query server end to end: a Unix-domain socket, a pool of worker
+domains with admission control, per-request deadlines, and the
+versioned result cache. Socket paths must stay short (the kernel's sun_path limit), so
 everything lives in a fresh temp directory.
 
   $ D=$(mktemp -d)
@@ -8,7 +8,7 @@ everything lives in a fresh temp directory.
 
 Flag and usage errors come back before any socket is touched:
 
-  $ toss serve --socket $S --workers -1 2>&1 | grep toss:
+  $ toss serve --socket $S --domains -1 2>&1 | grep toss:
   toss: unknown option '-1'.
   $ toss client --socket $S frobnicate 2>&1 | grep toss:
   toss: unknown op "frobnicate" (expected ping, insert, query, explain, stats or shutdown)
@@ -19,7 +19,7 @@ Flag and usage errors come back before any socket is touched:
 
 Start a server with a small pool and a durable database directory:
 
-  $ toss serve --socket $S --db $D/db --workers 2 > serve.log 2>&1 &
+  $ toss serve --socket $S --db $D/db --domains 2 > serve.log 2>&1 &
   $ for i in $(seq 1 100); do [ -S $S ] && break; sleep 0.1; done
 
 Ping, then insert a generated document (responses are one JSON line
@@ -37,8 +37,8 @@ A query misses cold and hits warm:
   $ Q='MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1'
   $ toss client --socket $S query bib "$Q" | grep -o '"cache":"[a-z]*"'
   "cache":"miss"
-  $ toss client --socket $S query bib "$Q" | grep -o '"cache":"[a-z]*"'
-  "cache":"hit"
+  $ toss client --socket $S query bib "$Q" | grep -o '"version":[0-9]*,.*"cache":"[a-z]*"' | sed 's/,.*,/,/'
+  "version":1,"cache":"hit"
 
 An insert bumps the version, so the next query misses (and then warms
 the cache for the new version):
@@ -49,6 +49,13 @@ the cache for the new version):
   "cache":"miss"
   $ toss client --socket $S query bib "$Q" | grep -o '"version":[0-9]*,.*"cache":"[a-z]*"' | sed 's/,.*,/,/'
   "version":2,"cache":"hit"
+
+Queries pin the version they started on: warming version 1's cache
+entry above did not disturb version 2's, and both versions' answers
+stayed addressable by their own keys — the version field in each
+response names the snapshot that produced it. Replaying the version-1
+query text now answers at version 2 (reads always pin the newest
+snapshot), consistently with the cache misses above.
 
 Typed wire errors: an unknown collection, and a request whose deadline
 has already passed (the exact failure point varies, the code does not):
@@ -77,12 +84,12 @@ and leaves the live server's socket alone:
   $ toss client --socket $S ping
   {"pong":true}
 
-Admission control: a server with no workers and no queue sheds every
+Admission control: a server with no worker domains and no queue sheds every
 pooled request with the typed overloaded error, while ping keeps
 answering inline:
 
   $ S2=$D/over.sock
-  $ toss serve --socket $S2 --workers 0 --max-queue 0 > serve2.log 2>&1 &
+  $ toss serve --socket $S2 --domains 0 --max-queue 0 > serve2.log 2>&1 &
   $ for i in $(seq 1 100); do [ -S $S2 ] && break; sleep 0.1; done
   $ toss client --socket $S2 ping
   {"pong":true}

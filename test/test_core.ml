@@ -300,7 +300,7 @@ let test_expand_condition () =
 let collection_of trees =
   let c = Collection.create "test" in
   List.iter (fun t -> ignore (Collection.add_document c t)) trees;
-  c
+  Collection.snapshot c
 
 let test_executor_select_agrees_with_algebra () =
   let coll = collection_of [ db ] in
@@ -409,7 +409,7 @@ let test_rewrite_max_expansion_degrades () =
   let coll =
     let c = Toss_store.Collection.create "t" in
     ignore (Toss_store.Collection.add_document c db);
-    c
+    Toss_store.Collection.snapshot c
   in
   let narrow, _ = Executor.select ~max_expansion:1 seo coll ~pattern:p ~sl:[] in
   let wide, _ = Executor.select seo coll ~pattern:p ~sl:[] in

@@ -27,10 +27,14 @@ let corpus = Corpus.generate ~seed:7 ~n_papers:100 ()
 let dblp = Dblp_gen.render ~seed:7 corpus
 let doc = Doc.of_tree dblp.Dblp_gen.tree
 
-let collection =
+let collection_t =
   let c = Collection.create "dblp" in
   ignore (Collection.add_document c dblp.Dblp_gen.tree);
   c
+
+(* The executor takes immutable snapshots; the writable handle stays
+   around for the persistence round-trip test. *)
+let collection = Collection.snapshot collection_t
 
 let seo_for eps =
   match
@@ -133,6 +137,7 @@ let test_cross_schema_join () =
   ignore (Collection.add_document left d.Dblp_gen.tree);
   let right = Collection.create "sigmod" in
   List.iter (fun t -> ignore (Collection.add_document right t)) s.Sigmod_gen.trees;
+  let left = Collection.snapshot left and right = Collection.snapshot right in
   let docs =
     Doc.of_tree d.Dblp_gen.tree :: List.map Doc.of_tree s.Sigmod_gen.trees
   in
@@ -165,6 +170,7 @@ let test_executor_algebra_agreement_on_workload () =
   let d = Dblp_gen.render ~seed:11 small in
   let coll = Collection.create "dblp" in
   ignore (Collection.add_document coll d.Dblp_gen.tree);
+  let coll = Collection.snapshot coll in
   let seo =
     match
       Seo.of_documents ~metric:Workload.experiment_metric ~eps:3.0
@@ -201,13 +207,13 @@ let test_persistence_preserves_answers () =
   in
   let dir = Filename.temp_file "toss_int" "" in
   Sys.remove dir;
-  Toss_store.Persist.save_collection collection ~dir;
+  Toss_store.Persist.save_collection collection_t ~dir;
   match Toss_store.Persist.load_collection ~name:"reloaded" dir with
   | Error msg -> Alcotest.fail msg
   | Ok reloaded ->
       let after, _ =
-        Executor.select ~mode:Executor.Toss seo2 reloaded ~pattern:q.Workload.pattern
-          ~sl:q.Workload.sl
+        Executor.select ~mode:Executor.Toss seo2 (Collection.snapshot reloaded)
+          ~pattern:q.Workload.pattern ~sl:q.Workload.sl
       in
       Alcotest.(check (list string)) "same answer keys"
         (Workload.result_keys before) (Workload.result_keys after)
@@ -227,6 +233,7 @@ let test_sax_filtered_ingestion () =
       Alcotest.(check int) "all records extracted" 100 (List.length records);
       let coll = Collection.create "records" in
       List.iter (fun t -> ignore (Collection.add_document coll t)) records;
+      let coll = Collection.snapshot coll in
       let q = List.hd queries in
       let per_record, _ =
         Executor.select ~mode:Executor.Toss seo2 coll ~pattern:q.Workload.pattern
@@ -272,7 +279,8 @@ let test_session_tql_matches_executor () =
       let direct, _ =
         Executor.select ~mode:Executor.Toss
           (Result.get_ok (Toss_core.Session.seo session))
-          (Option.get (Toss_core.Session.collection session "dblp"))
+          (Collection.snapshot
+             (Option.get (Toss_core.Session.collection session "dblp")))
           ~pattern:q.Workload.pattern ~sl:q.Workload.sl
       in
       Alcotest.(check (list string)) "TQL and direct answers agree"

@@ -147,6 +147,36 @@ let test_histogram_buckets () =
   checki "le 100" 3 (cum 100.);
   checki "le +inf = count" 4 (cum infinity)
 
+(* Four domains hammering the same counter, gauge and histogram —
+   through handles re-registered per domain, so the registry lock is
+   exercised too. Exact totals: a single lost update fails the test
+   (and did, when counters were plain mutable ints). *)
+let test_multidomain_hammer () =
+  Metrics.reset ();
+  let n_domains = 4 and per_domain = 25_000 in
+  let work () =
+    let c = Metrics.counter "hammer.count" in
+    let g = Metrics.gauge "hammer.gauge" in
+    let h = Metrics.histogram "hammer.histo" in
+    for i = 1 to per_domain do
+      Metrics.incr c;
+      Metrics.set g 1.;
+      Metrics.observe_int h (i mod 7)
+    done
+  in
+  let domains = List.init n_domains (fun _ -> Domain.spawn work) in
+  (* Snapshots taken mid-storm must not crash or tear a histogram. *)
+  for _ = 1 to 50 do
+    ignore (Metrics.snapshot ())
+  done;
+  List.iter Domain.join domains;
+  let snap = Metrics.snapshot () in
+  checki "no counter increment lost" (n_domains * per_domain)
+    (Option.get (Metrics.find_counter snap "hammer.count"));
+  let s = histo_stats "hammer.histo" in
+  checki "no observation lost" (n_domains * per_domain) s.Metrics.count;
+  checkf "histogram max" 6. s.Metrics.max
+
 let test_histogram_empty () =
   Metrics.reset ();
   ignore (Metrics.histogram "test.empty");
@@ -401,6 +431,7 @@ let run_query_with_events () =
   in
   let coll = Collection.create "events" in
   ignore (Collection.add_document coll db);
+  let coll = Collection.snapshot coll in
   Executor.select seo coll ~pattern:ullman_pattern ~sl:[ 1 ]
 
 let test_slow_query_threshold () =
@@ -513,6 +544,7 @@ let test_executor_emits_metrics () =
   Metrics.reset ();
   let coll = Collection.create "golden" in
   ignore (Collection.add_document coll db);
+  let coll = Collection.snapshot coll in
   let results, stats = Executor.select seo coll ~pattern:ullman_pattern ~sl:[ 1 ] in
   checki "query finds the paper" 1 (List.length results);
   let snap = Metrics.snapshot () in
@@ -544,6 +576,7 @@ let test_stats_phases_are_trace_view () =
   in
   let coll = Collection.create "view" in
   ignore (Collection.add_document coll db);
+  let coll = Collection.snapshot coll in
   let _, stats = Executor.select seo coll ~pattern:ullman_pattern ~sl:[ 1 ] in
   let trace = stats.Executor.trace in
   checks "root span" "executor.select" trace.Span.name;
@@ -570,6 +603,7 @@ let () =
             test_reset_keeps_gauge_handles;
           Alcotest.test_case "reset keeps histogram handles" `Quick
             test_reset_keeps_histogram_handles;
+          Alcotest.test_case "multi-domain hammer" `Quick test_multidomain_hammer;
         ] );
       ( "histograms",
         [

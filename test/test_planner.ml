@@ -39,12 +39,12 @@ let sigmod = Sigmod_gen.render ~seed:11 corpus
 let dblp_coll =
   let c = Collection.create "dblp" in
   ignore (Collection.add_document c dblp.Dblp_gen.tree);
-  c
+  Collection.snapshot c
 
 let sigmod_coll =
   let c = Collection.create "sigmod" in
   List.iter (fun t -> ignore (Collection.add_document c t)) sigmod.Sigmod_gen.trees;
-  c
+  Collection.snapshot c
 
 let seo =
   let docs =

@@ -152,7 +152,7 @@ let test_cache_order_bounded () =
 (* ------------------------------------------------------------------ *)
 
 let test_pool_runs_jobs () =
-  let pool = Pool.create ~workers:2 ~max_queue:64 in
+  let pool = Pool.create ~domains:2 ~max_queue:64 in
   let lock = Mutex.create () in
   let count = ref 0 in
   for _ = 1 to 20 do
@@ -170,12 +170,12 @@ let test_pool_runs_jobs () =
   checkb "stopped pool refuses" true (Pool.submit pool ignore = Pool.Stopped)
 
 let test_pool_sheds () =
-  (* No workers, no queue: admission control is the whole story. *)
-  let pool = Pool.create ~workers:0 ~max_queue:0 in
+  (* No domains, no queue: admission control is the whole story. *)
+  let pool = Pool.create ~domains:0 ~max_queue:0 in
   checkb "shed" true (Pool.submit pool ignore = Pool.Overloaded);
   Pool.stop pool;
-  (* One slot, no workers: first queues, second sheds. *)
-  let pool = Pool.create ~workers:0 ~max_queue:1 in
+  (* One slot, no domains: first queues, second sheds. *)
+  let pool = Pool.create ~domains:0 ~max_queue:1 in
   checkb "first queues" true (Pool.submit pool ignore = Pool.Accepted);
   checkb "second sheds" true (Pool.submit pool ignore = Pool.Overloaded)
 
@@ -267,7 +267,7 @@ let test_engine_hydration () =
 
 (* Start an in-process server on a fresh socket; returns the socket
    path and a stop function that requests shutdown and joins. *)
-let start_server ?(workers = 3) ?(max_queue = 64) ?db_dir ?(cache_capacity = 256)
+let start_server ?(domains = 3) ?(max_queue = 64) ?db_dir ?(cache_capacity = 256)
     ?socket_path () =
   let socket_path =
     match socket_path with Some p -> p | None -> temp_name "toss_srv"
@@ -275,7 +275,7 @@ let start_server ?(workers = 3) ?(max_queue = 64) ?db_dir ?(cache_capacity = 256
   let config =
     {
       (Server.default_config ~socket_path) with
-      Server.workers;
+      Server.domains;
       max_queue;
       db_dir;
       cache_capacity;
@@ -390,6 +390,68 @@ let canonical_xml trees =
     (fun t -> Toss_xml.Printer.to_string ~decl:false t)
     (Toss_check.Diff.canonical trees)
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot isolation and parallel pinned queries                       *)
+(* ------------------------------------------------------------------ *)
+
+let answer_count pinned tql =
+  match Session.query_at pinned tql with
+  | Ok a -> List.length a.Session.trees
+  | Error msg -> Alcotest.fail msg
+
+(* A writer landing between pin and execution must not change the
+   pinned query's answer — the MVCC contract the result cache and the
+   stress replay both lean on. *)
+let test_snapshot_isolation () =
+  let session = Session.create () in
+  Session.add_document session ~collection:"bib" (Parser.parse_exn (paper 1));
+  let pinned = Result.get_ok (Session.pin session ~collection:"bib") in
+  checki "pinned at version 1" 1 (Session.pinned_version pinned);
+  (* The insert lands while the pinned query is notionally in flight;
+     Name2 is within eps of Name1, so an unpinned query would see it. *)
+  Session.add_document session ~collection:"bib" (Parser.parse_exn (paper 2));
+  checki "pinned query ignores the concurrent insert" 1
+    (answer_count pinned tql);
+  let fresh = Result.get_ok (Session.pin session ~collection:"bib") in
+  checki "fresh pin sees version 2" 2 (Session.pinned_version fresh);
+  checki "fresh query sees both documents" 2 (answer_count fresh tql);
+  (* The old pin keeps answering at its version, repeatedly. *)
+  checki "old pin still answers at version 1" 1 (answer_count pinned tql);
+  checki "old pin version unchanged" 1 (Session.pinned_version pinned)
+
+(* One shared pin queried from several domains while a writer keeps
+   inserting: every answer must equal the single-threaded answer taken
+   before the writer started. *)
+let test_parallel_pinned_queries () =
+  let session = Session.create () in
+  for i = 1 to 4 do
+    Session.add_document session ~collection:"bib" (Parser.parse_exn (paper i))
+  done;
+  let pinned = Result.get_ok (Session.pin session ~collection:"bib") in
+  let expected =
+    match Session.query_at pinned tql with
+    | Ok a -> canonical_xml a.Session.trees
+    | Error msg -> Alcotest.fail msg
+  in
+  let reader () =
+    let ok = ref true in
+    for _ = 1 to 20 do
+      (match Session.query_at pinned tql with
+      | Ok a -> if canonical_xml a.Session.trees <> expected then ok := false
+      | Error _ -> ok := false)
+    done;
+    !ok
+  in
+  let readers = Array.init 3 (fun _ -> Domain.spawn reader) in
+  (* The writer churns on the main domain while the readers run. *)
+  for i = 100 to 130 do
+    Session.add_document session ~collection:"bib" (Parser.parse_exn (paper i))
+  done;
+  Array.iter
+    (fun d -> checkb "every parallel answer matches the pinned answer" true (Domain.join d))
+    readers;
+  checki "pin survived the writer untouched" 4 (Session.pinned_version pinned)
+
 let test_stress_replay () =
   let socket, stop = start_server () in
   let n_threads = 4 and ops = 24 in
@@ -474,9 +536,9 @@ let test_stress_cache_metrics () =
   stop ()
 
 let test_overload_and_deadline_wire () =
-  (* workers=0, max_queue=0: every pooled request is shed, while ping
+  (* domains=0, max_queue=0: every pooled request is shed, while ping
      and stats still answer inline. *)
-  let socket, stop = start_server ~workers:0 ~max_queue:0 () in
+  let socket, stop = start_server ~domains:0 ~max_queue:0 () in
   let conn = Result.get_ok (Client.connect ~socket) in
   (match Client.call conn Protocol.Ping with
   | Ok _ -> ()
@@ -511,7 +573,7 @@ let test_half_close_drains_responses () =
      with fd-number reuse, delivered to a different client. A client
      that pipelines requests and then half-closes its sending side must
      still receive every response. *)
-  let socket, stop = start_server ~workers:1 () in
+  let socket, stop = start_server ~domains:1 () in
   let conn = Result.get_ok (Client.connect ~socket) in
   ignore (Client.call conn (Protocol.Insert { collection = "bib"; xml = paper 1 }));
   Client.close conn;
@@ -616,6 +678,13 @@ let () =
           Alcotest.test_case "deadline" `Quick test_engine_deadline;
           Alcotest.test_case "explain and stats" `Quick test_engine_explain_and_stats;
           Alcotest.test_case "hydration" `Quick test_engine_hydration;
+        ] );
+      ( "snapshot isolation",
+        [
+          Alcotest.test_case "writer does not move a pin" `Quick
+            test_snapshot_isolation;
+          Alcotest.test_case "parallel pinned queries" `Quick
+            test_parallel_pinned_queries;
         ] );
       ( "live server",
         [
