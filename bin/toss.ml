@@ -453,9 +453,10 @@ let stats_cmd =
 (* ----------------------------- serve ------------------------------ *)
 
 let serve_run socket db domains max_queue default_deadline_ms no_cache
-    cache_capacity eps slow_ms =
+    cache_capacity eps slow_ms access_log trace_sample =
   if domains < 0 then `Error (true, "--domains must be >= 0")
   else if max_queue < 0 then `Error (true, "--max-queue must be >= 0")
+  else if trace_sample < 0 then `Error (true, "--trace-sample must be >= 0")
   else begin
     Option.iter
       (fun ms ->
@@ -478,6 +479,8 @@ let serve_run socket db domains max_queue default_deadline_ms no_cache
            served query returns the same answers as the CLI. *)
         metric = Some Workload.experiment_metric;
         eps;
+        access_log;
+        trace_sample;
       }
     in
     let ready () =
@@ -530,7 +533,20 @@ let serve_cmd =
   let slow_ms =
     Arg.(value & opt (some int) None & info [ "slow-ms" ] ~docv:"MS"
            ~doc:"Slow-query log: write one JSON record to stderr per query \
-                 at or over the threshold.")
+                 at or over the threshold, keyed by the request's trace id \
+                 (correct with any number of domains).")
+  in
+  let access_log =
+    Arg.(value & opt (some string) None & info [ "access-log" ] ~docv:"FILE"
+           ~doc:"Append one JSON record per request to $(docv): trace id, \
+                 op, collection+version, cache status, queue-wait and \
+                 execution seconds, worker domain, status.")
+  in
+  let trace_sample =
+    Arg.(value & opt int 0 & info [ "trace-sample" ] ~docv:"N"
+           ~doc:"Record the full span tree into the access log for every \
+                 $(docv)th pooled request (head-based sampling; 0 records \
+                 none).")
   in
   Cmd.v
     (Cmd.info "serve"
@@ -539,12 +555,13 @@ let serve_cmd =
              admission control and a versioned result cache.")
     Term.(ret
             (const serve_run $ socket $ db $ domains $ max_queue
-             $ default_deadline_ms $ no_cache $ cache_capacity $ eps $ slow_ms))
+             $ default_deadline_ms $ no_cache $ cache_capacity $ eps $ slow_ms
+             $ access_log $ trace_sample))
 
 (* ----------------------------- client ----------------------------- *)
 
-let client_run socket op arg1 arg2 mode no_cache deadline_ms bench concurrency
-    allow_errors table =
+let client_run socket op arg1 arg2 mode no_cache deadline_ms trace_id bench
+    concurrency allow_errors table =
   let need2 what k =
     match (arg1, arg2) with
     | Some a, Some b -> k a b
@@ -554,6 +571,7 @@ let client_run socket op arg1 arg2 mode no_cache deadline_ms bench concurrency
     match op with
     | "ping" -> Ok Toss_server.Protocol.Ping
     | "stats" -> Ok Toss_server.Protocol.Stats
+    | "metrics" -> Ok Toss_server.Protocol.Metrics
     | "shutdown" -> Ok Toss_server.Protocol.Shutdown
     | "insert" ->
         need2 "COLLECTION and an XML FILE" (fun collection file ->
@@ -571,8 +589,8 @@ let client_run socket op arg1 arg2 mode no_cache deadline_ms bench concurrency
     | other ->
         Error
           (Printf.sprintf
-             "unknown op %S (expected ping, insert, query, explain, stats or \
-              shutdown)"
+             "unknown op %S (expected ping, insert, query, explain, stats, \
+              metrics or shutdown)"
              other)
   in
   match request with
@@ -597,15 +615,22 @@ let client_run socket op arg1 arg2 mode no_cache deadline_ms bench concurrency
           match Toss_server.Client.connect ~socket with
           | Error msg -> `Error (false, msg)
           | Ok conn -> (
-              let result = Toss_server.Client.call conn ?deadline_ms request in
+              let result =
+                Toss_server.Client.call conn ?deadline_ms ?trace_id request
+              in
               Toss_server.Client.close conn;
               match result with
               | Ok payload ->
                   (* [--table] renders the human form of a stats payload;
-                     everything else prints the result as one JSON line. *)
+                     [metrics] prints the raw Prometheus exposition (the
+                     scrape format — curl-pipe friendly); everything else
+                     prints the result as one JSON line. *)
                   (match
                      if table then
                        Option.bind (Toss_json.member "table" payload)
+                         Toss_json.to_str
+                     else if op = "metrics" then
+                       Option.bind (Toss_json.member "prometheus" payload)
                          Toss_json.to_str
                      else None
                    with
@@ -626,7 +651,9 @@ let client_cmd =
   in
   let op =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"OP"
-           ~doc:"One of ping, insert, query, explain, stats, shutdown.")
+           ~doc:"One of ping, insert, query, explain, stats, metrics, \
+                 shutdown. $(b,metrics) prints the server's Prometheus \
+                 text exposition.")
   in
   let arg1 = Arg.(value & pos 1 (some string) None & info [] ~docv:"COLLECTION") in
   let arg2 = Arg.(value & pos 2 (some string) None & info [] ~docv:"ARG") in
@@ -642,6 +669,12 @@ let client_cmd =
   let deadline_ms =
     Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
            ~doc:"Per-request deadline.")
+  in
+  let trace_id =
+    Arg.(value & opt (some string) None & info [ "trace-id" ] ~docv:"ID"
+           ~doc:"Trace id to stamp on the request (1-128 printable ASCII \
+                 characters); the server echoes it and keys its logs by \
+                 it. Generated server-side when omitted.")
   in
   let bench =
     Arg.(value & opt (some int) None & info [ "bench" ] ~docv:"N"
@@ -670,7 +703,8 @@ let client_cmd =
              closed-loop benchmark.")
     Term.(ret
             (const client_run $ socket $ op $ arg1 $ arg2 $ mode $ no_cache
-             $ deadline_ms $ bench $ concurrency $ allow_errors $ table))
+             $ deadline_ms $ trace_id $ bench $ concurrency $ allow_errors
+             $ table))
 
 let check_run seed runs op fault repro_out =
   match Toss_check.Harness.fault_of_string fault with

@@ -18,9 +18,15 @@
     single lock-free load, while emission and sink management serialize
     on an internal mutex, so events from parallel query domains arrive
     whole and in one global [seq] order (interleaved {e across} queries,
-    as concurrent execution implies; the slow-query sink's
-    start-to-end buffering therefore assumes one query at a time and is
-    meant for the single-domain CLI). *)
+    as concurrent execution implies).
+
+    Each event is stamped with the emitting domain's current {!Trace}
+    id, when one is set — that id is the key that makes the interleaved
+    global stream attributable: the slow-query sink demultiplexes
+    events into per-trace streams, so start-to-end capture is correct
+    with any number of requests in flight. Untraced events (the
+    single-domain CLI sets no trace id) share one default stream, which
+    does assume one query at a time. *)
 
 (** {1 Events} *)
 
@@ -53,6 +59,10 @@ type t = {
   kind : kind;
   payload : (string * value) list;
   trace : Span.t option;  (** span tree attached to a [Query_end] *)
+  trace_id : string option;
+      (** the emitting domain's {!Trace.get} at emission time — the
+          request this event belongs to; [None] outside a traced
+          request (e.g. the CLI) *)
 }
 
 val payload_int : t -> string -> int option
@@ -62,7 +72,8 @@ val payload_float : t -> string -> float option
 
 val to_json : t -> string
 (** One-line JSON object: [{"seq":…,"ts_s":…,"kind":"…","payload":{…}}]
-    plus a ["trace"] key (the {!Span.to_json} tree) when present. *)
+    plus a ["trace_id"] key after ["kind"] and a ["trace"] key (the
+    {!Span.to_json} tree) at the end, each when present. *)
 
 (** {1 Sinks} *)
 
@@ -92,9 +103,25 @@ val slow_query : threshold_s:float -> write:(string -> unit) -> sink
     if the query's duration (the [Query_end]'s [elapsed_s] payload, else
     the start/end timestamp difference) is at least [threshold_s], the
     whole stream — including the [Query_end]'s span tree — is written as
-    one JSON line: [{"type":"slow_query","threshold_s":…,"elapsed_s":…,
-    "op":…,"n_events":…,"events":[…]}]. Events outside a query are
-    dropped. [threshold_s = 0.] logs every query. *)
+    one JSON line: [{"type":"slow_query","trace_id":…,"threshold_s":…,
+    "elapsed_s":…,"op":…,"n_events":…,"events":[…]}]. Events outside a
+    query are dropped. [threshold_s = 0.] logs every query.
+
+    Buffering is keyed by trace id, so capture is correct with requests
+    in flight on many domains at once: each traced request reassembles
+    into its own record containing only its own events, however the
+    global stream interleaved. Events {e without} a trace id share one
+    default stream (fine for the single-threaded CLI, where at most one
+    untraced query runs at a time). A traced stream whose [Query_end]
+    never arrives (deadline abort, crash mid-query) stays buffered
+    until {!drop_trace}; the server drops every request's trace id when
+    the request finishes, however it finishes. *)
+
+val drop_trace : string -> unit
+(** Discards any buffered slow-query stream for this trace id, in every
+    installed sink — the cleanup for requests that emitted a
+    [Query_start] but will never emit the matching [Query_end]. No-op
+    when the id has no open stream. *)
 
 val install : sink -> unit
 (** Adds the sink to the process-global list (idempotent per sink). *)

@@ -310,3 +310,100 @@ let to_json snap =
       ("gauges", section gauges);
       ("histograms", section histograms);
     ]
+
+(* ----------------------------- Prometheus ------------------------------ *)
+
+(* Text exposition format, version 0.0.4: what a stock Prometheus
+   server scrapes. Registry names use dots ("server.requests.total");
+   the metric-name charset is [a-zA-Z0-9_:], so every illegal byte
+   maps to '_'. *)
+let prom_name name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || c = '_'
+        || (c >= '0' && c <= '9')
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  let s = Bytes.to_string b in
+  if s = "" then "_"
+  else if s.[0] >= '0' && s.[0] <= '9' then "_" ^ s
+  else s
+
+(* Label values admit any UTF-8 with backslash, quote and newline
+   escaped. *)
+let prom_label_value v =
+  let buf = Buffer.create (String.length v + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (prom_name k) (prom_label_value v))
+             labels)
+      ^ "}"
+
+let to_prometheus snap =
+  let buf = Buffer.create 1024 in
+  let typed : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* The snapshot is name-sorted, so all label sets of one metric are
+     adjacent; the [typed] set keeps the mandatory "# TYPE" header to
+     one occurrence per metric even if two registry names sanitize to
+     the same exposition name. *)
+  let type_line name kind =
+    if not (Hashtbl.mem typed name) then begin
+      Hashtbl.replace typed name ();
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  let sample name labels value =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s %s\n" name (prom_labels labels) value)
+  in
+  List.iter
+    (fun (name, labels, value) ->
+      let n = prom_name name in
+      match value with
+      | Counter c ->
+          type_line n "counter";
+          sample n labels (string_of_int c)
+      | Gauge g ->
+          type_line n "gauge";
+          sample n labels (prom_float g)
+      | Histogram h ->
+          type_line n "histogram";
+          List.iter
+            (fun (bound, cum) ->
+              sample (n ^ "_bucket")
+                (labels @ [ ("le", prom_float bound) ])
+                (string_of_int cum))
+            h.buckets;
+          sample (n ^ "_sum") labels (prom_float h.sum);
+          sample (n ^ "_count") labels (string_of_int h.count))
+    snap;
+  Buffer.contents buf

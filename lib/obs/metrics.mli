@@ -134,3 +134,16 @@ val to_json : snapshot -> string
     sub-objects keyed by [name{k="v",...}]; histogram objects carry
     count/sum/min/max, the {!quantile} estimates ["p50"]/["p95"]/["p99"],
     and the cumulative buckets. Keys and strings are JSON-escaped. *)
+
+val to_prometheus : snapshot -> string
+(** Prometheus text exposition (format 0.0.4) of the snapshot — what
+    the server's [metrics] op returns, scrapeable by stock Prometheus.
+    Registry names are sanitized to the exposition charset (every byte
+    outside [[a-zA-Z0-9_]] becomes ['_'], so ["pool.queue_wait.seconds"]
+    renders as [pool_queue_wait_seconds]); each metric gets one
+    [# TYPE] header followed by all its label sets. Counters and gauges
+    are one sample each; a histogram renders its cumulative
+    [name_bucket{le="…"}] series (the registry's decade bounds,
+    closing with [le="+Inf"]) plus [name_sum] and [name_count]. Label
+    values escape backslash, quote and newline; non-finite numbers
+    render as [NaN]/[+Inf]/[-Inf]. *)

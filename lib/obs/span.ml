@@ -87,6 +87,15 @@ let finish frame =
 
 let exec ?(meta = []) name fn =
   let stack = stack () in
+  (* Stamp the frame with the domain's current trace id (if any) at
+     open time, so every node of a request's span tree self-identifies
+     even when subtrees are serialized separately. CLI runs never set a
+     trace id, so their rendered spans are unchanged. *)
+  let meta =
+    match Trace.get () with
+    | Some id -> ("trace_id", id) :: meta
+    | None -> meta
+  in
   let frame =
     {
       fname = name;

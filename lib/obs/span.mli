@@ -28,7 +28,10 @@ type t = {
   alloc_bytes : float;
       (** bytes allocated during the span (minor + major − promoted);
           [0.] when tracing was disabled *)
-  meta : (string * string) list;  (** caller-supplied annotations *)
+  meta : (string * string) list;
+      (** caller-supplied annotations; when the opening domain had a
+          {!Trace} id set, a [("trace_id", id)] pair is prepended at
+          open time, so every node of a request's tree self-identifies *)
   children : t list;  (** sub-spans, in execution order *)
 }
 

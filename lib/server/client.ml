@@ -20,8 +20,10 @@ let connect ~socket =
 
 let close t = try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
 
-let call t ?id ?deadline_ms request =
-  let line = Protocol.request_to_line { Protocol.id; deadline_ms; request } in
+let call_response t ?id ?deadline_ms ?trace_id request =
+  let line =
+    Protocol.request_to_line { Protocol.id; deadline_ms; trace_id; request }
+  in
   match
     output_string t.oc line;
     output_char t.oc '\n';
@@ -33,8 +35,13 @@ let call t ?id ?deadline_ms request =
   | reply -> (
       match Protocol.parse_response reply with
       | Error msg -> Error (Transport ("bad response line: " ^ msg))
-      | Ok { Protocol.body = Ok payload; _ } -> Ok payload
-      | Ok { Protocol.body = Error e; _ } -> Error (Wire e))
+      | Ok resp -> Ok resp)
+
+let call t ?id ?deadline_ms ?trace_id request =
+  match call_response t ?id ?deadline_ms ?trace_id request with
+  | Error f -> Error f
+  | Ok { Protocol.body = Ok payload; _ } -> Ok payload
+  | Ok { Protocol.body = Error e; _ } -> Error (Wire e)
 
 type bench_result = {
   requests : int;
@@ -46,6 +53,10 @@ type bench_result = {
   p50_ms : float;
   p95_ms : float;
   max_ms : float;
+  server_p50_ms : float;
+  server_p95_ms : float;
+  queue_p50_ms : float;
+  queue_p95_ms : float;
 }
 
 type thread_tally = {
@@ -53,7 +64,9 @@ type thread_tally = {
   mutable t_hits : int;
   mutable t_errors : (string * int) list;
   mutable t_transport : int;
-  mutable t_latencies : float list;  (** milliseconds *)
+  mutable t_latencies : float list;  (** milliseconds, round-trip *)
+  mutable t_server_ms : float list;  (** server-reported execution *)
+  mutable t_queue_ms : float list;  (** server-reported queue wait *)
 }
 
 let count_error tally code =
@@ -73,10 +86,19 @@ let bench_thread ~socket ?deadline_ms make_request indices tally =
       List.iter
         (fun i ->
           let t0 = Unix.gettimeofday () in
-          (match call conn ?deadline_ms (make_request i) with
-          | Ok payload ->
-              tally.t_ok <- tally.t_ok + 1;
-              if is_cache_hit payload then tally.t_hits <- tally.t_hits + 1
+          (match call_response conn ?deadline_ms (make_request i) with
+          | Ok resp ->
+              (match resp.Protocol.body with
+              | Ok payload ->
+                  tally.t_ok <- tally.t_ok + 1;
+                  if is_cache_hit payload then tally.t_hits <- tally.t_hits + 1
+              | Error e -> count_error tally e.Protocol.code);
+              Option.iter
+                (fun ms -> tally.t_server_ms <- ms :: tally.t_server_ms)
+                resp.Protocol.server_ms;
+              Option.iter
+                (fun ms -> tally.t_queue_ms <- ms :: tally.t_queue_ms)
+                resp.Protocol.queue_ms
           | Error (Wire e) -> count_error tally e.Protocol.code
           | Error (Transport _) -> tally.t_transport <- tally.t_transport + 1);
           tally.t_latencies <-
@@ -115,6 +137,8 @@ let bench ~socket ~requests ~concurrency ?deadline_ms make_request =
               t_errors = [];
               t_transport = 0;
               t_latencies = [];
+              t_server_ms = [];
+              t_queue_ms = [];
             })
       in
       let t0 = Unix.gettimeofday () in
@@ -141,11 +165,16 @@ let bench ~socket ~requests ~concurrency ?deadline_ms make_request =
               acc t.t_errors)
           [] tallies
       in
-      let latencies =
-        Array.to_list tallies |> List.concat_map (fun t -> t.t_latencies)
-        |> Array.of_list
+      let gather f =
+        let a =
+          Array.to_list tallies |> List.concat_map f |> Array.of_list
+        in
+        Array.sort compare a;
+        a
       in
-      Array.sort compare latencies;
+      let latencies = gather (fun t -> t.t_latencies) in
+      let server_ms = gather (fun t -> t.t_server_ms) in
+      let queue_ms = gather (fun t -> t.t_queue_ms) in
       Ok
         {
           requests;
@@ -157,6 +186,10 @@ let bench ~socket ~requests ~concurrency ?deadline_ms make_request =
           p50_ms = percentile latencies 0.5;
           p95_ms = percentile latencies 0.95;
           max_ms = percentile latencies 1.0;
+          server_p50_ms = percentile server_ms 0.5;
+          server_p95_ms = percentile server_ms 0.95;
+          queue_p50_ms = percentile queue_ms 0.5;
+          queue_p95_ms = percentile queue_ms 0.95;
         }
 
 let bench_to_json r =
@@ -172,4 +205,8 @@ let bench_to_json r =
       ("p50_ms", J.Num r.p50_ms);
       ("p95_ms", J.Num r.p95_ms);
       ("max_ms", J.Num r.max_ms);
+      ("server_p50_ms", J.Num r.server_p50_ms);
+      ("server_p95_ms", J.Num r.server_p95_ms);
+      ("queue_p50_ms", J.Num r.queue_p50_ms);
+      ("queue_p95_ms", J.Num r.queue_p95_ms);
     ]

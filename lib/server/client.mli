@@ -18,7 +18,26 @@ val connect : socket:string -> (t, string) result
 val close : t -> unit
 
 val call :
-  t -> ?id:int -> ?deadline_ms:int -> Protocol.request -> (Toss_json.t, failure) result
+  t ->
+  ?id:int ->
+  ?deadline_ms:int ->
+  ?trace_id:string ->
+  Protocol.request ->
+  (Toss_json.t, failure) result
+(** One request, one response payload. [trace_id] names the request in
+    the server's logs (validated server-side, echoed in the response —
+    use {!call_response} to read the echo). *)
+
+val call_response :
+  t ->
+  ?id:int ->
+  ?deadline_ms:int ->
+  ?trace_id:string ->
+  Protocol.request ->
+  (Protocol.response, failure) result
+(** Like {!call} but returns the whole response envelope — trace id,
+    [server_ms], [queue_ms] and the body (which may itself be a wire
+    error; only transport failures surface as [Error]). *)
 
 (** {1 Closed-loop load generation} — [toss client --bench] and the CI
     smoke test. *)
@@ -30,9 +49,17 @@ type bench_result = {
   errors : (string * int) list;  (** wire error code -> count *)
   transport_errors : int;
   elapsed_s : float;
-  p50_ms : float;
+  p50_ms : float;  (** client round-trip percentiles *)
   p95_ms : float;
   max_ms : float;
+  server_p50_ms : float;
+      (** percentiles of the server-reported [server_ms] — execution
+          time alone, so comparing with [p50_ms] separates queueing and
+          transport from compute (closed-loop round-trip numbers hide
+          queueing delay) *)
+  server_p95_ms : float;
+  queue_p50_ms : float;  (** percentiles of the reported [queue_ms] *)
+  queue_p95_ms : float;
 }
 
 val bench :

@@ -119,9 +119,12 @@ let do_insert t ~collection ~xml =
    so a cached payload and a computed answer for the same key are
    answers to the same exact collection state, no matter how many writes
    or other queries run meanwhile. *)
+(* Returns the body plus the executed query's span tree (None on cache
+   hits — nothing ran — and on errors), so the server can attach the
+   trace to sampled access-log records without re-running anything. *)
 let do_query t ~deadline ~collection ~tql ~mode ~cache =
   match Session.pin t.session ~collection with
-  | Error msg -> err Protocol.Unknown_collection "%s" msg
+  | Error msg -> (err Protocol.Unknown_collection "%s" msg, None)
   | Ok pinned -> (
       let version = Session.pinned_version pinned in
       let key =
@@ -135,14 +138,16 @@ let do_query t ~deadline ~collection ~tql ~mode ~cache =
       in
       let use_cache = cache && t.cache_capacity > 0 in
       match if use_cache then Cache.find t.cache key else None with
-      | Some payload -> Ok (with_cache_status "hit" payload)
+      | Some payload -> (Ok (with_cache_status "hit" payload), None)
       | None -> (
           let t0 = Unix.gettimeofday () in
           let check = check_of_deadline deadline in
           match Session.query_at ~mode ~check pinned tql with
           | exception Deadline ->
-              err Protocol.Deadline_exceeded "deadline exceeded during execution"
-          | Error msg -> err Protocol.Query_error "%s" msg
+              ( err Protocol.Deadline_exceeded
+                  "deadline exceeded during execution",
+                None )
+          | Error msg -> (err Protocol.Query_error "%s" msg, None)
           | Ok answer ->
               let compute_ms = (Unix.gettimeofday () -. t0) *. 1000. in
               let payload =
@@ -160,7 +165,10 @@ let do_query t ~deadline ~collection ~tql ~mode ~cache =
                   ]
               in
               if use_cache then Cache.add t.cache key payload;
-              Ok (with_cache_status "miss" payload)))
+              ( Ok (with_cache_status "miss" payload),
+                Option.map
+                  (fun (s : Executor.stats) -> s.Executor.trace)
+                  answer.Session.stats )))
 
 let do_explain t ~collection ~tql ~mode =
   match Session.pin t.session ~collection with
@@ -194,26 +202,36 @@ let do_stats () =
          ("table", J.Str (Metrics.to_table snap));
        ])
 
-let exec t ~deadline request =
+let do_metrics () =
+  Ok
+    (J.Obj
+       [ ("prometheus", J.Str (Metrics.to_prometheus (Metrics.snapshot ()))) ])
+
+let exec_traced t ~deadline request =
   let op = Protocol.op_name request in
   Metrics.incr (m_requests op);
   let t0 = Unix.gettimeofday () in
-  let result =
+  let result, trace =
     if (match deadline with Some d -> t0 > d | None -> false) then
-      err Protocol.Deadline_exceeded "deadline exceeded before execution"
+      ( err Protocol.Deadline_exceeded "deadline exceeded before execution",
+        None )
     else
       match request with
-      | Protocol.Ping | Protocol.Shutdown -> Ok (J.Obj [ ("pong", J.Bool true) ])
-      | Protocol.Stats -> do_stats ()
+      | Protocol.Ping | Protocol.Shutdown ->
+          (Ok (J.Obj [ ("pong", J.Bool true) ]), None)
+      | Protocol.Stats -> (do_stats (), None)
+      | Protocol.Metrics -> (do_metrics (), None)
       | Protocol.Insert { collection; xml } ->
-          write_locked t (fun () -> do_insert t ~collection ~xml)
+          (write_locked t (fun () -> do_insert t ~collection ~xml), None)
       | Protocol.Query { collection; tql; mode; cache } ->
           do_query t ~deadline ~collection ~tql ~mode ~cache
       | Protocol.Explain { collection; tql; mode } ->
-          do_explain t ~collection ~tql ~mode
+          (do_explain t ~collection ~tql ~mode, None)
   in
   Metrics.observe (h_seconds op) (Unix.gettimeofday () -. t0);
   (match result with
   | Error e -> Metrics.incr (m_errors (Protocol.code_name e.Protocol.code))
   | Ok _ -> ());
-  result
+  (result, trace)
+
+let exec t ~deadline request = fst (exec_traced t ~deadline request)

@@ -25,8 +25,8 @@
       construction: its cache entry is keyed at [v], versions only
       advance, so no future request can pin [v] again — the entry is
       dead weight until FIFO eviction, never a wrong answer.
-    - [Stats]/[Ping] touch only the domain-safe {!Toss_obs.Metrics}
-      registry.
+    - [Stats]/[Metrics]/[Ping] touch only the domain-safe
+      {!Toss_obs.Metrics} registry.
 
     [exec] is deadline-aware: the deadline is an absolute
     [Unix.gettimeofday] instant, checked on entry and then cooperatively
@@ -61,3 +61,15 @@ val exec :
 (** Executes one request, from any domain (see the concurrency contract
     above). [Shutdown] is not the engine's business and answers like
     [Ping] (the server layer intercepts it first). *)
+
+val exec_traced :
+  t ->
+  deadline:float option ->
+  Protocol.request ->
+  (Toss_json.t, Protocol.error) result * Toss_obs.Span.t option
+(** Like {!exec}, but also returns the executed query's span tree when
+    one was built: [Some] exactly for a [Query] that ran the executor
+    (a cache hit runs nothing, so it has no tree), [None] otherwise.
+    This is how the server records full traces for sampled requests at
+    zero extra cost — the executor always builds the tree; the server
+    merely chooses whether to serialize it. *)

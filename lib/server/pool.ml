@@ -3,7 +3,9 @@ module Metrics = Toss_obs.Metrics
 type t = {
   lock : Mutex.t;
   wake : Condition.t;
-  jobs : (unit -> unit) Queue.t;
+  (* Each job remembers when admission accepted it; the dequeuing
+     worker turns the difference into the job's queue wait. *)
+  jobs : ((queue_wait_s:float -> unit) * float) Queue.t;
   max_queue : int;
   mutable stopping : bool;
   mutable inflight : int;
@@ -15,6 +17,7 @@ type outcome = Accepted | Overloaded | Stopped
 let g_depth = Metrics.gauge "server.queue.depth"
 let g_inflight = Metrics.gauge "server.inflight"
 let m_shed = Metrics.counter "server.shed.total"
+let h_queue_wait = Metrics.histogram "pool.queue_wait.seconds"
 
 let note t =
   Metrics.set g_depth (float_of_int (Queue.length t.jobs));
@@ -34,11 +37,15 @@ let rec worker t =
   | None ->
       (* stopping && empty *)
       Mutex.unlock t.lock
-  | Some job ->
+  | Some (job, submitted_at) ->
       t.inflight <- t.inflight + 1;
       note t;
       Mutex.unlock t.lock;
-      (try job () with _ -> ());
+      let queue_wait_s =
+        Float.max 0. (Unix.gettimeofday () -. submitted_at)
+      in
+      Metrics.observe h_queue_wait queue_wait_s;
+      (try job ~queue_wait_s with _ -> ());
       Mutex.lock t.lock;
       t.inflight <- t.inflight - 1;
       note t;
@@ -68,7 +75,7 @@ let submit t job =
       Metrics.incr m_shed;
       Overloaded)
     else begin
-      Queue.push job t.jobs;
+      Queue.push (job, Unix.gettimeofday ()) t.jobs;
       note t;
       Condition.signal t.wake;
       Accepted

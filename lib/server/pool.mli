@@ -16,7 +16,10 @@
 
     Queue depth and in-flight jobs are published as the
     [server.queue.depth] and [server.inflight] gauges; shed jobs count
-    [server.shed.total].
+    [server.shed.total]. Every dequeued job's admission→dequeue wait is
+    observed into the [pool.queue_wait.seconds] histogram and passed to
+    the job itself as [~queue_wait_s], so the server can echo queueing
+    delay per response and the access log can record it.
 
     [domains = 0] is allowed: nothing ever dequeues, so with
     [max_queue = 0] every submit is shed — the deterministic overload
@@ -29,10 +32,12 @@ type outcome = Accepted | Overloaded | Stopped
 val create : domains:int -> max_queue:int -> t
 (** Spawns [domains] worker domains immediately. *)
 
-val submit : t -> (unit -> unit) -> outcome
+val submit : t -> (queue_wait_s:float -> unit) -> outcome
 (** Exceptions escaping the job are swallowed (the job is responsible
     for reporting its own errors to its client). The job may run on any
-    worker domain; anything it closes over must be domain-safe. *)
+    worker domain; anything it closes over must be domain-safe.
+    [queue_wait_s] is the seconds the job sat in the queue between
+    admission and dequeue (clamped non-negative against clock steps). *)
 
 val queue_depth : t -> int
 

@@ -50,6 +50,7 @@ type request =
       mode : Toss_core.Executor.mode;
     }
   | Stats
+  | Metrics
   | Shutdown
 
 let op_name = function
@@ -58,9 +59,15 @@ let op_name = function
   | Query _ -> "query"
   | Explain _ -> "explain"
   | Stats -> "stats"
+  | Metrics -> "metrics"
   | Shutdown -> "shutdown"
 
-type envelope = { id : int option; deadline_ms : int option; request : request }
+type envelope = {
+  id : int option;
+  deadline_ms : int option;
+  trace_id : string option;
+  request : request;
+}
 
 let mode_name = function Toss_core.Executor.Tax -> "tax" | Toss -> "toss"
 
@@ -110,6 +117,7 @@ let decode_request obj op =
   match op with
   | "ping" -> Ok Ping
   | "stats" -> Ok Stats
+  | "metrics" -> Ok Metrics
   | "shutdown" -> Ok Shutdown
   | "insert" ->
       let* collection = required obj "collection" J.to_str "string" in
@@ -139,11 +147,24 @@ let parse_request line =
           (fun v -> Option.map Option.some (J.to_int v))
           "number" ~default:None
       in
+      let* trace_id =
+        optional obj "trace_id"
+          (fun v -> Option.map Option.some (J.to_str v))
+          "string" ~default:None
+      in
+      let* () =
+        match trace_id with
+        | Some t when not (Toss_obs.Trace.is_valid t) ->
+            Error
+              (error Bad_request
+                 "field \"trace_id\" must be 1-128 printable ASCII characters")
+        | _ -> Ok ()
+      in
       let* request = decode_request obj op in
-      Ok { id; deadline_ms; request }
+      Ok { id; deadline_ms; trace_id; request }
   | Ok _ -> Error (error Bad_request "request must be a JSON object")
 
-let request_to_line { id; deadline_ms; request } =
+let request_to_line { id; deadline_ms; trace_id; request } =
   let base = [ ("op", J.Str (op_name request)) ] in
   let id_field =
     match id with Some i -> [ ("id", J.Num (float_of_int i)) ] | None -> []
@@ -153,9 +174,12 @@ let request_to_line { id; deadline_ms; request } =
     | Some ms -> [ ("deadline_ms", J.Num (float_of_int ms)) ]
     | None -> []
   in
+  let trace_field =
+    match trace_id with Some t -> [ ("trace_id", J.Str t) ] | None -> []
+  in
   let op_fields =
     match request with
-    | Ping | Stats | Shutdown -> []
+    | Ping | Stats | Metrics | Shutdown -> []
     | Insert { collection; xml } ->
         [ ("collection", J.Str collection); ("xml", J.Str xml) ]
     | Query { collection; tql; mode; cache } ->
@@ -172,13 +196,29 @@ let request_to_line { id; deadline_ms; request } =
           ("mode", J.Str (mode_name mode));
         ]
   in
-  J.to_string (J.Obj (base @ id_field @ deadline_field @ op_fields))
+  J.to_string (J.Obj (base @ id_field @ deadline_field @ trace_field @ op_fields))
 
-type response = { rid : int option; body : (J.t, error) result }
+type response = {
+  rid : int option;
+  rtrace_id : string option;
+  server_ms : float option;
+  queue_ms : float option;
+  body : (J.t, error) result;
+}
 
-let response_to_line { rid; body } =
+let response ?id ?trace_id ?server_ms ?queue_ms body =
+  { rid = id; rtrace_id = trace_id; server_ms; queue_ms; body }
+
+let response_to_line { rid; rtrace_id; server_ms; queue_ms; body } =
   let id_field =
     match rid with Some i -> [ ("id", J.Num (float_of_int i)) ] | None -> []
+  in
+  let trace_field =
+    match rtrace_id with Some t -> [ ("trace_id", J.Str t) ] | None -> []
+  in
+  let num_field name = function
+    | Some v -> [ (name, J.Num v) ]
+    | None -> []
   in
   let rest =
     match body with
@@ -192,17 +232,25 @@ let response_to_line { rid; body } =
           );
         ]
   in
-  J.to_string (J.Obj (id_field @ rest))
+  J.to_string
+    (J.Obj
+       (id_field @ trace_field @ rest
+       @ num_field "server_ms" server_ms
+       @ num_field "queue_ms" queue_ms))
 
 let parse_response line =
   match J.parse line with
   | Error msg -> Error msg
   | Ok obj -> (
       let rid = Option.bind (J.member "id" obj) J.to_int in
+      let rtrace_id = Option.bind (J.member "trace_id" obj) J.to_str in
+      let server_ms = Option.bind (J.member "server_ms" obj) J.to_num in
+      let queue_ms = Option.bind (J.member "queue_ms" obj) J.to_num in
+      let make body = Ok { rid; rtrace_id; server_ms; queue_ms; body } in
       match Option.bind (J.member "ok" obj) J.to_bool with
       | Some true -> (
           match J.member "result" obj with
-          | Some result -> Ok { rid; body = Ok result }
+          | Some result -> make (Ok result)
           | None -> Error "response has ok:true but no result")
       | Some false -> (
           match J.member "error" obj with
@@ -220,6 +268,6 @@ let parse_response line =
                 | Some c -> c
                 | None -> Bad_request
               in
-              Ok { rid; body = Error { code; message } }
+              make (Error { code; message })
           | None -> Error "response has ok:false but no error")
       | _ -> Error "response lacks a boolean ok field")

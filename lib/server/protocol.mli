@@ -3,10 +3,17 @@
     One request per line, one response line per request. A request is an
     object with an ["op"] field selecting the operation, an optional
     client-chosen ["id"] echoed back verbatim in the response (so a
-    pipelining client can match responses to requests), and an optional
+    pipelining client can match responses to requests), an optional
     ["deadline_ms"] overriding the server's default deadline for this
-    request. Responses are [{"id":…, "ok":true, "result":…}] or
-    [{"id":…, "ok":false, "error":{"code":…, "message":…}}].
+    request, and an optional ["trace_id"] (1–128 printable ASCII
+    characters) naming the request in the server's logs — the server
+    generates one when absent, and either way echoes it in the
+    response. Responses are [{"id":…, "trace_id":…, "ok":true,
+    "result":…, "server_ms":…, "queue_ms":…}] or the same envelope
+    with [{"ok":false, "error":{"code":…, "message":…}}]; [server_ms]
+    is server-measured execution time and [queue_ms] time spent waiting
+    for a worker, so clients can split round-trip latency into queueing
+    vs execution vs network.
 
     Error codes are a closed vocabulary so clients can switch on them:
 
@@ -58,6 +65,8 @@ type request =
       mode : Toss_core.Executor.mode;
     }
   | Stats
+  | Metrics
+      (** Prometheus text exposition of the server's metrics registry *)
   | Shutdown
 
 val op_name : request -> string
@@ -67,6 +76,9 @@ val op_name : request -> string
 type envelope = {
   id : int option;  (** echoed back in the response *)
   deadline_ms : int option;  (** per-request deadline override *)
+  trace_id : string option;
+      (** client-chosen trace id ({!Toss_obs.Trace.is_valid} enforced
+          at parse time); the server generates one when [None] *)
   request : request;
 }
 
@@ -80,8 +92,20 @@ val request_to_line : envelope -> string
 
 type response = {
   rid : int option;  (** the request's [id], if it carried one *)
+  rtrace_id : string option;  (** the request's trace id, echoed *)
+  server_ms : float option;  (** server-side execution time *)
+  queue_ms : float option;  (** time spent queued before a worker *)
   body : (Toss_json.t, error) result;
 }
+
+val response :
+  ?id:int ->
+  ?trace_id:string ->
+  ?server_ms:float ->
+  ?queue_ms:float ->
+  (Toss_json.t, error) result ->
+  response
+(** Convenience constructor; omitted options render as absent fields. *)
 
 val response_to_line : response -> string
 (** Encodes a response as one line (no trailing newline). *)

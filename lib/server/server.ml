@@ -1,5 +1,8 @@
 module J = Toss_json
 module Metrics = Toss_obs.Metrics
+module Trace = Toss_obs.Trace
+module Event = Toss_obs.Event
+module Span = Toss_obs.Span
 
 type config = {
   socket_path : string;
@@ -10,6 +13,8 @@ type config = {
   cache_capacity : int;
   metric : Toss_similarity.Metric.t option;
   eps : float;
+  access_log : string option;
+  trace_sample : int;
 }
 
 let default_config ~socket_path =
@@ -22,12 +27,20 @@ let default_config ~socket_path =
     cache_capacity = 256;
     metric = None;
     eps = 2.0;
+    access_log = None;
+    trace_sample = 0;
   }
+
+(* One line per request, written whole under [alock]: pool domains
+   finish out of order, and interleaved writes would shear records. *)
+type access_log = { aoc : out_channel; alock : Mutex.t }
 
 type state = {
   engine : Engine.t;
   pool : Pool.t;
   config : config;
+  access : access_log option;
+  sample_tick : int Atomic.t;  (** head-based sampling counter *)
   lock : Mutex.t;  (** guards [stopping], [conns] and [threads] *)
   mutable stopping : bool;
   mutable conns : Unix.file_descr list;
@@ -142,27 +155,110 @@ let release_reader conn =
   Mutex.unlock conn.wlock;
   if close_now then try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
-(* [Engine.exec] can raise (persistence I/O failures, bugs); an
+(* [Engine.exec_traced] can raise (persistence I/O failures, bugs); an
    unanswered request would wedge a pipelining client forever, so every
    escape becomes a typed [internal] response. *)
 let exec_guarded state ~deadline request =
-  match Engine.exec state.engine ~deadline request with
+  match Engine.exec_traced state.engine ~deadline request with
   | body -> body
   | exception exn ->
       note_error Protocol.Internal;
-      Error
-        (Protocol.error Protocol.Internal
-           ("internal error: " ^ Printexc.to_string exn))
+      ( Error
+          (Protocol.error Protocol.Internal
+             ("internal error: " ^ Printexc.to_string exn)),
+        None )
+
+(* One access-log record. Written {e before} the response is sent, so a
+   client that has seen its answer can rely on the record being on disk
+   (the smoke test counts on it). [collection] comes from the request,
+   [version]/[cache] from the result payload when present, [trace] is
+   the span tree of a sampled (or explicitly traced) request. *)
+let log_access state ~trace_id ~request ~queue_s ~exec_s ~body ~trace =
+  match state.access with
+  | None -> ()
+  | Some al ->
+      let opt name = function Some v -> [ (name, v) ] | None -> [] in
+      let collection =
+        match request with
+        | Protocol.Insert { collection; _ }
+        | Protocol.Query { collection; _ }
+        | Protocol.Explain { collection; _ } ->
+            Some (J.Str collection)
+        | _ -> None
+      in
+      let payload_member name =
+        match body with
+        | Ok p -> Option.map (fun v -> v) (J.member name p)
+        | Error _ -> None
+      in
+      let status =
+        match body with
+        | Ok _ -> "ok"
+        | Error e -> Protocol.code_name e.Protocol.code
+      in
+      let record =
+        J.Obj
+          ([
+             ("ts", J.Num (Unix.gettimeofday ()));
+             ("trace_id", J.Str trace_id);
+             ("op", J.Str (Protocol.op_name request));
+           ]
+          @ opt "collection" collection
+          @ opt "version" (payload_member "version")
+          @ opt "cache" (payload_member "cache")
+          @ [
+              ("queue_s", J.Num queue_s);
+              ("exec_s", J.Num exec_s);
+              ("domain", J.Num (float_of_int (Domain.self () :> int)));
+              ("status", J.Str status);
+            ]
+          @ opt "trace"
+              (Option.map (fun sp -> J.parse_exn (Span.to_json sp)) trace))
+      in
+      Mutex.lock al.alock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock al.alock)
+        (fun () ->
+          try
+            output_string al.aoc (J.to_string record);
+            output_char al.aoc '\n';
+            flush al.aoc
+          with Sys_error _ -> ())
+
+(* Head-based sampling: every [trace_sample]-th pooled request records
+   its full span tree into the access log. The tree is built by the
+   executor regardless (its phase stats are a view over it), so
+   sampling costs serialization only on the sampled request — nothing
+   on the rest. *)
+let sampled state =
+  state.config.trace_sample > 0
+  && Atomic.fetch_and_add state.sample_tick 1 mod state.config.trace_sample = 0
 
 let handle_request state conn (env : Protocol.envelope) =
   let rid = env.id in
+  let trace_id =
+    match env.trace_id with Some id -> id | None -> Trace.generate ()
+  in
+  let respond ?server_ms ?queue_ms body =
+    Protocol.response ?id:rid ~trace_id ?server_ms ?queue_ms body
+  in
   match env.request with
-  | Protocol.Ping | Protocol.Stats ->
-      (* Answered inline: observability must survive pool saturation. *)
-      send conn
-        { Protocol.rid; body = exec_guarded state ~deadline:None env.request }
+  | Protocol.Ping | Protocol.Stats | Protocol.Metrics ->
+      (* Answered inline: observability must survive pool saturation.
+         The reader systhread shares its domain's DLS with every other
+         connection, so the trace id is NOT installed here — inline ops
+         emit no events; their records are stamped directly. *)
+      let t0 = Unix.gettimeofday () in
+      let body, _ = exec_guarded state ~deadline:None env.request in
+      let exec_s = Unix.gettimeofday () -. t0 in
+      log_access state ~trace_id ~request:env.request ~queue_s:0. ~exec_s
+        ~body ~trace:None;
+      send conn (respond ~server_ms:(exec_s *. 1000.) ~queue_ms:0. body)
   | Protocol.Shutdown ->
-      send conn { Protocol.rid; body = Ok (J.Obj [ ("stopping", J.Bool true) ]) };
+      let body = Ok (J.Obj [ ("stopping", J.Bool true) ]) in
+      log_access state ~trace_id ~request:env.request ~queue_s:0. ~exec_s:0.
+        ~body ~trace:None;
+      send conn (respond ~server_ms:0. ~queue_ms:0. body);
       request_stop state
   | Protocol.Insert _ | Protocol.Query _ | Protocol.Explain _ -> (
       let deadline_ms =
@@ -175,42 +271,57 @@ let handle_request state conn (env : Protocol.envelope) =
           (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
           deadline_ms
       in
-      let job () =
+      let want_trace = sampled state in
+      let job ~queue_wait_s =
         Fun.protect
-          ~finally:(fun () -> release_job conn)
+          ~finally:(fun () ->
+            (* A deadline abort emits Query_start but never Query_end;
+               without this the slow-query sink would buffer the
+               orphaned stream forever. No-op when already flushed. *)
+            Event.drop_trace trace_id;
+            release_job conn)
           (fun () ->
-            let body =
+            let t0 = Unix.gettimeofday () in
+            let body, trace =
               match deadline with
-              | Some d when Unix.gettimeofday () > d ->
+              | Some d when t0 > d ->
                   (* Died of old age while queued. *)
                   note_error Protocol.Deadline_exceeded;
-                  Error
-                    (Protocol.error Protocol.Deadline_exceeded
-                       "deadline exceeded while queued")
-              | _ -> exec_guarded state ~deadline env.request
+                  ( Error
+                      (Protocol.error Protocol.Deadline_exceeded
+                         "deadline exceeded while queued"),
+                    None )
+              | _ ->
+                  (* The trace id rides the worker domain's DLS for
+                     exactly this request: every span frame and event
+                     the engine emits below is stamped with it. *)
+                  Trace.with_id trace_id (fun () ->
+                      exec_guarded state ~deadline env.request)
             in
-            send conn { Protocol.rid; body })
+            let exec_s = Unix.gettimeofday () -. t0 in
+            log_access state ~trace_id ~request:env.request
+              ~queue_s:queue_wait_s ~exec_s ~body
+              ~trace:(if want_trace then trace else None);
+            send conn
+              (respond ~server_ms:(exec_s *. 1000.)
+                 ~queue_ms:(queue_wait_s *. 1000.) body))
       in
       conn_retain conn;
+      let refused body =
+        release_job conn;
+        log_access state ~trace_id ~request:env.request ~queue_s:0. ~exec_s:0.
+          ~body ~trace:None;
+        send conn (respond body)
+      in
       match Pool.submit state.pool job with
       | Pool.Accepted -> ()
       | Pool.Overloaded ->
-          release_job conn;
           note_error Protocol.Overloaded;
-          send conn
-            {
-              Protocol.rid;
-              body = Error (Protocol.error Protocol.Overloaded "queue full");
-            }
+          refused (Error (Protocol.error Protocol.Overloaded "queue full"))
       | Pool.Stopped ->
-          release_job conn;
           note_error Protocol.Shutting_down;
-          send conn
-            {
-              Protocol.rid;
-              body =
-                Error (Protocol.error Protocol.Shutting_down "server stopping");
-            })
+          refused
+            (Error (Protocol.error Protocol.Shutting_down "server stopping")))
 
 let handle_conn state conn =
   let ic = Unix.in_channel_of_descr conn.fd in
@@ -222,7 +333,7 @@ let handle_conn state conn =
         (match Protocol.parse_request line with
         | Error e ->
             note_error e.Protocol.code;
-            send conn { Protocol.rid = None; body = Error e }
+            send conn (Protocol.response (Error e))
         | Ok env -> handle_request state conn env);
         loop ()
   in
@@ -276,8 +387,24 @@ let run ?(ready = fun () -> ()) config =
   with
   | Error msg -> Error msg
   | Ok engine -> (
-      match bind_socket config.socket_path with
+      match
+        match config.access_log with
+        | None -> Ok None
+        | Some path -> (
+            try
+              let aoc =
+                open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+              in
+              Ok (Some { aoc; alock = Mutex.create () })
+            with Sys_error msg ->
+              Error (Printf.sprintf "cannot open access log: %s" msg))
+      with
       | Error msg -> Error msg
+      | Ok access -> (
+      match bind_socket config.socket_path with
+      | Error msg ->
+          Option.iter (fun al -> close_out_noerr al.aoc) access;
+          Error msg
       | Ok listen_fd ->
           (* A client disconnecting mid-response must not kill the
              process. *)
@@ -288,6 +415,8 @@ let run ?(ready = fun () -> ()) config =
               engine;
               pool = Pool.create ~domains:config.domains ~max_queue:config.max_queue;
               config;
+              access;
+              sample_tick = Atomic.make 0;
               lock = Mutex.create ();
               stopping = false;
               conns = [];
@@ -334,4 +463,5 @@ let run ?(ready = fun () -> ()) config =
           List.iter
             (fun fd -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
             doomed;
-          Ok ())
+          Option.iter (fun al -> close_out_noerr al.aoc) access;
+          Ok ()))

@@ -22,7 +22,30 @@
 
     Responses may therefore complete out of order on one connection;
     clients match them by [id]. One writer mutex per connection keeps
-    response lines whole across writer domains. *)
+    response lines whole across writer domains.
+
+    {2 Request-scoped observability}
+
+    Every request is assigned a trace id (the client's ["trace_id"]
+    field if it sent one, a generated one otherwise) and the id is
+    echoed in the response. For pooled ops the id is installed in the
+    worker domain's {!Toss_obs.Trace} slot around execution, so every
+    span frame and event the request emits — on any domain — carries
+    it; the slow-query sink ([--slow-ms]) reassembles those events into
+    per-request records keyed by the id, correct under full
+    parallelism. Reader systhreads never install a trace id (they share
+    one domain's DLS across connections); inline ops are stamped
+    directly in their log records instead.
+
+    When [access_log] is set, the server appends one JSON line per
+    request — before sending the response, so a client that has its
+    answer can rely on the record existing. Schema (optional fields
+    absent rather than null): [ts], [trace_id], [op], [collection],
+    [version], [cache], [queue_s], [exec_s], [domain], [status], and —
+    for requests selected by [trace_sample] — [trace], the full span
+    tree. [status] is ["ok"] or the wire error code. Responses also
+    carry [server_ms]/[queue_ms] so clients can split round-trip time
+    (see {!Protocol}). *)
 
 type config = {
   socket_path : string;
@@ -41,11 +64,19 @@ type config = {
           composite measure one-shot [toss query] uses, so both
           surfaces return the same answers. *)
   eps : float;
+  access_log : string option;
+      (** append one JSONL record per request to this file (see the
+          schema above); [None] disables the log *)
+  trace_sample : int;
+      (** record the full span tree into the access log for every Nth
+          pooled request; [0] (the default) samples none. Sampling is
+          head-based — the decision is made at admission — and costs
+          nothing on unsampled requests. *)
 }
 
 val default_config : socket_path:string -> config
 (** 4 domains, queue of 64, no default deadline, cache of 256,
-    [eps = 2]. *)
+    [eps = 2], no access log, no trace sampling. *)
 
 val run : ?ready:(unit -> unit) -> config -> (unit, string) result
 (** Binds the socket (removing a stale socket file first), calls

@@ -11,7 +11,7 @@ Flag and usage errors come back before any socket is touched:
   $ toss serve --socket $S --domains -1 2>&1 | grep toss:
   toss: unknown option '-1'.
   $ toss client --socket $S frobnicate 2>&1 | grep toss:
-  toss: unknown op "frobnicate" (expected ping, insert, query, explain, stats or shutdown)
+  toss: unknown op "frobnicate" (expected ping, insert, query, explain, stats, metrics or shutdown)
   $ toss client --socket $S insert bib 2>&1 | grep toss:
   toss: insert needs COLLECTION and an XML FILE
   $ toss client --socket $D/none.sock ping 2>&1 | sed "s#$D#DIR#"
@@ -76,6 +76,18 @@ Server-side observability over the wire: the cache counters moved.
   $ toss client --socket $S stats --table | awk '$1 == "server.cache.hits" && $2 > 0 { print "cache hits > 0" }'
   cache hits > 0
 
+The same registry as a Prometheus text exposition: the pool's
+queue-wait histogram is registered at startup, and the per-op request
+latency carries its label. Histograms end in a +Inf bucket whose count
+equals the sample count:
+
+  $ toss client --socket $S metrics | grep '^# TYPE pool_queue_wait_seconds'
+  # TYPE pool_queue_wait_seconds histogram
+  $ toss client --socket $S metrics | grep -c '^pool_queue_wait_seconds_bucket{le="+Inf"}'
+  1
+  $ toss client --socket $S metrics | grep -c '^server_request_seconds_bucket{op="query",le="+Inf"}'
+  1
+
 A second server refuses a socket something is already listening on,
 and leaves the live server's socket alone:
 
@@ -98,6 +110,36 @@ answering inline:
   [1]
   $ toss client --socket $S2 shutdown
   {"stopping":true}
+
+Request-scoped tracing: a server with an access log, span sampling on
+every request, and a slow-query log at threshold 0 (so everything is
+slow). The client names its own trace id; the server echoes it into
+both logs.
+
+  $ S3=$D/trace.sock
+  $ toss serve --socket $S3 --domains 2 --access-log $D/access.jsonl \
+  >     --trace-sample 1 --slow-ms 0 > serve3.log 2>&1 &
+  $ for i in $(seq 1 100); do [ -S $S3 ] && break; sleep 0.1; done
+  $ toss client --socket $S3 insert bib doc.xml
+  {"collection":"bib","doc_id":0,"version":1}
+  $ toss client --socket $S3 --trace-id cram-query-1 --no-cache query bib "$Q" | grep -o '"cache":"[a-z]*"'
+  "cache":"miss"
+  $ toss client --socket $S3 shutdown
+  {"stopping":true}
+
+One access-log record per request — written before the response is
+sent, so all three are guaranteed to be on disk by now. The query's
+record carries the client's trace id and (sampled) the span tree; the
+slow log keyed the query's events by the same id:
+
+  $ wc -l < $D/access.jsonl
+  3
+  $ grep -c '"trace_id":"cram-query-1"' $D/access.jsonl
+  1
+  $ grep '"trace_id":"cram-query-1"' $D/access.jsonl | grep -c '"trace":'
+  1
+  $ grep -c '"type":"slow_query","trace_id":"cram-query-1"' serve3.log
+  1
 
 Clean shutdown of the main server:
 

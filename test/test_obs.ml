@@ -5,6 +5,7 @@
 module Metrics = Toss_obs.Metrics
 module Span = Toss_obs.Span
 module Event = Toss_obs.Event
+module Trace = Toss_obs.Trace
 module Json = Toss_eval.Json_lite
 module Tree = Toss_xml.Tree
 module Doc = Tree.Doc
@@ -304,6 +305,50 @@ let test_quantile_monotone_and_bounded () =
           { Metrics.count = 0; sum = 0.; min = nan; max = nan; buckets = [] }
           0.5))
 
+let test_quantile_single_observation () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.q.single" in
+  Metrics.observe h 3.0;
+  let s = histo_stats "test.q.single" in
+  (* One observation: min = max = 3, so interpolation has no room and
+     every quantile is the observation itself. *)
+  List.iter
+    (fun q -> checkf (Printf.sprintf "q=%g is the observation" q) 3.0 (Metrics.quantile s q))
+    [ 0.; 0.25; 0.5; 1. ]
+
+let test_quantile_decade_boundary () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.q.decade" in
+  (* Observations sitting exactly on the decade bounds the registry
+     buckets by: each must land in its own le-bucket, and quantiles must
+     stay inside [min, max] rather than drifting to a bucket edge below
+     the minimum (the clamp regression this guards). *)
+  List.iter (Metrics.observe h) [ 10.0; 100.0 ];
+  let s = histo_stats "test.q.decade" in
+  let cum bound =
+    match List.assoc_opt bound s.Metrics.buckets with
+    | Some c -> c
+    | None -> Alcotest.failf "no bucket with bound %g" bound
+  in
+  checki "10 counted at le=10" 1 (cum 10.);
+  checki "100 counted at le=100" 2 (cum 100.);
+  let p50 = Metrics.quantile s 0.5 in
+  let p99 = Metrics.quantile s 0.99 in
+  checkb "p50 within range" true (p50 >= 10.0 && p50 <= 100.0);
+  checkb "p99 within range" true (p99 >= 10.0 && p99 <= 100.0);
+  checkb "quantiles monotone" true (p50 <= p99)
+
+let test_quantile_clamps_q () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.q.clamp" in
+  List.iter (Metrics.observe h) [ 1.0; 2.0; 4.0 ];
+  let s = histo_stats "test.q.clamp" in
+  (* Out-of-range ranks clamp to the ends instead of extrapolating. *)
+  checkf "q below 0 = q 0" (Metrics.quantile s 0.) (Metrics.quantile s (-0.5));
+  checkf "q above 1 = q 1" (Metrics.quantile s 1.) (Metrics.quantile s 1.5);
+  checkb "q=0 at or above min" true (Metrics.quantile s 0. >= s.Metrics.min);
+  checkf "q=1 is the max" s.Metrics.max (Metrics.quantile s 1.)
+
 let test_quantiles_in_exports () =
   Metrics.reset ();
   let h = Metrics.histogram "test.q.export" in
@@ -511,6 +556,316 @@ let test_executor_event_stream () =
     (Option.get (Event.payload_int last "results"))
 
 (* ------------------------------------------------------------------ *)
+(* Trace context                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_scoping () =
+  checkb "empty outside with_id" true (Trace.get () = None);
+  let inner =
+    Trace.with_id "outer" (fun () ->
+        let nested = Trace.with_id "inner" (fun () -> Trace.get ()) in
+        checkb "innermost wins" true (nested = Some "inner");
+        Trace.get ())
+  in
+  checkb "outer restored after nesting" true (inner = Some "outer");
+  (try Trace.with_id "doomed" (fun () -> failwith "boom") with Failure _ -> ());
+  checkb "restored on exception" true (Trace.get () = None)
+
+let test_trace_generate () =
+  let ids = List.init 100 (fun _ -> Trace.generate ()) in
+  checki "all distinct" 100 (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun id ->
+      checki "16 hex digits" 16 (String.length id);
+      checkb "valid on the wire" true (Trace.is_valid id);
+      checkb "hex charset" true
+        (String.for_all
+           (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+           id))
+    ids
+
+let test_trace_validation () =
+  checkb "empty rejected" true (not (Trace.is_valid ""));
+  checkb "single char ok" true (Trace.is_valid "a");
+  checkb "128 chars ok" true (Trace.is_valid (String.make 128 'x'));
+  checkb "129 chars rejected" true (not (Trace.is_valid (String.make 129 'x')));
+  checkb "space rejected" true (not (Trace.is_valid "a b"));
+  checkb "newline rejected" true (not (Trace.is_valid "a\nb"));
+  checkb "non-ascii rejected" true (not (Trace.is_valid "caf\xc3\xa9"));
+  checkb "punctuation ok" true (Trace.is_valid "req/42:retry-1_x.y~")
+
+let test_trace_stamps_events_and_spans () =
+  let sink = Event.memory () in
+  with_sink sink (fun () ->
+      Event.emit (Event.Custom "outside");
+      Trace.with_id "stamp-1" (fun () -> Event.emit (Event.Custom "inside")));
+  (match Event.events sink with
+  | [ outside; inside ] ->
+      checkb "no id outside" true (outside.Event.trace_id = None);
+      checkb "stamped inside" true (inside.Event.trace_id = Some "stamp-1");
+      checkb "stamp survives serialization" true
+        (contains ~needle:"\"trace_id\":\"stamp-1\"" (Event.to_json inside))
+  | evs -> Alcotest.failf "expected two events, got %d" (List.length evs));
+  let _, root =
+    Trace.with_id "stamp-2" (fun () ->
+        Span.run "traced" (fun () -> ignore (Span.with_ "child" (fun () -> ()))))
+  in
+  checkb "root span stamped" true
+    (List.assoc_opt "trace_id" root.Span.meta = Some "stamp-2");
+  (match root.Span.children with
+  | [ child ] ->
+      checkb "child span stamped" true
+        (List.assoc_opt "trace_id" child.Span.meta = Some "stamp-2")
+  | _ -> Alcotest.fail "expected one child span");
+  let _, untraced = Span.run "untraced" (fun () -> ()) in
+  checkb "no stamp without a trace" true
+    (List.assoc_opt "trace_id" untraced.Span.meta = None)
+
+(* ------------------------------------------------------------------ *)
+(* Per-trace slow-query capture                                         *)
+(* ------------------------------------------------------------------ *)
+
+let record_of line =
+  match Json.parse line with
+  | Error msg -> Alcotest.failf "slow record is not valid JSON: %s" msg
+  | Ok json -> json
+
+let record_trace_id json =
+  Option.bind (Json.member "trace_id" json) Json.to_str
+
+let record_event_ids json =
+  Option.get (Option.bind (Json.member "events" json) Json.to_list)
+  |> List.map (fun e -> Option.bind (Json.member "trace_id" e) Json.to_str)
+
+(* Two requests interleave their event streams — exactly what happens
+   when two pool domains execute concurrently. The sink must
+   demultiplex on trace id: one record per request, each holding only
+   its own events. *)
+let test_slow_sink_demultiplexes () =
+  let captured = ref [] in
+  with_sink
+    (Event.slow_query ~threshold_s:0. ~write:(fun l -> captured := l :: !captured))
+    (fun () ->
+      let under id kind = Trace.with_id id (fun () -> Event.emit kind) in
+      under "req-a" Event.Query_start;
+      under "req-b" Event.Query_start;
+      under "req-a" (Event.Custom "a-work");
+      under "req-b" (Event.Custom "b-work");
+      under "req-b" Event.Query_end;
+      under "req-a" (Event.Custom "a-more");
+      under "req-a" Event.Query_end);
+  match List.rev_map record_of !captured with
+  | [ first; second ] ->
+      checkb "b finished first" true (record_trace_id first = Some "req-b");
+      checkb "a finished second" true (record_trace_id second = Some "req-a");
+      Alcotest.(check (list int))
+        "each record holds only its own events" [ 3; 4 ]
+        (List.map (fun r -> List.length (record_event_ids r)) [ first; second ]);
+      List.iter
+        (fun r ->
+          let id = record_trace_id r in
+          List.iter
+            (fun ev_id -> checkb "event id matches record id" true (ev_id = id))
+            (record_event_ids r))
+        [ first; second ]
+  | records -> Alcotest.failf "expected two records, got %d" (List.length records)
+
+(* Untraced emission (the CLI path) still works through the legacy
+   single-stream buffer, without needing a trace id. *)
+let test_slow_sink_untraced_still_works () =
+  let captured = ref [] in
+  with_sink
+    (Event.slow_query ~threshold_s:0. ~write:(fun l -> captured := l :: !captured))
+    (fun () ->
+      Event.emit Event.Query_start;
+      Event.emit (Event.Custom "work");
+      Event.emit Event.Query_end);
+  match List.map record_of !captured with
+  | [ record ] ->
+      checkb "no trace id on an untraced record" true (record_trace_id record = None);
+      checki "all events captured" 3 (List.length (record_event_ids record))
+  | records -> Alcotest.failf "expected one record, got %d" (List.length records)
+
+(* A request that dies between Query_start and Query_end (deadline
+   abort, exception) must not leak its buffered stream: the server
+   calls drop_trace from the job's cleanup. *)
+let test_slow_sink_drop_trace () =
+  let captured = ref [] in
+  with_sink
+    (Event.slow_query ~threshold_s:0. ~write:(fun l -> captured := l :: !captured))
+    (fun () ->
+      Trace.with_id "doomed" (fun () ->
+          Event.emit Event.Query_start;
+          Event.emit (Event.Custom "partial"));
+      Event.drop_trace "doomed";
+      (* A late event (or end) for the dropped id is ignored, not
+         resurrected as a fresh stream. *)
+      Trace.with_id "doomed" (fun () -> Event.emit Event.Query_end);
+      (* An unrelated request is unaffected. *)
+      Trace.with_id "alive" (fun () ->
+          Event.emit Event.Query_start;
+          Event.emit Event.Query_end));
+  match List.map record_of !captured with
+  | [ record ] -> checkb "only the live request flushed" true (record_trace_id record = Some "alive")
+  | records -> Alcotest.failf "expected one record, got %d" (List.length records)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A hand-written parser for the text format, strict about what the
+   to_prometheus contract promises: legal metric names, one # TYPE per
+   name, and re-parseable sample values. *)
+type prom_sample = { p_name : string; p_labels : (string * string) list; p_value : float }
+
+let parse_prom_value s =
+  match s with
+  | "+Inf" -> infinity
+  | "-Inf" -> neg_infinity
+  | "NaN" -> nan
+  | s -> (
+      match float_of_string_opt s with
+      | Some f -> f
+      | None -> Alcotest.failf "unparseable sample value %S" s)
+
+let legal_name s =
+  s <> ""
+  && (not (s.[0] >= '0' && s.[0] <= '9'))
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = ':')
+       s
+
+let parse_prom_labels s =
+  (* Comma-separated key=quoted-value pairs; the values these tests
+     generate contain no escapes or commas, so a comma split suffices. *)
+  if s = "" then []
+  else
+    String.split_on_char ',' s
+    |> List.map (fun kv ->
+           match String.index_opt kv '=' with
+           | None -> Alcotest.failf "label without '=': %S" kv
+           | Some i ->
+               let k = String.sub kv 0 i in
+               let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+               let n = String.length v in
+               if n < 2 || v.[0] <> '"' || v.[n - 1] <> '"' then
+                 Alcotest.failf "unquoted label value: %S" kv
+               else (k, String.sub v 1 (n - 2)))
+
+let parse_prom_line line =
+  if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+    match String.split_on_char ' ' line with
+    | [ _; _; name; kind ] ->
+        checkb ("legal TYPE name " ^ name) true (legal_name name);
+        checkb ("known kind " ^ kind) true
+          (List.mem kind [ "counter"; "gauge"; "histogram" ]);
+        `Type (name, kind)
+    | _ -> Alcotest.failf "malformed TYPE line: %S" line
+  end
+  else
+    match String.rindex_opt line ' ' with
+    | None -> Alcotest.failf "malformed sample line: %S" line
+    | Some sp ->
+        let head = String.sub line 0 sp in
+        let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+        let name, labels =
+          match String.index_opt head '{' with
+          | None -> (head, [])
+          | Some ob ->
+              let n = String.length head in
+              if head.[n - 1] <> '}' then
+                Alcotest.failf "unterminated label set: %S" line
+              else
+                ( String.sub head 0 ob,
+                  parse_prom_labels (String.sub head (ob + 1) (n - ob - 2)) )
+        in
+        checkb ("legal sample name " ^ name) true (legal_name name);
+        `Sample { p_name = name; p_labels = labels; p_value = parse_prom_value value }
+
+let parse_prom text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> l <> "")
+  |> List.map parse_prom_line
+
+let test_prometheus_exposition () =
+  Metrics.reset ();
+  Metrics.incr ~by:3 (Metrics.counter "prom.test.counter");
+  Metrics.incr ~by:2 (Metrics.counter ~labels:[ ("op", "query") ] "prom.test.labelled");
+  Metrics.incr ~by:5 (Metrics.counter ~labels:[ ("op", "insert") ] "prom.test.labelled");
+  Metrics.set (Metrics.gauge "prom.test.gauge") 2.5;
+  let h = Metrics.histogram "prom.test.histo" in
+  List.iter (Metrics.observe h) [ 0.005; 0.05; 3.0 ];
+  let lines = parse_prom (Metrics.to_prometheus (Metrics.snapshot ())) in
+  (* One # TYPE per exposition name, and it precedes that name's samples. *)
+  let seen_types = Hashtbl.create 8 in
+  List.iter
+    (function
+      | `Type (name, kind) ->
+          checkb ("single TYPE for " ^ name) true (not (Hashtbl.mem seen_types name));
+          Hashtbl.replace seen_types name kind
+      | `Sample s ->
+          let base =
+            List.fold_left
+              (fun acc suffix ->
+                let n = String.length acc and m = String.length suffix in
+                if n > m && String.sub acc (n - m) m = suffix then
+                  String.sub acc 0 (n - m)
+                else acc)
+              s.p_name [ "_bucket"; "_sum"; "_count" ]
+          in
+          checkb ("TYPE precedes samples of " ^ s.p_name) true
+            (Hashtbl.mem seen_types s.p_name || Hashtbl.mem seen_types base))
+    lines;
+  let samples =
+    List.filter_map (function `Sample s -> Some s | `Type _ -> None) lines
+  in
+  let find ?(labels = []) name =
+    match
+      List.find_opt (fun s -> s.p_name = name && s.p_labels = labels) samples
+    with
+    | Some s -> s.p_value
+    | None -> Alcotest.failf "no sample %s%s" name (String.concat "," (List.map fst labels))
+  in
+  (* Round-trip: the registry's values survive exposition and re-parse. *)
+  checkf "counter value" 3. (find "prom_test_counter");
+  checkf "labelled series query" 2.
+    (find ~labels:[ ("op", "query") ] "prom_test_labelled");
+  checkf "labelled series insert" 5.
+    (find ~labels:[ ("op", "insert") ] "prom_test_labelled");
+  checkf "gauge value" 2.5 (find "prom_test_gauge");
+  checkf "histogram count" 3. (find "prom_test_histo_count");
+  checkf "histogram sum" 3.055 (find "prom_test_histo_sum");
+  (* Buckets are cumulative, non-decreasing, and end at le="+Inf" with
+     the total count. *)
+  let buckets =
+    List.filter (fun s -> s.p_name = "prom_test_histo_bucket") samples
+    |> List.map (fun s ->
+           (parse_prom_value (List.assoc "le" s.p_labels), s.p_value))
+  in
+  checkb "has buckets" true (buckets <> []);
+  let bounds = List.map fst buckets in
+  checkb "le bounds ascend" true (List.sort compare bounds = bounds);
+  let counts = List.map snd buckets in
+  checkb "cumulative counts non-decreasing" true
+    (List.sort compare counts = counts);
+  let inf_bound, inf_count = List.nth buckets (List.length buckets - 1) in
+  checkb "last bucket is +Inf" true (inf_bound = infinity);
+  checkf "+Inf bucket equals count" 3. inf_count
+
+let test_prometheus_sanitizes () =
+  Metrics.reset ();
+  Metrics.incr (Metrics.counter "server.cache.hits");
+  let text = Metrics.to_prometheus (Metrics.snapshot ()) in
+  checkb "dots become underscores" true
+    (contains ~needle:"server_cache_hits 1" text);
+  checkb "no dotted name survives" true (not (contains ~needle:"server.cache" text));
+  List.iter (fun l -> ignore (parse_prom_line l)) (String.split_on_char '\n' text |> List.filter (fun l -> l <> ""))
+
+(* ------------------------------------------------------------------ *)
 (* Golden test: the executor emits the expected series                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -614,7 +969,32 @@ let () =
           Alcotest.test_case "quantile point mass" `Quick test_quantile_point_mass;
           Alcotest.test_case "quantile monotone" `Quick
             test_quantile_monotone_and_bounded;
+          Alcotest.test_case "quantile single observation" `Quick
+            test_quantile_single_observation;
+          Alcotest.test_case "quantile decade boundary" `Quick
+            test_quantile_decade_boundary;
+          Alcotest.test_case "quantile clamps q" `Quick test_quantile_clamps_q;
           Alcotest.test_case "quantiles exported" `Quick test_quantiles_in_exports;
+        ] );
+      ( "prometheus",
+        [
+          Alcotest.test_case "exposition round-trip" `Quick
+            test_prometheus_exposition;
+          Alcotest.test_case "name sanitization" `Quick test_prometheus_sanitizes;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "scoping" `Quick test_trace_scoping;
+          Alcotest.test_case "generation" `Quick test_trace_generate;
+          Alcotest.test_case "validation" `Quick test_trace_validation;
+          Alcotest.test_case "stamps events and spans" `Quick
+            test_trace_stamps_events_and_spans;
+          Alcotest.test_case "slow sink demultiplexes" `Quick
+            test_slow_sink_demultiplexes;
+          Alcotest.test_case "slow sink untraced" `Quick
+            test_slow_sink_untraced_still_works;
+          Alcotest.test_case "slow sink drop_trace" `Quick
+            test_slow_sink_drop_trace;
         ] );
       ( "events",
         [

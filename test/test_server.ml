@@ -32,16 +32,23 @@ let temp_name prefix =
 let test_protocol_roundtrip () =
   let envs =
     [
-      { Protocol.id = None; deadline_ms = None; request = Protocol.Ping };
-      { Protocol.id = Some 7; deadline_ms = Some 250; request = Protocol.Stats };
+      { Protocol.id = None; deadline_ms = None; trace_id = None; request = Protocol.Ping };
+      {
+        Protocol.id = Some 7;
+        deadline_ms = Some 250;
+        trace_id = Some "req-7";
+        request = Protocol.Stats;
+      };
       {
         Protocol.id = Some 1;
         deadline_ms = None;
+        trace_id = None;
         request = Protocol.Insert { collection = "bib"; xml = "<a b=\"c\">x</a>" };
       };
       {
         Protocol.id = None;
         deadline_ms = Some 10;
+        trace_id = Some "0123456789abcdef";
         request =
           Protocol.Query
             {
@@ -54,11 +61,13 @@ let test_protocol_roundtrip () =
       {
         Protocol.id = Some 3;
         deadline_ms = None;
+        trace_id = None;
         request =
           Protocol.Explain
             { collection = "c"; tql = "MATCH #1:a SELECT #1"; mode = Executor.Toss };
       };
-      { Protocol.id = None; deadline_ms = None; request = Protocol.Shutdown };
+      { Protocol.id = None; deadline_ms = None; trace_id = None; request = Protocol.Shutdown };
+      { Protocol.id = None; deadline_ms = None; trace_id = None; request = Protocol.Metrics };
     ]
   in
   List.iter
@@ -91,11 +100,11 @@ let test_protocol_errors () =
 let test_response_roundtrip () =
   let responses =
     [
-      { Protocol.rid = Some 4; body = Ok (J.Obj [ ("pong", J.Bool true) ]) };
-      {
-        Protocol.rid = None;
-        body = Error (Protocol.error Protocol.Overloaded "queue full");
-      };
+      Protocol.response ~id:4 (Ok (J.Obj [ ("pong", J.Bool true) ]));
+      Protocol.response ~trace_id:"0123456789abcdef" ~server_ms:1.25
+        ~queue_ms:0.5
+        (Ok (J.Obj [ ("pong", J.Bool true) ]));
+      Protocol.response (Error (Protocol.error Protocol.Overloaded "queue full"));
     ]
   in
   List.iter
@@ -157,9 +166,9 @@ let test_pool_runs_jobs () =
   let count = ref 0 in
   for _ = 1 to 20 do
     match
-      Pool.submit pool (fun () ->
+      Pool.submit pool (fun ~queue_wait_s ->
           Mutex.lock lock;
-          incr count;
+          if queue_wait_s >= 0. then incr count;
           Mutex.unlock lock)
     with
     | Pool.Accepted -> ()
@@ -167,17 +176,19 @@ let test_pool_runs_jobs () =
   done;
   Pool.stop pool;
   checki "all accepted jobs ran before stop returned" 20 !count;
-  checkb "stopped pool refuses" true (Pool.submit pool ignore = Pool.Stopped)
+  checkb "stopped pool refuses" true
+    (Pool.submit pool (fun ~queue_wait_s:_ -> ()) = Pool.Stopped)
 
 let test_pool_sheds () =
   (* No domains, no queue: admission control is the whole story. *)
   let pool = Pool.create ~domains:0 ~max_queue:0 in
-  checkb "shed" true (Pool.submit pool ignore = Pool.Overloaded);
+  let noop ~queue_wait_s:_ = () in
+  checkb "shed" true (Pool.submit pool noop = Pool.Overloaded);
   Pool.stop pool;
   (* One slot, no domains: first queues, second sheds. *)
   let pool = Pool.create ~domains:0 ~max_queue:1 in
-  checkb "first queues" true (Pool.submit pool ignore = Pool.Accepted);
-  checkb "second sheds" true (Pool.submit pool ignore = Pool.Overloaded)
+  checkb "first queues" true (Pool.submit pool noop = Pool.Accepted);
+  checkb "second sheds" true (Pool.submit pool noop = Pool.Overloaded)
 
 (* ------------------------------------------------------------------ *)
 (* Engine                                                               *)
@@ -268,7 +279,7 @@ let test_engine_hydration () =
 (* Start an in-process server on a fresh socket; returns the socket
    path and a stop function that requests shutdown and joins. *)
 let start_server ?(domains = 3) ?(max_queue = 64) ?db_dir ?(cache_capacity = 256)
-    ?socket_path () =
+    ?socket_path ?access_log ?(trace_sample = 0) () =
   let socket_path =
     match socket_path with Some p -> p | None -> temp_name "toss_srv"
   in
@@ -279,6 +290,8 @@ let start_server ?(domains = 3) ?(max_queue = 64) ?db_dir ?(cache_capacity = 256
       max_queue;
       db_dir;
       cache_capacity;
+      access_log;
+      trace_sample;
     }
   in
   let ready = Mutex.create () in
@@ -588,6 +601,7 @@ let test_half_close_drains_responses () =
          {
            Protocol.id = Some i;
            deadline_ms = None;
+           trace_id = None;
            request = query_request ~cache:false tql;
          });
     output_char oc '\n'
@@ -600,8 +614,8 @@ let test_half_close_drains_responses () =
   (try
      for _ = 1 to n do
        match Protocol.parse_response (input_line ic) with
-       | Ok { Protocol.rid = Some i; body = Ok _ } -> Hashtbl.replace seen i ()
-       | Ok { Protocol.rid = _; body = Error e } ->
+       | Ok { Protocol.rid = Some i; body = Ok _; _ } -> Hashtbl.replace seen i ()
+       | Ok { Protocol.rid = _; body = Error e; _ } ->
            Alcotest.fail ("unexpected error: " ^ e.Protocol.message)
        | Ok { Protocol.rid = None; _ } -> Alcotest.fail "response without id"
        | Error msg -> Alcotest.fail msg
@@ -651,6 +665,187 @@ let test_server_hydration () =
   Client.close conn;
   stop ()
 
+(* ------------------------------------------------------------------ *)
+(* Request-scoped tracing                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_echo () =
+  let socket, stop = start_server () in
+  let conn = Result.get_ok (Client.connect ~socket) in
+  (* A client-supplied id comes back verbatim, with the server's own
+     timing attached — inline and pooled ops alike. *)
+  (match Client.call_response conn ~trace_id:"abc" Protocol.Ping with
+  | Ok r ->
+      checkb "inline op echoes the id" true (r.Protocol.rtrace_id = Some "abc");
+      checkb "inline op reports server_ms" true (r.Protocol.server_ms <> None)
+  | Error f -> Alcotest.fail (Client.failure_to_string f));
+  ignore (Client.call conn (Protocol.Insert { collection = "bib"; xml = paper 1 }));
+  (match Client.call_response conn ~trace_id:"q-1" (query_request ~cache:false tql) with
+  | Ok r ->
+      checkb "pooled op echoes the id" true (r.Protocol.rtrace_id = Some "q-1");
+      checkb "pooled op reports server_ms" true (r.Protocol.server_ms <> None);
+      checkb "pooled op reports queue_ms" true (r.Protocol.queue_ms <> None);
+      checkb "timings non-negative" true
+        (Option.get r.Protocol.server_ms >= 0. && Option.get r.Protocol.queue_ms >= 0.)
+  | Error f -> Alcotest.fail (Client.failure_to_string f));
+  (* No id supplied: the server generates a well-formed one. *)
+  (match Client.call_response conn Protocol.Ping with
+  | Ok r -> (
+      match r.Protocol.rtrace_id with
+      | Some id -> checkb "generated id is valid" true (Toss_obs.Trace.is_valid id)
+      | None -> Alcotest.fail "no trace id generated")
+  | Error f -> Alcotest.fail (Client.failure_to_string f));
+  (* A malformed id is a typed bad_request, not a copied-into-logs id. *)
+  (match Client.call_response conn ~trace_id:"has space" Protocol.Ping with
+  | Ok { Protocol.body = Error e; _ } ->
+      checks "invalid id rejected" "bad_request" (Protocol.code_name e.Protocol.code)
+  | Ok { Protocol.body = Ok _; _ } -> Alcotest.fail "expected bad_request"
+  | Error f -> Alcotest.fail (Client.failure_to_string f));
+  Client.close conn;
+  stop ()
+
+(* The regression the per-trace slow sink exists for: several domains
+   executing queries concurrently, every query slow-logged. Each record
+   must carry exactly one request's events — before the sink was keyed
+   by trace id, concurrent requests interleaved into garbage records. *)
+let test_multidomain_slow_capture () =
+  let lock = Mutex.create () in
+  let captured = ref [] in
+  Toss_obs.Event.clear_sinks ();
+  Toss_obs.Event.install
+    (Toss_obs.Event.slow_query ~threshold_s:0. ~write:(fun line ->
+         Mutex.lock lock;
+         captured := line :: !captured;
+         Mutex.unlock lock));
+  Fun.protect ~finally:Toss_obs.Event.clear_sinks @@ fun () ->
+  let socket, stop = start_server ~domains:4 () in
+  let conn = Result.get_ok (Client.connect ~socket) in
+  ignore (Client.call conn (Protocol.Insert { collection = "bib"; xml = paper 1 }));
+  Client.close conn;
+  let n_threads = 4 and per_thread = 6 in
+  let failures = Array.make n_threads None in
+  let threads =
+    Array.init n_threads (fun t ->
+        Thread.create
+          (fun () ->
+            match Client.connect ~socket with
+            | Error msg -> failures.(t) <- Some msg
+            | Ok conn ->
+                for j = 1 to per_thread do
+                  let trace_id = Printf.sprintf "t%d-%d" t j in
+                  match
+                    Client.call conn ~trace_id (query_request ~cache:false tql)
+                  with
+                  | Ok _ -> ()
+                  | Error f -> failures.(t) <- Some (Client.failure_to_string f)
+                done;
+                Client.close conn)
+          ())
+  in
+  Array.iter Thread.join threads;
+  stop ();
+  Array.iter (Option.iter Alcotest.fail) failures;
+  let records = List.map J.parse_exn !captured in
+  let expected =
+    List.concat_map
+      (fun t -> List.init per_thread (fun j -> Printf.sprintf "t%d-%d" t (j + 1)))
+      (List.init n_threads Fun.id)
+    |> List.sort compare
+  in
+  let record_id r =
+    match Option.bind (J.member "trace_id" r) J.to_str with
+    | Some id -> id
+    | None -> Alcotest.fail "slow record without trace_id"
+  in
+  Alcotest.(check (list string))
+    "one record per query, keyed by its trace id" expected
+    (List.sort compare (List.map record_id records));
+  List.iter
+    (fun r ->
+      let id = record_id r in
+      let events = Option.get (Option.bind (J.member "events" r) J.to_list) in
+      checkb "record has events" true (events <> []);
+      List.iter
+        (fun e ->
+          checkb "every event belongs to the record's request" true
+            (Option.bind (J.member "trace_id" e) J.to_str = Some id))
+        events;
+      let kinds =
+        List.map
+          (fun e -> Option.get (Option.bind (J.member "kind" e) J.to_str))
+          events
+      in
+      checks "stream starts the query" "query_start" (List.hd kinds);
+      checks "stream ends the query" "query_end"
+        (List.nth kinds (List.length kinds - 1));
+      (* The span tree on query_end is complete and stamped throughout:
+         no frames from a concurrent request leaked in. *)
+      let last = List.nth events (List.length events - 1) in
+      let trace = Option.get (J.member "trace" last) in
+      checkb "root span is the select" true
+        (Option.bind (J.member "name" trace) J.to_str = Some "executor.select");
+      let rec check_span sp =
+        (match Option.bind (J.member "meta" sp) (J.member "trace_id") with
+        | Some tid -> checkb "span stamped with the record's id" true (J.to_str tid = Some id)
+        | None -> Alcotest.fail "span frame without trace_id");
+        match Option.bind (J.member "children" sp) J.to_list with
+        | Some children -> List.iter check_span children
+        | None -> ()
+      in
+      check_span trace)
+    records
+
+let test_access_log () =
+  let log_path = temp_name "toss_access" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists log_path then Sys.remove log_path)
+  @@ fun () ->
+  let socket, stop = start_server ~access_log:log_path ~trace_sample:1 () in
+  let conn = Result.get_ok (Client.connect ~socket) in
+  ignore (Client.call conn ~trace_id:"alog-i" (Protocol.Insert { collection = "bib"; xml = paper 1 }));
+  ignore (Client.call conn ~trace_id:"alog-q" (query_request ~cache:false tql));
+  ignore (Client.call conn Protocol.Ping);
+  Client.close conn;
+  stop ();
+  let ic = open_in log_path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  (* insert + query + ping + the shutdown that stopped the server. *)
+  let records = List.rev_map J.parse_exn !lines in
+  checki "one record per request" 4 (List.length records);
+  let str name r = Option.bind (J.member name r) J.to_str in
+  let num name r = Option.bind (J.member name r) J.to_num in
+  List.iter
+    (fun r ->
+      checkb "ts present" true (num "ts" r <> None);
+      checkb "trace_id present" true (str "trace_id" r <> None);
+      checkb "op present" true (str "op" r <> None);
+      checks "status ok" "ok" (Option.get (str "status" r));
+      checkb "exec seconds non-negative" true (Option.get (num "exec_s" r) >= 0.);
+      checkb "domain recorded" true (num "domain" r <> None))
+    records;
+  let find_op op =
+    match List.find_opt (fun r -> str "op" r = Some op) records with
+    | Some r -> r
+    | None -> Alcotest.failf "no %s record in the access log" op
+  in
+  let q = find_op "query" in
+  checkb "query keeps the client's id" true (str "trace_id" q = Some "alog-q");
+  checkb "collection recorded" true (str "collection" q = Some "bib");
+  checkb "cache status recorded" true (str "cache" q = Some "miss");
+  checkb "version recorded" true
+    (Option.bind (J.member "version" q) J.to_int = Some 1);
+  checkb "queue wait recorded" true (Option.get (num "queue_s" q) >= 0.);
+  (* trace_sample:1 records the span tree for every pooled request. *)
+  checkb "sampled span tree present" true (J.member "trace" q <> None);
+  let i = find_op "insert" in
+  checkb "insert keeps the client's id" true (str "trace_id" i = Some "alog-i");
+  let p = find_op "ping" in
+  checkb "inline op gets a generated id" true (str "trace_id" p <> None)
+
 let () =
   Alcotest.run "toss_server"
     [
@@ -698,5 +893,12 @@ let () =
           Alcotest.test_case "half-close drains responses" `Quick
             test_half_close_drains_responses;
           Alcotest.test_case "socket claiming" `Quick test_socket_claiming;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "trace id echo and timing" `Quick test_trace_echo;
+          Alcotest.test_case "multi-domain slow capture" `Quick
+            test_multidomain_slow_capture;
+          Alcotest.test_case "access log" `Quick test_access_log;
         ] );
     ]
