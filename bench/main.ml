@@ -5,8 +5,8 @@
      dune exec bench/main.exe -- fig15a fig16c  -- run a subset
 
    Experiments: fig15a fig15b fig15c fig16a fig16b fig16c
-                abl-sea abl-fuse abl-idx abl-plan serve-cache
-                serve-parallel micro
+                abl-sea abl-fuse abl-idx abl-plan abl-compile
+                serve-cache serve-parallel micro
 
    Absolute times differ from the paper (their substrate was Xindice on a
    1.4 GHz Windows 2000 PC); the shapes -- who wins, by what factor, and
@@ -509,6 +509,47 @@ let abl_plan () =
     "\nthe gap widens with size: the nested loop evaluates the cross-condition\n\
      on every left x right pair, the hash pairing only on key matches\n"
 
+let abl_compile () =
+  B.print_header
+    "Ablation: compiled single-pass matcher vs interpreted scan/prune/embed";
+  let pattern, sl = Workload.scalability_selection () in
+  let rows =
+    List.map
+      (fun n_papers ->
+        let corpus = Corpus.generate ~seed:81 ~n_papers () in
+        let rendered = Dblp_gen.render ~seed:81 corpus in
+        let coll = collection_of_tree "dblp" rendered.Dblp_gen.tree in
+        let seo =
+          seo_of_docs ~content_tags:[ "booktitle" ] ~eps:2.0
+            [ Doc.of_tree rendered.Dblp_gen.tree ]
+        in
+        let time_of compile =
+          let (results, _), t =
+            B.time_median ~runs:5 (fun () ->
+                Executor.select ~mode:Executor.Toss ~compile seo coll ~pattern ~sl)
+          in
+          (List.length results, t)
+        in
+        let n_i, interp = time_of false in
+        let n_c, compiled = time_of true in
+        assert (n_i = n_c);
+        (n_papers, n_c, interp, compiled))
+      [ 500; 1000; 2000 ]
+  in
+  emit "abl-compile"
+    ~columns:[ "papers"; "results"; "interpreted (s)"; "compiled (s)"; "speedup" ]
+    (List.map
+       (fun (n, res, interp, compiled) ->
+         [
+           string_of_int n; string_of_int res; B.fs interp; B.fs compiled;
+           B.f2 (interp /. compiled);
+         ])
+       rows);
+  Printf.printf
+    "\nsame answers by construction (the differential harness holds both\n\
+     paths to the oracle); the compiled matcher skips the store scans and\n\
+     per-document pruning and decides every pattern node in one arena pass\n"
+
 let abl_idx () =
   B.print_header "Ablation: store value indexes on vs off (Figure 16(a) query)";
   let pattern, sl = Workload.scalability_selection () in
@@ -794,17 +835,18 @@ let micro () =
 
 (* A small, fast, deterministic suite over the same kernels as [micro],
    measured as wall-clock medians so runs are comparable across commits.
-   [--quick] records its medians as the baseline artifact (BENCH_5.json
+   [--quick] records its medians as the baseline artifact (BENCH_6.json
    at the repo root); [--check] re-measures and fails the process when
    any median regressed beyond the tolerance. Older baselines are kept
    so earlier refactors can still be gated against: BENCH_2.json is
-   pre-planner, BENCH_3.json pre-server, BENCH_4.json pre-MVCC (the
-   gate only iterates baseline entries, so kernels newer than a
-   baseline are ignored when checking against it). *)
+   pre-planner, BENCH_3.json pre-server, BENCH_4.json pre-MVCC,
+   BENCH_5.json pre-compilation (the gate only iterates baseline
+   entries, so kernels newer than a baseline are ignored when checking
+   against it). *)
 module Baseline = Toss_eval.Baseline
 
 let baseline_label = "toss-perf-suite"
-let default_baseline_path = "BENCH_5.json"
+let default_baseline_path = "BENCH_6.json"
 
 let perf_suite ~slowdown () =
   B.print_header "Perf suite (wall-clock medians for the regression gate)";
@@ -837,6 +879,17 @@ let perf_suite ~slowdown () =
       [ Doc.of_tree eqd.Dblp_gen.tree ]
   in
   let eq_pattern, eq_sl = title_self_join () in
+  (* Matcher kernels: the five-label scalability query over a larger
+     corpus, one SEO shared by both paths so the medians isolate the
+     single-pass compiled matcher against the interpreted
+     scan/prune/embed pipeline. *)
+  let mc = Corpus.generate ~seed:81 ~n_papers:400 () in
+  let md = Dblp_gen.render ~seed:81 mc in
+  let m_coll = collection_of_tree "dblp" md.Dblp_gen.tree in
+  let m_seo =
+    seo_of_docs ~content_tags:[ "booktitle" ] ~eps:2.0
+      [ Doc.of_tree md.Dblp_gen.tree ]
+  in
   let sea_h = Lexicon.isa_hierarchy (Lexicon.synthetic ~seed:9 ~n_terms:200) in
   let srv = serve_engine ~seed:91 ~n_papers:100 in
   (* 11 runs: the sub-millisecond kernels need the extra samples for the
@@ -868,6 +921,14 @@ let perf_suite ~slowdown () =
           ignore
             (Executor.join ~mode:Executor.Tax ~planner:false eq_seo eq_coll
                eq_coll ~pattern:eq_pattern ~sl:eq_sl));
+      ("match-compiled", fun () ->
+          ignore
+            (Executor.select ~mode:Executor.Toss m_seo m_coll ~pattern:sel_pattern
+               ~sl:sel_sl));
+      ("match-interpreted", fun () ->
+          ignore
+            (Executor.select ~mode:Executor.Toss ~compile:false m_seo m_coll
+               ~pattern:sel_pattern ~sl:sel_sl));
       ("xpath-eval", fun () ->
           ignore (Collection.Snapshot.eval_string coll "//inproceedings[booktitle='VLDB']/author"));
       ("sea-enhance", fun () ->
@@ -908,7 +969,7 @@ let perf_suite ~slowdown () =
   in
   Baseline.v ~label:baseline_label entries
 
-(* [--quick]: run the suite and record BENCH_3.json (or --out FILE).
+(* [--quick]: run the suite and record BENCH_6.json (or --out FILE).
    [--quick --check]: run the suite, save the current measurements to
    bench_results/ (never clobbering the committed baseline), and exit
    non-zero when the gate fails. [--slowdown F] multiplies the measured
@@ -965,6 +1026,7 @@ let experiments =
     ("abl-fuse", abl_fuse);
     ("abl-idx", abl_idx);
     ("abl-plan", abl_plan);
+    ("abl-compile", abl_compile);
     ("serve-cache", serve_cache);
     ("serve-parallel", serve_parallel);
     ("micro", micro);
@@ -973,7 +1035,7 @@ let experiments =
 let usage () =
   Printf.eprintf
     "usage: bench [EXPERIMENT...]\n\
-    \       bench --quick [--out FILE]                 record BENCH_5.json\n\
+    \       bench --quick [--out FILE]                 record BENCH_6.json\n\
     \       bench --quick --check [--baseline FILE]    gate against a baseline\n\
     \            [--tolerance X] [--slowdown F] [--out FILE]\n\
      experiments: %s\n"

@@ -225,8 +225,8 @@ let print_trace oc (stats : Executor.stats) =
   print_phase_table oc stats;
   Printf.fprintf oc "trace:\n%s" (Toss_obs.Span.to_string stats.Executor.trace)
 
-let query files query mode eps show_xpath explain no_planner trace show_stats
-    explain_analyze analyze_json profile slow_ms =
+let query files query mode eps show_xpath explain no_planner no_compile trace
+    show_stats explain_analyze analyze_json profile slow_ms =
   (* EXPLAIN ANALYZE implies tracing: the analyzed plan is the span tree
      with its per-operator actuals (and allocation deltas). *)
   if trace || explain_analyze || analyze_json <> None then
@@ -273,7 +273,7 @@ let query files query mode eps show_xpath explain no_planner trace show_stats
                  statistics only) and show it without executing. *)
               let plan =
                 Toss_core.Planner.plan_select ~mode ~optimize:(not no_planner)
-                  seo coll ~pattern:q.Tql.pattern ~sl
+                  ~compile:(not no_compile) seo coll ~pattern:q.Tql.pattern ~sl
               in
               let e =
                 Toss_core.Explain.with_plan
@@ -296,8 +296,8 @@ let query files query mode eps show_xpath explain no_planner trace show_stats
               List.iter (fun t -> print_string (Printer.to_pretty_string t)) results
           | Tql.Select sl ->
               let results, stats =
-                Executor.select ~mode ~planner:(not no_planner) seo coll
-                  ~pattern:q.Tql.pattern ~sl
+                Executor.select ~mode ~planner:(not no_planner)
+                  ~compile:(not no_compile) seo coll ~pattern:q.Tql.pattern ~sl
               in
               Printf.printf "%d result(s) in %.4fs\n" (List.length results)
                 (Executor.total_s stats.Executor.phases);
@@ -356,6 +356,13 @@ let query_cmd =
                  no candidate-document pruning, nested-loop pairing. \
                  Results are identical; only the work differs.")
   in
+  let no_compile =
+    Arg.(value & flag & info [ "no-compile" ]
+           ~doc:"Disable pattern compilation: run the interpreted \
+                 scan/prune/embed pipeline instead of the single-pass \
+                 compiled matcher. Results are identical; only the work \
+                 differs.")
+  in
   let trace =
     Arg.(value & flag & info [ "trace" ]
            ~doc:"Print the per-phase breakdown and the nested execution \
@@ -395,7 +402,7 @@ let query_cmd =
        ~doc:"Run a TQL pattern-tree query over one or more documents.")
     Term.(ret
             (const query $ files $ q $ mode $ eps $ show_xpath $ explain
-             $ no_planner $ trace $ show_stats $ explain_analyze
+             $ no_planner $ no_compile $ trace $ show_stats $ explain_analyze
              $ analyze_json $ profile $ slow_ms))
 
 (* ----------------------------- stats ------------------------------ *)
@@ -747,9 +754,10 @@ let check_cmd =
   let fault =
     Arg.(value & opt string "none"
          & info [ "inject-fault" ] ~docv:"FAULT"
-             ~doc:"Inject a known planner fault (hash-no-recheck, \
-                   prune-first-only, no-dedup) to exercise the harness; it \
-                   must be caught and shrunk.")
+             ~doc:"Inject a known engine fault (hash-no-recheck, \
+                   prune-first-only, no-dedup, \
+                   compile-skip-descendant-edge) to exercise the harness; \
+                   it must be caught and shrunk.")
   in
   let repro_out =
     Arg.(value & opt (some string) None

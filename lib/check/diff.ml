@@ -5,18 +5,23 @@ module Condition = Toss_tax.Condition
 module Executor = Toss_core.Executor
 module Toss_condition = Toss_core.Toss_condition
 
-type config = { planner : bool; use_index : bool }
+type config = { compile : bool; planner : bool; use_index : bool }
 
 let configs =
   [
-    { planner = true; use_index = true };
-    { planner = true; use_index = false };
-    { planner = false; use_index = true };
-    { planner = false; use_index = false };
+    { compile = true; planner = true; use_index = true };
+    { compile = true; planner = true; use_index = false };
+    { compile = true; planner = false; use_index = true };
+    { compile = true; planner = false; use_index = false };
+    { compile = false; planner = true; use_index = true };
+    { compile = false; planner = true; use_index = false };
+    { compile = false; planner = false; use_index = true };
+    { compile = false; planner = false; use_index = false };
   ]
 
 let config_name c =
-  Printf.sprintf "planner=%s index=%s"
+  Printf.sprintf "compile=%s planner=%s index=%s"
+    (if c.compile then "on" else "off")
     (if c.planner then "on" else "off")
     (if c.use_index then "on" else "off")
 
@@ -67,7 +72,8 @@ let check_case (case : Gen.case) =
           (fun config ->
             let results, stats =
               Executor.select ~mode ~planner:config.planner
-                ~use_index:config.use_index seo coll ~pattern ~sl
+                ~compile:config.compile ~use_index:config.use_index seo coll
+                ~pattern ~sl
             in
             let got = canonical results in
             if not (equal_multiset expected got) then
@@ -86,7 +92,8 @@ let check_case (case : Gen.case) =
           (fun config ->
             let results, _ =
               Executor.join ~mode ~planner:config.planner
-                ~use_index:config.use_index seo coll rcoll ~pattern ~sl
+                ~compile:config.compile ~use_index:config.use_index seo coll
+                rcoll ~pattern ~sl
             in
             let got = canonical results in
             if not (equal_multiset expected got) then

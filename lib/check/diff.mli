@@ -1,16 +1,21 @@
 (** One case, every engine configuration, against the oracle.
 
-    A case passes when, for both semantics (TAX and TOSS) and all four
-    engine configurations (planner on/off × value index on/off — which
-    also covers hash vs nested-loop pairing for joins), the executor's
-    results equal the oracle's as canonicalized witness-tree multisets,
-    and (for selections) the executor's [n_embeddings] funnel stat equals
-    the oracle's count of condition-satisfying embeddings. *)
+    A case passes when, for both semantics (TAX and TOSS) and all eight
+    engine configurations (compiled matcher on/off × planner on/off ×
+    value index on/off — which also covers hash vs nested-loop pairing
+    for joins), the executor's results equal the oracle's as
+    canonicalized witness-tree multisets, and (for selections) the
+    executor's [n_embeddings] funnel stat equals the oracle's count of
+    condition-satisfying embeddings. Because the compiled axis runs the
+    same cases through both the arena matcher and the interpreted
+    scan/prune/embed pipeline, the interpreter serves as a second,
+    in-engine reference alongside the naive oracle. *)
 
-type config = { planner : bool; use_index : bool }
+type config = { compile : bool; planner : bool; use_index : bool }
 
 val configs : config list
-(** The four planner/index combinations, most-optimized first. *)
+(** The eight compile/planner/index combinations, most-optimized
+    first. *)
 
 val config_name : config -> string
 

@@ -14,9 +14,17 @@ let fault_of_string = function
   | "hash-no-recheck" -> Some Plan.Hash_no_recheck
   | "prune-first-only" -> Some Plan.Prune_first_only
   | "no-dedup" -> Some Plan.No_dedup
+  | "compile-skip-descendant-edge" -> Some Plan.Compile_skip_descendant_edge
   | _ -> None
 
-let fault_names = [ "none"; "hash-no-recheck"; "prune-first-only"; "no-dedup" ]
+let fault_names =
+  [
+    "none";
+    "hash-no-recheck";
+    "prune-first-only";
+    "no-dedup";
+    "compile-skip-descendant-edge";
+  ]
 
 let doc_count (case : Gen.case) =
   List.length case.Gen.docs + List.length case.Gen.right_docs

@@ -123,7 +123,7 @@ let finish ~op ~plan (results, (exec : Plan.exec_stats)) trace =
     } )
 
 let select ?(mode = Toss) ?(use_index = true) ?max_expansion ?(planner = true)
-    ?check seo collection ~pattern ~sl =
+    ?(compile = true) ?check seo collection ~pattern ~sl =
   Metrics.incr m_selects;
   event_query_start ~op:"select" ~mode collection;
   let eval = evaluator_of mode seo in
@@ -132,7 +132,7 @@ let select ?(mode = Toss) ?(use_index = true) ?max_expansion ?(planner = true)
         let plan =
           Span.with_ Names.rewrite (fun () ->
               Planner.plan_select ~mode ~use_index ?max_expansion
-                ~optimize:planner seo collection ~pattern ~sl)
+                ~optimize:planner ~compile seo collection ~pattern ~sl)
         in
         event_rewrite_done ~op:"select" (Plan.label_queries plan);
         (plan, Plan.run ?check ~use_index ~eval ~coll_of:(fun _ -> collection) plan))
@@ -140,7 +140,7 @@ let select ?(mode = Toss) ?(use_index = true) ?max_expansion ?(planner = true)
   finish ~op:"select" ~plan outcome trace
 
 let join ?(mode = Toss) ?(use_index = true) ?max_expansion ?(planner = true)
-    ?check seo left_coll right_coll ~pattern ~sl =
+    ?(compile = true) ?check seo left_coll right_coll ~pattern ~sl =
   Metrics.incr m_joins;
   event_query_start ~op:"join" ~mode left_coll;
   let eval = evaluator_of mode seo in
@@ -153,7 +153,7 @@ let join ?(mode = Toss) ?(use_index = true) ?max_expansion ?(planner = true)
         let plan =
           Span.with_ Names.rewrite (fun () ->
               Planner.plan_join ~mode ~use_index ?max_expansion ~optimize:planner
-                seo left_coll right_coll ~pattern ~sl)
+                ~compile seo left_coll right_coll ~pattern ~sl)
         in
         event_rewrite_done ~op:"join" (Plan.label_queries plan);
         (plan, Plan.run ?check ~use_index ~eval ~coll_of plan))

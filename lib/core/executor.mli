@@ -17,7 +17,17 @@
     a deliberately naive plan — rewrite-order scans, no pruning,
     nested-loop pairing — which is the pre-planner execution strategy
     and the CLI's [--no-planner]; results are identical either way, only
-    the work to produce them changes. *)
+    the work to produce them changes.
+
+    By default ([compile:true]) the plan's matching side is a
+    {!Plan.Compiled_match} leaf: the pattern is compiled once into a
+    single-pass arena matcher ({!Compile}) and no XPath scans are
+    issued, so phase (ii) is empty and phase (iii) holds one [match]
+    span per document. [compile:false] — the CLI's [--no-compile] —
+    keeps the interpreted scan/prune/embed pipeline, which doubles as
+    the in-engine reference implementation the differential harness
+    ([toss check]) compares witness-for-witness against the compiled
+    matcher. Results are identical either way. *)
 
 type mode = Rewrite.mode = Tax | Toss
 
@@ -45,7 +55,10 @@ type stats = {
           span per surviving document (annotated with the enumeration
           funnel) and, for joins, a [pair] span (annotated with the
           [strategy] and pair counts) — the operators EXPLAIN ANALYZE
-          renders. Allocation deltas are populated when
+          renders. Compiled runs (the default) issue no scans: [execute]
+          is empty and [assemble] holds one [match] span per document
+          (annotated [nodes]/[structural]/[matches]) instead of
+          [prune]/[embed]. Allocation deltas are populated when
           [Toss_obs.Span.set_enabled true] was called beforehand.
 
           When a [Toss_obs.Event] sink is installed, a run additionally
@@ -63,6 +76,7 @@ val select :
   ?use_index:bool ->
   ?max_expansion:int ->
   ?planner:bool ->
+  ?compile:bool ->
   ?check:(unit -> unit) ->
   Seo.t ->
   Toss_store.Collection.Snapshot.t ->
@@ -77,16 +91,19 @@ val select :
     safe to run on any domain (its observability side effects go to the
     domain-safe {!Toss_obs} registry and the calling domain's span
     context). [planner] (default true) enables cost-based scan ordering
-    and candidate-doc pruning. [check] is forwarded to {!Plan.run} as
-    its cooperative cancellation checkpoint (the query server's
-    per-request deadline); whatever it raises propagates out of this
-    call. *)
+    and candidate-doc pruning; [compile] (default true) runs the
+    compiled single-pass matcher instead of the interpreted pipeline.
+    [check] is forwarded to {!Plan.run} as its cooperative cancellation
+    checkpoint (the query server's per-request deadline — under a
+    compiled plan it fires once per arena node); whatever it raises
+    propagates out of this call. *)
 
 val join :
   ?mode:mode ->
   ?use_index:bool ->
   ?max_expansion:int ->
   ?planner:bool ->
+  ?compile:bool ->
   ?check:(unit -> unit) ->
   Seo.t ->
   Toss_store.Collection.Snapshot.t ->

@@ -40,6 +40,7 @@ type node =
       right : node;
     }
   | Dedup of node
+  | Compiled_match of { spec : embed_spec; matcher : Compile.t }
 
 type t = { mode : Rewrite.mode; root : node }
 
@@ -53,6 +54,7 @@ let rec node_scans = function
   | Doc_prune { input; _ } | Embed { input; _ } | Dedup input -> node_scans input
   | Nested_loop_pair { left; right; _ } | Hash_pair { left; right; _ } ->
       node_scans left @ node_scans right
+  | Compiled_match _ -> []
 
 let scans t = node_scans t.root
 let label_queries t = List.map (fun s -> (s.scan_label, s.xpath)) (scans t)
@@ -110,6 +112,21 @@ let to_string t =
     | Dedup input ->
         line indent "dedup";
         render (indent + 2) input
+    | Compiled_match { spec; matcher } ->
+        line indent "compiled-match%s states=%d sl=[%s]%s" (side_suffix spec.side)
+          (Compile.n_states matcher) (labels_str spec.sub_sl)
+          (if spec.pin_root then " pin-root" else "");
+        List.iter
+          (fun (info : Compile.state_info) ->
+            line (indent + 2) "state #%d %s: %s" info.Compile.state_label
+              (match info.Compile.state_parent with
+              | None -> "(root)"
+              | Some (parent, Pattern.Pc) -> Printf.sprintf "(pc of #%d)" parent
+              | Some (parent, Pattern.Ad) -> Printf.sprintf "(ad of #%d)" parent)
+              (match info.Compile.state_pred with
+              | [] -> "true"
+              | preds -> String.concat "; " preds))
+          (Compile.describe matcher)
   in
   line 0 "plan mode=%s" (match t.mode with Rewrite.Tax -> "tax" | Rewrite.Toss -> "toss");
   render 0 t.root;
@@ -131,7 +148,12 @@ let m_pruned = Metrics.histogram "plan.docs.pruned"
    variant disables one invariant the operators rely on, so `toss check
    --inject-fault` can prove the oracle actually detects a broken
    interpreter. Never set outside tests. *)
-type fault = No_fault | Hash_no_recheck | Prune_first_only | No_dedup
+type fault =
+  | No_fault
+  | Hash_no_recheck
+  | Prune_first_only
+  | No_dedup
+  | Compile_skip_descendant_edge
 
 let fault = ref No_fault
 
@@ -193,7 +215,7 @@ let expect_bindings = function
 
 let rec candidate_filters = function
   | Candidate_filter { side; scans } -> [ (side, List.map scan_of scans) ]
-  | Label_scan _ -> []
+  | Label_scan _ | Compiled_match _ -> []
   | Doc_prune { input; _ } | Embed { input; _ } | Dedup input ->
       candidate_filters input
   | Nested_loop_pair { left; right; _ } | Hash_pair { left; right; _ } ->
@@ -244,7 +266,11 @@ let run ?(check = ignore) ?(use_index = true) ~eval ~coll_of plan =
             (side, fetch_side ~check ~use_index (coll_of side) scans))
           (candidate_filters plan.root))
   in
-  let n_candidates = List.fold_left (fun acc (_, (_, n)) -> acc + n) 0 fetched in
+  (* Scans report fetched candidate nodes; compiled matchers report
+     arena nodes visited — both feed the same funnel statistic. *)
+  let n_candidates =
+    ref (List.fold_left (fun acc (_, (_, n)) -> acc + n) 0 fetched)
+  in
   let lookup side doc_id label =
     match List.assoc_opt side fetched with
     | None -> Some []
@@ -463,6 +489,77 @@ let run ?(check = ignore) ?(use_index = true) ~eval ~coll_of plan =
         match exec_node input with
         | Trees ts -> Trees (dedup ts)
         | v -> v)
+    | Compiled_match { spec; matcher } -> (
+        let coll = coll_of spec.side in
+        let ids = Collection.Snapshot.doc_ids coll in
+        let skip_descendant = !fault = Compile_skip_descendant_edge in
+        (* One [match] span per document; [check] fires inside the
+           matcher's arena loop (once per node), so a deadline unwinds a
+           compiled match mid-arena. *)
+        let match_doc ~meta doc_id =
+          Span.with_ ~meta Names.matcher (fun () ->
+              let doc = Collection.Snapshot.doc coll doc_id in
+              let bindings, (dstats : Compile.doc_stats) =
+                Compile.run_doc ~check ~pin_root:spec.pin_root ~skip_descendant
+                  matcher doc
+              in
+              n_candidates := !n_candidates + dstats.Compile.nodes_visited;
+              n_embeddings := !n_embeddings + dstats.Compile.n_matches;
+              Span.annotate
+                [
+                  ("nodes", string_of_int dstats.Compile.nodes_visited);
+                  ("structural", string_of_int dstats.Compile.structural);
+                  ("matches", string_of_int dstats.Compile.n_matches);
+                ];
+              (bindings, dstats, doc))
+        in
+        match spec.side with
+        | Single ->
+            Trees
+              (List.concat_map
+                 (fun doc_id ->
+                   let bindings, dstats, doc =
+                     match_doc ~meta:[ ("doc", string_of_int doc_id) ] doc_id
+                   in
+                   let witnesses =
+                     dedup
+                       (List.map
+                          (fun b -> Witness.of_binding doc b ~sl:spec.sub_sl)
+                          bindings)
+                   in
+                   (if Event.active () then
+                      Event.emit Event.Embed_done
+                        ~payload:
+                          [
+                            ("doc", Event.Int doc_id);
+                            ("nodes", Event.Int dstats.Compile.nodes_visited);
+                            ("embeddings", Event.Int dstats.Compile.n_matches);
+                            ("witnesses", Event.Int (List.length witnesses));
+                          ]);
+                   witnesses)
+                 ids)
+        | Left | Right ->
+            let name = side_name spec.side in
+            Bindings
+              ( spec,
+                List.concat_map
+                  (fun doc_id ->
+                    let bindings, dstats, doc =
+                      match_doc
+                        ~meta:[ ("side", name); ("doc", string_of_int doc_id) ]
+                        doc_id
+                    in
+                    (if Event.active () then
+                       Event.emit Event.Embed_done
+                         ~payload:
+                           [
+                             ("side", Event.Str name);
+                             ("doc", Event.Int doc_id);
+                             ("nodes", Event.Int dstats.Compile.nodes_visited);
+                             ("embeddings", Event.Int dstats.Compile.n_matches);
+                           ]);
+                    List.map (fun b -> (doc, b)) bindings)
+                  ids ))
   in
   let results =
     Span.with_ Names.assemble (fun () ->
@@ -470,4 +567,4 @@ let run ?(check = ignore) ?(use_index = true) ~eval ~coll_of plan =
         | Trees ts -> ts
         | _ -> invalid_arg "Plan.run: plan does not produce result trees")
   in
-  (results, { n_candidates; n_embeddings = !n_embeddings })
+  (results, { n_candidates = !n_candidates; n_embeddings = !n_embeddings })

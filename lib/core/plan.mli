@@ -69,6 +69,13 @@ type node =
       right : node;
     }
   | Dedup of node
+  | Compiled_match of { spec : embed_spec; matcher : Compile.t }
+      (** the compiled single-pass matcher ({!Compile}): no scans, no
+          pruning — every document of the side's snapshot is matched in
+          one arena pass, predicates evaluated inline. Produces witness
+          trees directly for [Single] sides and bindings for join
+          sides, exactly as [Embed] does, so the pairing operators are
+          shared between the compiled and interpreted pipelines. *)
 
 type t = { mode : Rewrite.mode; root : node }
 
@@ -105,6 +112,11 @@ type fault =
   | Prune_first_only
       (** [Doc_prune] keeps only the first surviving document *)
   | No_dedup  (** both deduplication sites pass duplicates through *)
+  | Compile_skip_descendant_edge
+      (** [Compiled_match] stops bubbling ancestor-descendant matches up
+          the arena, silently demoting every ad edge to pc semantics —
+          matches deeper than one level under their pattern parent's
+          image are dropped *)
 
 val fault : fault ref
 
@@ -122,13 +134,17 @@ val run :
     mid-flight. One [execute] span containing an [xpath] span
     (and [Xpath_exec] event) per scan, then one [assemble] span
     containing the [prune], per-document [embed] and (for joins) [pair]
-    spans. Must be called inside an executor root span for the trace to
-    be observable; works standalone too (spans become no-ops).
+    spans; compiled plans have no scans (the [execute] span is empty)
+    and one per-document [match] span under [assemble] instead of
+    [prune]/[embed]. Must be called inside an executor root span for
+    the trace to be observable; works standalone too (spans become
+    no-ops).
 
     [check] is a cooperative cancellation checkpoint, called before
     every label scan, every per-document embedding enumeration, and
     every outer pairing iteration — the interpreter's unit-of-work
-    boundaries. It does nothing by default; the query server passes one
+    boundaries — and, for compiled plans, once per arena node inside
+    the matcher's loop. It does nothing by default; the query server passes one
     that raises once the request's deadline has passed, which unwinds
     the interpreter mid-plan (no partial results escape: the exception
     propagates through {!Executor}). Checkpoint granularity bounds how

@@ -4,6 +4,7 @@ module Collection = Toss_store.Collection
 module Metrics = Toss_obs.Metrics
 
 let m_plans = Metrics.counter "planner.plans"
+let m_compiled = Metrics.counter "planner.plans.compiled"
 let m_hash_joins = Metrics.counter "planner.joins.hash"
 let m_nested_joins = Metrics.counter "planner.joins.nested_loop"
 
@@ -41,17 +42,23 @@ let filter_of ~optimize ~use_index coll ~side ~required queries =
   if optimize then Plan.Doc_prune { required; input = filter } else filter
 
 let plan_select ?(mode = Rewrite.Toss) ?(use_index = true) ?max_expansion
-    ?(optimize = true) seo coll ~pattern ~sl =
+    ?(optimize = true) ?(compile = true) seo coll ~pattern ~sl =
   Metrics.incr m_plans;
-  let queries = Rewrite.label_queries ~mode ?max_expansion seo pattern in
-  let input =
-    filter_of ~optimize ~use_index coll ~side:Plan.Single
-      ~required:(Pattern.labels pattern) queries
-  in
   let spec =
     { Plan.side = Plan.Single; sub_pattern = pattern; sub_sl = sl; pin_root = false }
   in
-  { Plan.mode; root = Plan.Embed { spec; input } }
+  if compile then begin
+    Metrics.incr m_compiled;
+    let matcher = Compile.build ~mode seo pattern in
+    { Plan.mode; root = Plan.Compiled_match { spec; matcher } }
+  end
+  else
+    let queries = Rewrite.label_queries ~mode ?max_expansion seo pattern in
+    let input =
+      filter_of ~optimize ~use_index coll ~side:Plan.Single
+        ~required:(Pattern.labels pattern) queries
+    in
+    { Plan.mode; root = Plan.Embed { spec; input } }
 
 (* The sub-pattern rooted at a child of the join pattern's root, with the
    original condition restricted to the conjuncts local to that side. *)
@@ -106,8 +113,9 @@ let hash_keys ~left_labels ~right_labels cross_condition =
     (top_conjuncts cross_condition)
 
 let plan_join ?(mode = Rewrite.Toss) ?(use_index = true) ?max_expansion
-    ?(optimize = true) seo left_coll right_coll ~pattern ~sl =
+    ?(optimize = true) ?(compile = true) seo left_coll right_coll ~pattern ~sl =
   Metrics.incr m_plans;
+  if compile then Metrics.incr m_compiled;
   let root = pattern.Pattern.root in
   let (left_kind, left_child), (right_kind, right_child) =
     match root.Pattern.children with
@@ -117,11 +125,6 @@ let plan_join ?(mode = Rewrite.Toss) ?(use_index = true) ?max_expansion
   let left_pattern, left_labels = side_pattern pattern left_child in
   let right_pattern, right_labels = side_pattern pattern right_child in
   let branch side coll kind sub_pattern labels =
-    let queries = Rewrite.label_queries ~mode ?max_expansion seo sub_pattern in
-    let input =
-      filter_of ~optimize ~use_index coll ~side
-        ~required:(Pattern.labels sub_pattern) queries
-    in
     let spec =
       {
         Plan.side;
@@ -130,7 +133,15 @@ let plan_join ?(mode = Rewrite.Toss) ?(use_index = true) ?max_expansion
         pin_root = kind = Pattern.Pc;
       }
     in
-    Plan.Embed { spec; input }
+    if compile then
+      Plan.Compiled_match { spec; matcher = Compile.build ~mode seo sub_pattern }
+    else
+      let queries = Rewrite.label_queries ~mode ?max_expansion seo sub_pattern in
+      let input =
+        filter_of ~optimize ~use_index coll ~side
+          ~required:(Pattern.labels sub_pattern) queries
+      in
+      Plan.Embed { spec; input }
   in
   let left = branch Plan.Left left_coll left_kind left_pattern left_labels in
   let right = branch Plan.Right right_coll right_kind right_pattern right_labels in

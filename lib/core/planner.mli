@@ -21,13 +21,26 @@
     With [optimize:false] the same IR is produced but naively — rewrite
     order, no statistics, no pruning, nested-loop pairing — which is the
     CLI's [--no-planner]: the legacy execution strategy expressed in the
-    new engine, used as the equivalence baseline. *)
+    new engine, used as the equivalence baseline.
+
+    With [compile:true] (the default) the scan/prune/embed pipeline is
+    replaced wholesale by a single {!Plan.Compiled_match} leaf per side:
+    the pattern is compiled once ({!Compile.build}) and every document
+    of the snapshot is matched in one arena pass, with the
+    SEO-expanded predicates evaluated inline instead of being lowered
+    to XPath scans. [compile:false] (the CLI's [--no-compile]) keeps
+    the interpreted pipeline — the in-engine reference the differential
+    harness compares against. [use_index], [max_expansion] and
+    [optimize]'s scan shaping only affect the interpreted pipeline;
+    under a join, [optimize] still picks the pairing strategy either
+    way. *)
 
 val plan_select :
   ?mode:Rewrite.mode ->
   ?use_index:bool ->
   ?max_expansion:int ->
   ?optimize:bool ->
+  ?compile:bool ->
   Seo.t ->
   Toss_store.Collection.Snapshot.t ->
   pattern:Toss_tax.Pattern.t ->
@@ -35,13 +48,16 @@ val plan_select :
   Plan.t
 (** The plan for [σ_{P,SL}] over the snapshot. [use_index] (default
     true) gates the per-value statistics refinement so planning never
-    forces an index build the execution itself would not perform. *)
+    forces an index build the execution itself would not perform;
+    [compile] (default true) selects the compiled matcher over the
+    interpreted scan/prune/embed pipeline. *)
 
 val plan_join :
   ?mode:Rewrite.mode ->
   ?use_index:bool ->
   ?max_expansion:int ->
   ?optimize:bool ->
+  ?compile:bool ->
   Seo.t ->
   Toss_store.Collection.Snapshot.t ->
   Toss_store.Collection.Snapshot.t ->
@@ -50,4 +66,6 @@ val plan_join :
   Plan.t
 (** The plan for a condition join. The pattern's root must have exactly
     two children (the left and right sub-patterns); raises
-    [Invalid_argument] otherwise, as {!Executor.join} always has. *)
+    [Invalid_argument] otherwise, as {!Executor.join} always has. Under
+    [compile] each side becomes its own {!Plan.Compiled_match} leaf
+    feeding the shared pairing operators. *)

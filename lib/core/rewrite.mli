@@ -57,6 +57,53 @@ val isa_below : Seo.t -> string -> string list
 val part_below : Seo.t -> string -> string list
 (** Memoized {!Seo.part_below}. *)
 
+(** {1 Compiled node predicates}
+
+    The per-label predicate the pattern compiler ({!Compile}) evaluates
+    inline during its single arena pass — the same node-local conjuncts
+    the interpreter's embedding prefilter checks, but with every SEO
+    expansion resolved {e once} at compile time into a closure (a hash-set
+    membership test where the expansion is finite and authoritative, the
+    mode's evaluator under a single-label environment otherwise) instead
+    of being re-expanded per XPath call. Unlike the XPath pushdowns,
+    which are one-sided prefilters later re-checked, a compiled predicate
+    must be {e exactly} the atom's satisfaction relation; the unsound
+    pushdown families (unknown-term [~], type-name [below]/[above],
+    numeric [=]) therefore compile to evaluator closures rather than
+    being dropped. *)
+
+type pred
+(** The compiled node-local predicate of one pattern label. *)
+
+val compile_pred : ?mode:mode -> Seo.t -> Toss_tax.Condition.t -> int -> pred
+(** [compile_pred ~mode seo condition label] compiles the node-local
+    top-level conjuncts of [label] (per
+    {!Toss_tax.Condition.local_atoms}). Expansion sets are built through
+    the memoized {!similar_terms}/{!isa_below}/{!part_below}, so a
+    pattern's compilation shares hierarchy walks with the explainer and
+    any XPath rewriting of the same constants. *)
+
+val pred_test : pred -> Toss_xml.Tree.Doc.t -> Toss_xml.Tree.Doc.node -> bool
+(** Whether a node satisfies every compiled conjunct. Agrees with
+    evaluating each conjunct under an environment binding only this
+    label, by construction. *)
+
+val pred_describe : pred -> string list
+(** One line per compiled conjunct, annotated with the chosen strategy:
+    [[set:N]] (membership in an [N]-term expansion), [[set:N + type]]
+    (expansion plus the type-inference leg), [[const:false]] (statically
+    unsatisfiable), [[string-eq]]/[[string-neq]] (plain string
+    comparison), or [[direct]] (evaluator closure). Feeds the EXPLAIN
+    rendering of compiled plans. *)
+
+val pred_tag : pred -> string option
+(** The tag this predicate requires outright, when one of its conjuncts
+    is a tag equality against a constant that reduces to plain string
+    comparison (see [[string-eq]] above). A node with any other tag is
+    guaranteed to fail {!pred_test}, so the matcher can dispatch states
+    by arena-node tag instead of testing every state at every node.
+    [None] when no conjunct pins the tag. *)
+
 val expand_condition : Seo.t -> Toss_tax.Condition.t -> Toss_tax.Condition.t
 (** The condition with every [~] and [isa]-family atom over a constant
     replaced by the equivalent disjunction of exact atoms — what

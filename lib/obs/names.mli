@@ -39,6 +39,11 @@ val embed : string
 (** One document's embedding enumeration (child of {!assemble});
     annotated by the embedder with its funnel. *)
 
+val matcher : string
+(** One document's compiled single-pass match (child of {!assemble});
+    annotated by the matcher with [nodes]/[structural]/[matches] — the
+    compiled counterpart of {!embed}. *)
+
 val pair : string
 (** The join's pairing operator (child of {!assemble}); annotated with
     the chosen [strategy] (["hash"] or ["nested-loop"]). *)

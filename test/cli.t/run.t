@@ -37,10 +37,10 @@ Graphviz export:
 
 Tracing: the per-phase breakdown and nested span tree, printed to
 stdout after the results (times stripped for determinism — the span
-names and nesting are the contract). The execute and assemble phases
-carry their per-operator children: one xpath span per label query, a
-prune span where the planner drops candidate-free documents, and one
-embed span per document kept:
+names and nesting are the contract). By default the pattern is compiled
+into a single-pass matcher: the execute phase issues no store queries
+(it stays empty) and the assemble phase carries one match span per
+document:
 
   $ toss query --trace demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' 2>/dev/null | sed -n '/^phase breakdown:/,$p' | awk '{print $1}'
   phase
@@ -53,32 +53,70 @@ embed span per document kept:
   executor.select
   rewrite
   execute
+  assemble
+  match
+
+--no-compile falls back to the interpreted scan/prune/embed pipeline —
+same answers, and the classic operator spans: one xpath span per label
+query, a prune span where the planner drops candidate-free documents,
+and one embed span per document kept:
+
+  $ toss query --no-compile demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | head -1 | cut -d' ' -f1-2
+  6 result(s)
+  $ toss query --no-compile --trace demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' 2>/dev/null | sed -n '/^trace:/,$p' | awk '{print $1}'
+  trace:
+  executor.select
+  rewrite
+  execute
   xpath
   xpath
   assemble
   prune
   embed
 
-EXPLAIN ANALYZE annotates the plan with the actual per-operator row
-counts: how many nodes each rewritten XPath step returned, and the
-embedding funnel per document. The planner runs the scans
-most-selective-first, so the narrower booktitle query (6 rows) comes
-before the bare inproceedings scan (8 rows):
+EXPLAIN ANALYZE annotates the plan with the actual per-operator counts.
+The compiled matcher reports the arena nodes it visited and the matches
+it found per document:
 
-  $ toss query --explain-analyze demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | grep -o 'rows=[0-9]*'
+  $ toss query --explain-analyze demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | grep -o 'nodes=[0-9]*'
+  nodes=61
+  $ toss query --explain-analyze demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | grep -o 'matches=[0-9]*'
+  matches=6
+
+Under --no-compile the annotations are the interpreted pipeline's: how
+many nodes each rewritten XPath step returned, and the embedding funnel
+per document. The planner runs the scans most-selective-first, so the
+narrower booktitle query (6 rows) comes before the bare inproceedings
+scan (8 rows):
+
+  $ toss query --no-compile --explain-analyze demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | grep -o 'rows=[0-9]*'
   rows=6
   rows=8
-  $ toss query --explain-analyze demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | grep -o 'embeddings=[0-9]*'
+  $ toss query --no-compile --explain-analyze demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | grep -o 'embeddings=[0-9]*'
   embeddings=6
 
 EXPLAIN (without ANALYZE) prints the chosen physical plan up front and
-does not execute the query: scans ordered by estimated selectivity,
-candidate-doc pruning, then the embedding operator. No result line is
-printed:
+does not execute the query. The default plan is the compiled matcher:
+one state per pattern node, each carrying its SEO-expanded predicates
+as inline tests (set-membership where the ontology closure is finite,
+direct evaluation otherwise). No result line is printed:
 
   $ toss query --explain demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | head -1
   EXPLAIN
-  $ toss query --explain demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | sed -n '/^physical plan:/,$p' | awk '{print $1}'
+  $ toss query --explain demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | sed -n '/^physical plan:/,$p'
+  physical plan:
+    plan mode=toss
+    compiled-match states=2 sl=[1]
+      state #1 (root): #1.tag = "inproceedings" [string-eq]
+      state #2 (pc of #1): #2.tag = "booktitle" [string-eq]; #2.content isa "database conference" [set:11]
+  $ toss query --explain demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | awk '/result/{n++} END{print n+0}'
+  0
+
+With --no-compile the plan is the interpreted pipeline: scans ordered
+by estimated selectivity, candidate-doc pruning, then the embedding
+operator:
+
+  $ toss query --no-compile --explain demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | sed -n '/^physical plan:/,$p' | awk '{print $1}'
   physical
   plan
   embed
@@ -86,19 +124,17 @@ printed:
   candidate-filter
   scan
   scan
-  $ toss query --explain demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | grep -o '(~[0-9]* rows)'
+  $ toss query --no-compile --explain demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | grep -o '(~[0-9]* rows)'
   (~6 rows)
   (~8 rows)
-  $ toss query --explain demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | awk '/result/{n++} END{print n+0}'
-  0
 
---no-planner is the escape hatch: same answers through the same plan
-interpreter, but scans stay in rewrite order, nothing is pruned, and no
-row estimates are attached:
+--no-planner is the interpreted pipeline's second escape hatch: same
+answers through the same plan interpreter, but scans stay in rewrite
+order, nothing is pruned, and no row estimates are attached:
 
   $ toss query --no-planner demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | head -1 | cut -d' ' -f1-2
   6 result(s)
-  $ toss query --explain --no-planner demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | sed -n '/^physical plan:/,$p' | awk '{print $1}'
+  $ toss query --explain --no-planner --no-compile demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | sed -n '/^physical plan:/,$p' | awk '{print $1}'
   physical
   plan
   embed
@@ -106,10 +142,18 @@ row estimates are attached:
   scan
   scan
 
-The profiler streams the query's structured events as JSONL:
+The profiler streams the query's structured events as JSONL; a
+compiled run issues no store queries, so there are no xpath_exec
+events:
 
   $ toss query --profile events.jsonl demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' > /dev/null
   $ grep -o '"kind":"[a-z_]*"' events.jsonl
+  "kind":"query_start"
+  "kind":"rewrite_done"
+  "kind":"embed_done"
+  "kind":"query_end"
+  $ toss query --no-compile --profile events2.jsonl demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' > /dev/null
+  $ grep -o '"kind":"[a-z_]*"' events2.jsonl
   "kind":"query_start"
   "kind":"rewrite_done"
   "kind":"xpath_exec"
@@ -128,9 +172,12 @@ The stats command reports the executor's funnel and the metrics
 registry instead of results:
 
   $ toss stats demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | head -1
-  6 result(s): 14 candidate(s) -> 6 embedding(s) -> 6 witness(es)
+  6 result(s): 61 candidate(s) -> 6 embedding(s) -> 6 witness(es)
   $ toss stats demo.xml 'MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1' | sed -n '/^metrics:/,$p' | awk '{print $1}'
   metrics:
+  compile.matchers
+  compile.matches
+  compile.nodes.visited
   executor.candidates
   executor.embeddings
   executor.join.total
@@ -143,11 +190,11 @@ registry instead of results:
   planner.joins.hash
   planner.joins.nested_loop
   planner.plans
+  planner.plans.compiled
+  pool.queue_wait.seconds
   rewrite.cache.hits
   rewrite.cache.misses
   rewrite.degraded
-  rewrite.fanout{label="1"}
-  rewrite.fanout{label="2"}
   rewrite.label_queries
   rewrite.patterns
   rewrite.queries.seo_dependent
@@ -188,7 +235,7 @@ reported with a paste-into-test repro; a discrepancy exits 1:
 
   $ toss check --seed 42 --runs 200 --inject-fault no-dedup --repro-out repro.ml
   DISCREPANCY on run 5 (case seed 175383196535490812)
-    mode: tax, planner=on index=on
+    mode: tax, compile=on planner=on index=on
     select result multiset differs (oracle 1, executor 2)
     shrunk to 1 document(s)
     oracle (1):
@@ -206,7 +253,7 @@ reported with a paste-into-test repro; a discrepancy exits 1:
   let sl = [  ] in
   (* eps = 1; op = select *)
   paste-into-test repro:
-  (* mode=tax planner=on index=on — select result multiset differs (oracle 1, executor 2) *)
+  (* mode=tax compile=on planner=on index=on — select result multiset differs (oracle 1, executor 2) *)
   (* seed 175383196535490812 *)
   let docs = [ Parser.parse_exn {xml|<item><item/></item>|xml} ] in
   let isa_edges = [  ] in
@@ -219,14 +266,25 @@ reported with a paste-into-test repro; a discrepancy exits 1:
   [1]
 
   $ head -3 repro.ml
-  (* mode=tax planner=on index=on — select result multiset differs (oracle 1, executor 2) *)
+  (* mode=tax compile=on planner=on index=on — select result multiset differs (oracle 1, executor 2) *)
   (* seed 175383196535490812 *)
   let docs = [ Parser.parse_exn {xml|<item><item/></item>|xml} ] in
+
+A fault injected into the compiled matcher itself — dropping the
+bubble-up of descendant-edge matches — is likewise caught and shrunk
+to a minimal corpus whose pattern has an ad edge deeper than one
+level:
+
+  $ toss check --seed 42 --runs 200 --inject-fault compile-skip-descendant-edge | head -4
+  DISCREPANCY on run 176 (case seed 289896706021864138)
+    mode: tax, compile=on planner=on index=on
+    select result multiset differs (oracle 3, executor 2)
+    shrunk to 1 document(s)
 
 Unknown fault names are rejected:
 
   $ toss check --inject-fault bogus
-  toss: unknown fault "bogus" (expected one of: none, hash-no-recheck, prune-first-only, no-dedup)
+  toss: unknown fault "bogus" (expected one of: none, hash-no-recheck, prune-first-only, no-dedup, compile-skip-descendant-edge)
   Usage: toss check [OPTION]…
   Try 'toss check --help' or 'toss --help' for more information.
   [124]

@@ -71,6 +71,12 @@ The closed-loop bench exits cleanly when every request succeeds:
   $ toss client --socket $S --bench 40 --concurrency 4 query bib "$Q" | grep -o '"requests":40,"ok":40'
   "requests":40,"ok":40
 
+Explain over the wire returns the same plan the server will run — by
+default the compiled single-pass matcher, one state per pattern node:
+
+  $ toss client --socket $S explain bib "$Q" | grep -o 'compiled-match states=[0-9]*'
+  compiled-match states=2
+
 Server-side observability over the wire: the cache counters moved.
 
   $ toss client --socket $S stats --table | awk '$1 == "server.cache.hits" && $2 > 0 { print "cache hits > 0" }'
@@ -140,6 +146,29 @@ slow log keyed the query's events by the same id:
   1
   $ grep -c '"type":"slow_query","trace_id":"cram-query-1"' serve3.log
   1
+
+Deadlines cancel a compiled match mid-arena: on a fresh server the
+first query over a large corpus must first build the ontology (far
+longer than the 5ms budget), so by the time the matcher starts its
+arena pass the deadline has certainly expired and the very first
+cooperative checkpoint inside the match loop unwinds the request. The
+reply is the typed error alone — no partial witnesses leak:
+
+  $ S4=$D/deadline.sock
+  $ toss serve --socket $S4 --domains 4 > serve4.log 2>&1 &
+  $ for i in $(seq 1 100); do [ -S $S4 ] && break; sleep 0.1; done
+  $ toss generate --papers 300 --seed 4 -o big.xml
+  $ toss client --socket $S4 insert bib big.xml
+  {"collection":"bib","doc_id":0,"version":1}
+  $ toss client --socket $S4 --deadline-ms 5 --no-cache query bib "$Q" > reply.txt 2>&1
+  [1]
+  $ cat reply.txt
+  error deadline_exceeded: deadline exceeded during execution
+  $ grep -c '<' reply.txt
+  0
+  [1]
+  $ toss client --socket $S4 shutdown
+  {"stopping":true}
 
 Clean shutdown of the main server:
 

@@ -355,7 +355,13 @@ let test_executor_join () =
   Alcotest.(check (list (pair string string))) "key pair"
     [ ("u1", "s1") ]
     (Toss_data.Workload.result_key_pairs results);
-  checkb "queries recorded for both sides" true (List.length stats.Executor.queries >= 4);
+  (* The compiled default issues no store queries; the interpreted
+     pipeline records scans for both sides and must agree on results. *)
+  checkb "compiled join issues no queries" true (stats.Executor.queries = []);
+  let results_i, stats_i = Executor.join ~compile:false seo2 left right ~pattern ~sl in
+  checkb "interpreted join agrees" true (results_i = results);
+  checkb "queries recorded for both sides" true
+    (List.length stats_i.Executor.queries >= 4);
   (* The in-memory TOSS join agrees. *)
   let reference = Toss_algebra.join seo2 ~pattern ~sl [ db ] [ sigmod ] in
   checki "agrees with algebra join" (List.length reference) (List.length results)
@@ -366,6 +372,31 @@ let test_executor_join_arity_check () =
   Alcotest.check_raises "root must have two children"
     (Invalid_argument "Executor.join: the pattern root must have exactly two children")
     (fun () -> ignore (Executor.join seo coll coll ~pattern:bad ~sl:[]))
+
+exception Cancelled
+
+let test_executor_compiled_cancellation () =
+  let coll = collection_of [ db ] in
+  (* The cooperative checkpoint fires once per arena node inside the
+     compiled matcher's loop, so a check that trips after a few calls
+     cancels the match mid-arena: the exception unwinds the whole
+     select and no partial witnesses escape. *)
+  let calls = ref 0 in
+  let check () =
+    incr calls;
+    if !calls > 3 then raise Cancelled
+  in
+  (try
+     let results, _ = Executor.select ~check seo coll ~pattern:ullman_pattern ~sl:[ 1 ] in
+     Alcotest.failf "expected cancellation, got %d results" (List.length results)
+   with Cancelled -> ());
+  checkb "check was called inside the arena loop" true (!calls > 3);
+  (* An unconditional check leaves the run untouched. *)
+  let results, _ =
+    Executor.select ~check:(fun () -> ()) seo coll ~pattern:ullman_pattern ~sl:[ 1 ]
+  in
+  let reference, _ = Executor.select seo coll ~pattern:ullman_pattern ~sl:[ 1 ] in
+  checkb "benign check does not change answers" true (results = reference)
 
 (* ------------------------------------------------------------------ *)
 (* More rewrite coverage                                                *)
@@ -662,6 +693,8 @@ let () =
           Alcotest.test_case "index independence" `Quick test_executor_index_independence;
           Alcotest.test_case "join across two stores" `Quick test_executor_join;
           Alcotest.test_case "join arity check" `Quick test_executor_join_arity_check;
+          Alcotest.test_case "compiled mid-arena cancellation" `Quick
+            test_executor_compiled_cancellation;
         ] );
       ( "session",
         [

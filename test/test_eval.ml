@@ -50,14 +50,6 @@ let test_mean () =
   checkf "empty" 0.0 (Quality.mean []);
   checkf "values" 2.0 (Quality.mean [ 1.0; 2.0; 3.0 ])
 
-let test_deprecated_alias () =
-  (* [Toss_eval.Metrics] remains a compatibility alias of [Quality];
-     both names must expose the same functions over the same types. *)
-  checkf "alias precision" 1.0
-    (Toss_eval.Metrics.precision ~correct:[ "a" ] ~returned:[ "a" ]);
-  let c = Toss_eval.Metrics.counts ~correct:[ "a" ] ~returned:[ "a" ] in
-  checki "alias shares the counts type" 1 c.Quality.tp
-
 let test_time () =
   let x, t = Bench_util.time (fun () -> 42) in
   checki "result passed through" 42 x;
@@ -249,7 +241,6 @@ let () =
           Alcotest.test_case "quality" `Quick test_quality;
           Alcotest.test_case "f1" `Quick test_f1;
           Alcotest.test_case "mean" `Quick test_mean;
-          Alcotest.test_case "deprecated Metrics alias" `Quick test_deprecated_alias;
         ] );
       ( "bench utilities",
         [

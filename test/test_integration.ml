@@ -123,7 +123,15 @@ let test_phases_and_counts () =
     && stats.Executor.phases.Executor.assemble_s >= 0.);
   checki "result count" (List.length results) stats.Executor.n_results;
   checkb "candidates fetched" true (stats.Executor.n_candidates > 0);
-  checkb "three xpath queries" true (List.length stats.Executor.queries = 3)
+  checkb "compiled run issues no queries" true (stats.Executor.queries = []);
+  (* The interpreted pipeline still records its per-label store queries
+     and agrees on the answer. *)
+  let results_i, stats_i =
+    Executor.select ~mode:Executor.Toss ~compile:false seo3 collection
+      ~pattern:q.Workload.pattern ~sl:q.Workload.sl
+  in
+  checkb "interpreted select agrees" true (results_i = results);
+  checkb "three xpath queries" true (List.length stats_i.Executor.queries = 3)
 
 (* ------------------------------------------------------------------ *)
 (* Cross-schema join (Figure 16(b) shape) on a small corpus             *)

@@ -465,7 +465,7 @@ let test_event_jsonl_escaping () =
             (Option.get (Option.bind (Json.member "b" payload) Json.to_bool)))
   | lines -> Alcotest.failf "expected exactly one line, got %d" (List.length lines)
 
-let run_query_with_events () =
+let run_query_with_events ?(compile = true) () =
   let seo =
     match
       Seo.of_documents ~metric:Workload.experiment_metric ~eps:2.0
@@ -477,7 +477,7 @@ let run_query_with_events () =
   let coll = Collection.create "events" in
   ignore (Collection.add_document coll db);
   let coll = Collection.snapshot coll in
-  Executor.select seo coll ~pattern:ullman_pattern ~sl:[ 1 ]
+  Executor.select ~compile seo coll ~pattern:ullman_pattern ~sl:[ 1 ]
 
 let test_slow_query_threshold () =
   let captured = ref [] in
@@ -497,7 +497,7 @@ let test_slow_query_record_replays () =
   let captured = ref [] in
   with_sink
     (Event.slow_query ~threshold_s:0. ~write:(fun l -> captured := l :: !captured))
-    (fun () -> ignore (run_query_with_events ()));
+    (fun () -> ignore (run_query_with_events ~compile:false ()));
   match !captured with
   | [ line ] -> (
       match Json.parse line with
@@ -533,7 +533,7 @@ let test_slow_query_record_replays () =
    record's candidate count. *)
 let test_executor_event_stream () =
   let sink = Event.memory () in
-  let _, stats = with_sink sink (fun () -> run_query_with_events ()) in
+  let _, stats = with_sink sink (fun () -> run_query_with_events ~compile:false ()) in
   let evs = Event.events sink in
   let kinds = List.map (fun (e : Event.t) -> Event.kind_name e.Event.kind) evs in
   Alcotest.(check (list string))
@@ -554,6 +554,26 @@ let test_executor_event_stream () =
   checkb "query_end carries the trace" true (last.Event.trace <> None);
   checki "results in payload" stats.Executor.n_results
     (Option.get (Event.payload_int last "results"))
+
+(* The compiled matcher (the default) issues no store queries, so its
+   stream has no xpath_exec events: one embed_done per document, with the
+   match counts in the payload. *)
+let test_compiled_event_stream () =
+  let sink = Event.memory () in
+  let _, stats = with_sink sink (fun () -> run_query_with_events ()) in
+  let evs = Event.events sink in
+  let kinds = List.map (fun (e : Event.t) -> Event.kind_name e.Event.kind) evs in
+  Alcotest.(check (list string))
+    "compiled pipeline order"
+    [ "query_start"; "rewrite_done"; "embed_done"; "query_end" ]
+    kinds;
+  let embed =
+    List.find (fun (e : Event.t) -> e.Event.kind = Event.Embed_done) evs
+  in
+  checki "embeddings in payload" stats.Executor.n_embeddings
+    (Option.get (Event.payload_int embed "embeddings"));
+  checki "nodes visited recorded" stats.Executor.n_candidates
+    (Option.get (Event.payload_int embed "nodes"))
 
 (* ------------------------------------------------------------------ *)
 (* Trace context                                                        *)
@@ -886,6 +906,15 @@ let expected_series =
     "tax.embed.enumerations";
   ]
 
+(* Series the compiled (default) matcher emits on top of the above. *)
+let expected_compiled_series =
+  [
+    "compile.matchers";
+    "compile.matches";
+    "compile.nodes.visited";
+    "planner.plans.compiled";
+  ]
+
 let test_executor_emits_metrics () =
   Metrics.reset ();
   let seo =
@@ -900,7 +929,9 @@ let test_executor_emits_metrics () =
   let coll = Collection.create "golden" in
   ignore (Collection.add_document coll db);
   let coll = Collection.snapshot coll in
-  let results, stats = Executor.select seo coll ~pattern:ullman_pattern ~sl:[ 1 ] in
+  let results, stats =
+    Executor.select ~compile:false seo coll ~pattern:ullman_pattern ~sl:[ 1 ]
+  in
   checki "query finds the paper" 1 (List.length results);
   let snap = Metrics.snapshot () in
   let names = Metrics.names snap in
@@ -918,7 +949,18 @@ let test_executor_emits_metrics () =
   in
   checki "candidates agree" stats.Executor.n_candidates
     (histo_sum "executor.candidates");
-  checki "results agree" stats.Executor.n_results (histo_sum "executor.results")
+  checki "results agree" stats.Executor.n_results (histo_sum "executor.results");
+  (* A compiled run adds the matcher series. *)
+  let _, _ = Executor.select seo coll ~pattern:ullman_pattern ~sl:[ 1 ] in
+  let snap = Metrics.snapshot () in
+  let names = Metrics.names snap in
+  List.iter
+    (fun expected ->
+      checkb (Printf.sprintf "series %s emitted" expected) true
+        (List.mem expected names))
+    expected_compiled_series;
+  checki "one matcher built" 1
+    (Option.get (Metrics.find_counter snap "compile.matchers"))
 
 let test_stats_phases_are_trace_view () =
   let seo =
@@ -1008,6 +1050,8 @@ let () =
             test_slow_query_record_replays;
           Alcotest.test_case "executor event stream" `Quick
             test_executor_event_stream;
+          Alcotest.test_case "compiled event stream" `Quick
+            test_compiled_event_stream;
         ] );
       ( "spans",
         [

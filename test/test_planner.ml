@@ -3,9 +3,11 @@
    The planner must never change answers, only the work done to produce
    them. The equivalence suite runs a generated workload (50+
    query/mode combinations over the Section 6 corpus) through every
-   config in {planner on, off} x {use_index on, off} and requires
-   identical result trees (same list, same order) and identical
-   embedding counts. Unit tests pin the selectivity estimator, the
+   config in {compile on, off} x {planner on, off} x {use_index on, off}
+   and requires identical result trees (same list, same order) and
+   identical embedding counts — in particular, the compiled single-pass
+   matcher must agree exactly with the interpreted scan/prune/embed
+   pipeline. Unit tests pin the selectivity estimator, the
    most-selective-first scan ordering, and the hash-vs-nested-loop
    pairing choice. *)
 
@@ -56,17 +58,24 @@ let seo =
   | Error msg -> failwith msg
 
 let configs =
-  [ (true, true); (true, false); (false, true); (false, false) ]
+  [
+    (true, true, true); (true, true, false); (true, false, true);
+    (true, false, false); (false, true, true); (false, true, false);
+    (false, false, true); (false, false, false);
+  ]
 
-(* Run one selection under every config; all four must agree exactly. *)
+(* Run one selection under every config; all eight must agree exactly. *)
 let check_select_equivalent ~what coll mode ~pattern ~sl =
   let reference = ref None in
   List.iter
-    (fun (planner, use_index) ->
+    (fun (compile, planner, use_index) ->
       let results, stats =
-        Executor.select ~mode ~planner ~use_index seo coll ~pattern ~sl
+        Executor.select ~mode ~compile ~planner ~use_index seo coll ~pattern ~sl
       in
-      let tag = Printf.sprintf "%s planner=%b index=%b" what planner use_index in
+      let tag =
+        Printf.sprintf "%s compile=%b planner=%b index=%b" what compile planner
+          use_index
+      in
       match !reference with
       | None -> reference := Some (results, stats.Executor.n_embeddings)
       | Some (r0, e0) ->
@@ -77,11 +86,15 @@ let check_select_equivalent ~what coll mode ~pattern ~sl =
 let check_join_equivalent ~what ~pattern ~sl =
   let reference = ref None in
   List.iter
-    (fun (planner, use_index) ->
+    (fun (compile, planner, use_index) ->
       let results, stats =
-        Executor.join ~planner ~use_index seo dblp_coll sigmod_coll ~pattern ~sl
+        Executor.join ~compile ~planner ~use_index seo dblp_coll sigmod_coll
+          ~pattern ~sl
       in
-      let tag = Printf.sprintf "%s planner=%b index=%b" what planner use_index in
+      let tag =
+        Printf.sprintf "%s compile=%b planner=%b index=%b" what compile planner
+          use_index
+      in
       match !reference with
       | None -> reference := Some (results, stats.Executor.n_embeddings)
       | Some (r0, e0) ->
@@ -139,13 +152,21 @@ let test_sigmod_hits_equivalence () =
   in
   check_select_equivalent ~what:"articles by page" sigmod_coll Executor.Toss
     ~pattern ~sl:[];
-  (* The planner's trace carries a prune span; the naive plan has none. *)
-  let _, stats = Executor.select seo sigmod_coll ~pattern ~sl:[] in
+  (* The interpreted planner trace carries a prune span; the naive plan
+     has none, and the compiled matcher replaces both with match spans. *)
+  let _, stats = Executor.select ~compile:false seo sigmod_coll ~pattern ~sl:[] in
   checkb "planner trace has a prune span" true
     (Span.find stats.Executor.trace "prune" <> None);
-  let _, stats = Executor.select ~planner:false seo sigmod_coll ~pattern ~sl:[] in
+  let _, stats =
+    Executor.select ~compile:false ~planner:false seo sigmod_coll ~pattern ~sl:[]
+  in
   checkb "naive trace has no prune span" true
-    (Span.find stats.Executor.trace "prune" = None)
+    (Span.find stats.Executor.trace "prune" = None);
+  let _, stats = Executor.select seo sigmod_coll ~pattern ~sl:[] in
+  checkb "compiled trace has no prune span" true
+    (Span.find stats.Executor.trace "prune" = None);
+  checkb "compiled trace has a match span" true
+    (Span.find stats.Executor.trace "match" <> None)
 
 (* ---------------------- equivalence: joins ------------------------ *)
 
@@ -213,8 +234,15 @@ let test_estimate_rows () =
 let test_scan_ordering () =
   let queries = Workload.selection_queries ~n:1 corpus in
   let q = List.hd queries in
-  let plan =
+  (* Scan shaping is an interpreted-pipeline concern: the compiled plan
+     (the default) issues no scans at all. *)
+  let compiled =
     Planner.plan_select seo dblp_coll ~pattern:q.Workload.pattern
+      ~sl:q.Workload.sl
+  in
+  checkb "compiled plan has no scans" true (Plan.scans compiled = []);
+  let plan =
+    Planner.plan_select ~compile:false seo dblp_coll ~pattern:q.Workload.pattern
       ~sl:q.Workload.sl
   in
   let scans = Plan.scans plan in
@@ -223,7 +251,7 @@ let test_scan_ordering () =
   (* The naive plan keeps rewrite (pattern preorder) order and carries no
      estimates. *)
   let naive =
-    Planner.plan_select ~optimize:false seo dblp_coll
+    Planner.plan_select ~compile:false ~optimize:false seo dblp_coll
       ~pattern:q.Workload.pattern ~sl:q.Workload.sl
   in
   checkb "naive order is preorder" true
