@@ -5,7 +5,7 @@
      dune exec bench/main.exe -- fig15a fig16c  -- run a subset
 
    Experiments: fig15a fig15b fig15c fig16a fig16b fig16c
-                abl-sea abl-fuse abl-idx abl-plan abl-compile
+                abl-sea abl-fuse abl-idx abl-plan abl-compile abl-simjoin
                 serve-cache serve-parallel micro
 
    Absolute times differ from the paper (their substrate was Xindice on a
@@ -33,6 +33,8 @@ module Dblp_gen = Toss_data.Dblp_gen
 module Sigmod_gen = Toss_data.Sigmod_gen
 module Workload = Toss_data.Workload
 module Quality = Toss_eval.Quality
+module Rewrite = Toss_core.Rewrite
+module Simjoin = Toss_core.Simjoin
 module Engine = Toss_server.Engine
 module Protocol = Toss_server.Protocol
 module B = Toss_eval.Bench_util
@@ -333,6 +335,30 @@ let title_self_join () =
   equi_join_pattern ~ltag:"inproceedings" ~lleaf:"title" ~rtag:"inproceedings"
     ~rleaf:"title" ()
 
+(* The similarity twin of [title_self_join]: the cross atom is [~], so
+   the planner lowers it to the signature-indexed sim pairing while
+   [~simjoin:false] keeps the nested loop. With the titles in the
+   ontology each title's cluster is essentially itself, so the answer
+   stays linear in the corpus while the pair space grows quadratically
+   -- the regime the signature index exists for. *)
+let title_sim_self_join () =
+  let open Pattern in
+  let left = node 1 [ pc (leaf 2) ] in
+  let right = node 3 [ pc (leaf 4) ] in
+  let root = node 0 [ ad left; ad right ] in
+  let condition =
+    Condition.conj
+      [
+        Condition.tag_eq 0 Toss_tax.Algebra.prod_root_tag;
+        Condition.tag_eq 1 "inproceedings";
+        Condition.tag_eq 2 "title";
+        Condition.tag_eq 3 "inproceedings";
+        Condition.tag_eq 4 "title";
+        Condition.Sim (Condition.Content 2, Condition.Content 4);
+      ]
+  in
+  (v root condition, [ 1; 3 ])
+
 let fig16b () =
   B.print_header "Figure 16(b): join scalability -- time vs total data size";
   let pattern, sl = Workload.join_query () in
@@ -508,6 +534,63 @@ let abl_plan () =
   Printf.printf
     "\nthe gap widens with size: the nested loop evaluates the cross-condition\n\
      on every left x right pair, the hash pairing only on key matches\n"
+
+let abl_simjoin () =
+  B.print_header
+    "Ablation: similarity-join operator on vs off (sim-pair vs nested loop)";
+  let pattern, sl = title_sim_self_join () in
+  let rows =
+    List.map
+      (fun n_papers ->
+        let corpus = Corpus.generate ~seed:73 ~n_papers () in
+        let rendered = Dblp_gen.render ~seed:73 corpus in
+        (* Two documents, not one: the planner's build-side statistic is
+           the document count, and a single-document build side takes the
+           tiny-build nested-loop fallback. The empty sibling changes no
+           results. *)
+        let coll =
+          collection_of_trees "dblp"
+            [ rendered.Dblp_gen.tree; Toss_xml.Parser.parse_exn "<dblp/>" ]
+        in
+        (* Titles enter the ontology so [~] is judged on SEO clusters,
+           not the metric fallback -- the case the signature index
+           accelerates. *)
+        let seo =
+          seo_of_docs ~content_tags:[ "title" ] ~eps:2.0
+            [ Doc.of_tree rendered.Dblp_gen.tree ]
+        in
+        let time_of simjoin =
+          let (results, _), t =
+            B.time_median ~runs:3 (fun () ->
+                Executor.join ~mode:Executor.Toss ~simjoin seo coll coll
+                  ~pattern ~sl)
+          in
+          (results, t)
+        in
+        let r_naive, naive = time_of false in
+        let r_sim, sim = time_of true in
+        (* Witness-for-witness: the operator must reproduce the nested
+           loop's answer exactly (both paths emit in build order, so
+           plain list equality is the strongest available check). *)
+        assert (r_naive = r_sim);
+        (n_papers, List.length r_sim, naive, sim))
+      [ 200; 400; 800 ]
+  in
+  emit "abl-simjoin"
+    ~columns:
+      [ "papers/side"; "results"; "nested loop (s)"; "sim-pair (s)"; "speedup" ]
+    (List.map
+       (fun (n, res, naive, sim) ->
+         [
+           string_of_int n; string_of_int res; B.fs naive; B.fs sim;
+           B.f2 (naive /. sim);
+         ])
+       rows);
+  Printf.printf
+    "\nthe nested loop scores every left x right pair; the sim pairing\n\
+     probes the frequency-ordered signature prefix index and re-checks\n\
+     only the candidates, so its cost tracks the answer, not the pair\n\
+     space -- the gap widens quadratically with the corpus\n"
 
 let abl_compile () =
   B.print_header
@@ -835,18 +918,18 @@ let micro () =
 
 (* A small, fast, deterministic suite over the same kernels as [micro],
    measured as wall-clock medians so runs are comparable across commits.
-   [--quick] records its medians as the baseline artifact (BENCH_6.json
+   [--quick] records its medians as the baseline artifact (BENCH_7.json
    at the repo root); [--check] re-measures and fails the process when
    any median regressed beyond the tolerance. Older baselines are kept
    so earlier refactors can still be gated against: BENCH_2.json is
    pre-planner, BENCH_3.json pre-server, BENCH_4.json pre-MVCC,
-   BENCH_5.json pre-compilation (the gate only iterates baseline
-   entries, so kernels newer than a baseline are ignored when checking
-   against it). *)
+   BENCH_5.json pre-compilation, BENCH_6.json pre-simjoin (the gate
+   only iterates baseline entries, so kernels newer than a baseline are
+   ignored when checking against it). *)
 module Baseline = Toss_eval.Baseline
 
 let baseline_label = "toss-perf-suite"
-let default_baseline_path = "BENCH_6.json"
+let default_baseline_path = "BENCH_7.json"
 
 let perf_suite ~slowdown () =
   B.print_header "Perf suite (wall-clock medians for the regression gate)";
@@ -892,62 +975,161 @@ let perf_suite ~slowdown () =
   in
   let sea_h = Lexicon.isa_hierarchy (Lexicon.synthetic ~seed:9 ~n_terms:200) in
   let srv = serve_engine ~seed:91 ~n_papers:100 in
+  (* Similarity-pairing kernels at the 10k x 10k scale the regression
+     gate demands. A full executor join at that scale spends minutes in
+     the nested loop's per-pair environment plumbing, so the kernels
+     measure the pairing itself over the value arrays the operator sees:
+     10k probe values against a 10k-record build side drawn from a
+     400-term synthetic vocabulary (every eighth term a near-duplicate
+     spelling, so SEA clusters exist), plus a 1% unknown tail that lands
+     in the metric-fallback bucket. [join-sim] builds the signature
+     prefix index, probes it and re-checks every candidate with the
+     exact predicate; [join-sim-naive] is the all-pairs reference
+     evaluating the same predicate 10^8 times. *)
+  let simk_vocab =
+    Array.of_list
+      (Hierarchy.terms
+         (Lexicon.isa_hierarchy (Lexicon.synthetic ~seed:83 ~n_terms:400)))
+  in
+  let simk_seo =
+    (* The vocabulary must occur in a document for the ontology maker to
+       keep it, so render it as one leaf per term. *)
+    let xml =
+      Buffer.create 8192
+    in
+    Buffer.add_string xml "<vocab>";
+    Array.iter
+      (fun t ->
+        Buffer.add_string xml "<t>";
+        Buffer.add_string xml t;
+        Buffer.add_string xml "</t>")
+      simk_vocab;
+    Buffer.add_string xml "</vocab>";
+    seo_of_docs ~content_tags:[ "t" ] ~eps:2.0
+      [ Doc.of_tree (Toss_xml.Parser.parse_exn (Buffer.contents xml)) ]
+  in
+  let simk_n = 10_000 in
+  let simk_values seed =
+    let rng = Random.State.make [| seed; simk_n |] in
+    Array.init simk_n (fun _ ->
+        if Random.State.int rng 100 = 0 then
+          Some (Printf.sprintf "stray term %02d" (Random.State.int rng 50))
+        else Some simk_vocab.(Random.State.int rng (Array.length simk_vocab)))
+  in
+  let simk_build = simk_values 1 in
+  let simk_probe = simk_values 2 in
+  let simk_scheme = Simjoin.sim_scheme ~mode:Rewrite.Toss simk_seo in
+  (* The exact [~] predicate with the probe value's expansion hoisted out
+     of the inner loop -- used identically by both sweeps, so the
+     kernels compare candidate generation, not memo-table luck. *)
+  let simk_check pv =
+    if Seo.knows_term simk_seo pv then
+      let cluster = Rewrite.similar_terms simk_seo pv in
+      fun bv -> List.mem bv cluster
+    else fun bv -> Seo.similar simk_seo pv bv
+  in
+  let simk_sim () =
+    let index = Simjoin.build simk_scheme simk_build in
+    let out = ref [] in
+    Array.iteri
+      (fun i v ->
+        match v with
+        | None -> ()
+        | Some pv ->
+            let check = simk_check pv in
+            List.iter
+              (fun j ->
+                match simk_build.(j) with
+                | Some bv when check bv -> out := (i, j) :: !out
+                | _ -> ())
+              (Simjoin.probe index pv))
+      simk_probe;
+    !out
+  in
+  let simk_naive () =
+    let out = ref [] in
+    Array.iteri
+      (fun i v ->
+        match v with
+        | None -> ()
+        | Some pv ->
+            let check = simk_check pv in
+            Array.iteri
+              (fun j bv ->
+                match bv with
+                | Some bv when check bv -> out := (i, j) :: !out
+                | None | Some _ -> ())
+              simk_build)
+      simk_probe;
+    !out
+  in
+  (* The acceptance invariant: identical pair multisets. Both sweeps emit
+     in probe-major, build-ordinal order, so plain equality is the
+     strongest available check. Running it once here also warms the memo
+     tables for both kernels. *)
+  assert (simk_sim () = simk_naive ());
   (* 11 runs: the sub-millisecond kernels need the extra samples for the
      median to be stable across invocations. *)
   let runs = 11 in
   let kernels =
     [
-      ("select-toss", fun () ->
+      ("select-toss", runs, fun () ->
           ignore
             (Executor.select ~mode:Executor.Toss seo coll ~pattern:q.Workload.pattern
                ~sl:q.Workload.sl));
-      ("select-tax", fun () ->
+      ("select-tax", runs, fun () ->
           ignore
             (Executor.select ~mode:Executor.Tax seo coll ~pattern:q.Workload.pattern
                ~sl:q.Workload.sl));
-      ("select-scal", fun () ->
+      ("select-scal", runs, fun () ->
           ignore
             (Executor.select ~mode:Executor.Toss seo coll ~pattern:sel_pattern
                ~sl:sel_sl));
-      ("join", fun () ->
+      ("join", runs, fun () ->
           ignore
             (Executor.join ~mode:Executor.Toss join_seo left right
                ~pattern:join_pattern ~sl:join_sl));
-      ("join-eq-planned", fun () ->
+      ("join-eq-planned", runs, fun () ->
           ignore
             (Executor.join ~mode:Executor.Tax eq_seo eq_coll eq_coll
                ~pattern:eq_pattern ~sl:eq_sl));
-      ("join-eq-naive", fun () ->
+      ("join-eq-naive", runs, fun () ->
           ignore
             (Executor.join ~mode:Executor.Tax ~planner:false eq_seo eq_coll
                eq_coll ~pattern:eq_pattern ~sl:eq_sl));
-      ("match-compiled", fun () ->
+      ("join-sim", runs, fun () -> ignore (simk_sim ()));
+      (* One measured sweep: 10^8 predicate evaluations make this a
+         multi-second kernel whose variance is negligible at that scale;
+         a median over repeats would only slow the suite. The
+         witness-equality check above already served as its warm-up. *)
+      ("join-sim-naive", 1, fun () -> ignore (simk_naive ()));
+      ("match-compiled", runs, fun () ->
           ignore
             (Executor.select ~mode:Executor.Toss m_seo m_coll ~pattern:sel_pattern
                ~sl:sel_sl));
-      ("match-interpreted", fun () ->
+      ("match-interpreted", runs, fun () ->
           ignore
             (Executor.select ~mode:Executor.Toss ~compile:false m_seo m_coll
                ~pattern:sel_pattern ~sl:sel_sl));
-      ("xpath-eval", fun () ->
+      ("xpath-eval", runs, fun () ->
           ignore (Collection.Snapshot.eval_string coll "//inproceedings[booktitle='VLDB']/author"));
-      ("sea-enhance", fun () ->
+      ("sea-enhance", runs, fun () ->
           ignore (Sea.enhance ~metric:Levenshtein.metric ~eps:2.0 sea_h));
       (* Server kernels: the same query through the engine, uncached vs a
          cache hit. The per-kernel warm-up call below pays the SEO
          precompute (uncached) and populates the cache (cached), so the
          measured runs are a pure miss-path / hit-path comparison. *)
-      ("serve-uncached", fun () -> ignore (serve_query ~cache:false srv));
+      ("serve-uncached", runs, fun () -> ignore (serve_query ~cache:false srv));
       (* A single hit is ~1us -- far too small for a stable median under
          a 20% gate -- so the kernel measures a batch of 500. *)
-      ("serve-cached", fun () ->
+      ("serve-cached", runs, fun () ->
           for _ = 1 to 500 do ignore (serve_query srv) done);
       (* The parallel read path: 8 uncached queries spread over 4 worker
          domains, all pinning snapshots of the same collection. On one
          core this is the serial cost of 8 queries; on many it shrinks
          toward 2x one query -- either way a regression here means the
          read path started contending. *)
-      ("serve-par4", fun () ->
+      ("serve-par4", runs, fun () ->
           let domains =
             List.init 4 (fun _ ->
                 Domain.spawn (fun () ->
@@ -958,11 +1140,17 @@ let perf_suite ~slowdown () =
   in
   let entries =
     List.map
-      (fun (name, kernel) ->
-        kernel ();  (* warm caches and indexes out of the measurement *)
+      (fun (name, runs, kernel) ->
+        (* Start every kernel from a compacted heap: the pairing sweeps
+           above leave tens of MB of floating garbage whose collection
+           would otherwise be billed to whichever kernel runs next. *)
+        Gc.compact ();
+        (* Warm caches and indexes out of the measurement; single-run
+           kernels are whole-second sweeps already warmed above. *)
+        if runs > 1 then kernel ();
         let (), median_s = B.time_median ~runs kernel in
         let median_s = median_s *. slowdown in
-        Printf.printf "  %-14s median %10.3f ms over %d runs\n" name
+        Printf.printf "  %-16s median %10.3f ms over %d runs\n" name
           (1000. *. median_s) runs;
         (name, { Baseline.median_s; runs }))
       kernels
@@ -1027,6 +1215,7 @@ let experiments =
     ("abl-idx", abl_idx);
     ("abl-plan", abl_plan);
     ("abl-compile", abl_compile);
+    ("abl-simjoin", abl_simjoin);
     ("serve-cache", serve_cache);
     ("serve-parallel", serve_parallel);
     ("micro", micro);
@@ -1035,7 +1224,7 @@ let experiments =
 let usage () =
   Printf.eprintf
     "usage: bench [EXPERIMENT...]\n\
-    \       bench --quick [--out FILE]                 record BENCH_6.json\n\
+    \       bench --quick [--out FILE]                 record BENCH_7.json\n\
     \       bench --quick --check [--baseline FILE]    gate against a baseline\n\
     \            [--tolerance X] [--slowdown F] [--out FILE]\n\
      experiments: %s\n"

@@ -1,0 +1,10 @@
+set datafile separator ','
+set key autotitle columnhead
+set xlabel "papers/side"
+set ylabel 'value'
+set term pngcairo size 800,500
+set output 'abl-simjoin.png'
+plot 'abl-simjoin.csv' using 1:2 with linespoints, \
+     'abl-simjoin.csv' using 1:3 with linespoints, \
+     'abl-simjoin.csv' using 1:4 with linespoints, \
+     'abl-simjoin.csv' using 1:5 with linespoints

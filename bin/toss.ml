@@ -225,8 +225,8 @@ let print_trace oc (stats : Executor.stats) =
   print_phase_table oc stats;
   Printf.fprintf oc "trace:\n%s" (Toss_obs.Span.to_string stats.Executor.trace)
 
-let query files query mode eps show_xpath explain no_planner no_compile trace
-    show_stats explain_analyze analyze_json profile slow_ms =
+let query files right query mode eps show_xpath explain no_planner no_compile
+    no_simjoin trace show_stats explain_analyze analyze_json profile slow_ms =
   (* EXPLAIN ANALYZE implies tracing: the analyzed plan is the span tree
      with its per-operator actuals (and allocation deltas). *)
   if trace || explain_analyze || analyze_json <> None then
@@ -253,13 +253,67 @@ let query files query mode eps show_xpath explain no_planner no_compile trace
   let c = Collection.create "cli" in
   List.iter (fun t -> ignore (Collection.add_document c t)) trees;
   let coll = Collection.snapshot c in
+  (* [--right FILE] turns the query into a condition join: the
+     positional FILEs are the left collection, [FILE] the right one, and
+     the pattern root's two children are matched one per side. *)
+  let right_trees = List.map load_doc right in
+  let right_coll =
+    match right_trees with
+    | [] -> None
+    | ts ->
+        let rc = Collection.create "cli-right" in
+        List.iter (fun t -> ignore (Collection.add_document rc t)) ts;
+        Some (Collection.snapshot rc)
+  in
   match Tql.parse query with
   | Error msg -> `Error (false, "TQL syntax error: " ^ msg)
   | Ok q -> (
-      let docs = List.map Doc.of_tree trees in
+      let docs = List.map Doc.of_tree (trees @ right_trees) in
       match Seo.of_documents ~metric:Workload.experiment_metric ~eps docs with
       | Error msg -> `Error (false, msg)
-      | Ok seo ->
+      | Ok seo -> (
+          match right_coll with
+          | Some rcoll -> (
+              (* Join path: EXPLAIN prints the physical plan (pairing
+                 strategy included); otherwise execute and report like a
+                 selection. *)
+              match q.Tql.target with
+              | Tql.Project _ -> `Error (false, "toss query --right: SELECT queries only")
+              | Tql.Select sl ->
+                  if explain then begin
+                    let plan =
+                      Toss_core.Planner.plan_join ~mode
+                        ~optimize:(not no_planner) ~compile:(not no_compile)
+                        ~simjoin:(not no_simjoin) seo coll rcoll
+                        ~pattern:q.Tql.pattern ~sl
+                    in
+                    print_string "EXPLAIN\n";
+                    print_string (Toss_core.Plan.to_string plan);
+                    print_newline ();
+                    `Ok ()
+                  end
+                  else begin
+                    let results, stats =
+                      Executor.join ~mode ~planner:(not no_planner)
+                        ~compile:(not no_compile) ~simjoin:(not no_simjoin) seo
+                        coll rcoll ~pattern:q.Tql.pattern ~sl
+                    in
+                    Printf.printf "%d result(s) in %.4fs\n" (List.length results)
+                      (Executor.total_s stats.Executor.phases);
+                    List.iter
+                      (fun t -> print_string (Printer.to_pretty_string t))
+                      results;
+                    if trace then print_trace stdout stats;
+                    if explain_analyze then begin
+                      print_string "EXPLAIN ANALYZE\n";
+                      print_string (Toss_obs.Span.to_string stats.Executor.trace)
+                    end;
+                    if show_stats then
+                      print_string
+                        (Toss_obs.Metrics.to_table (Toss_obs.Metrics.snapshot ()));
+                    `Ok ()
+                  end)
+          | None ->
           if show_xpath then
             prerr_endline
               (Toss_core.Explain.to_string
@@ -323,13 +377,21 @@ let query files query mode eps show_xpath explain no_planner no_compile trace
               end);
           if show_stats then
             print_string (Toss_obs.Metrics.to_table (Toss_obs.Metrics.snapshot ()));
-          `Ok ())
+          `Ok ()))
 
 let query_cmd =
   let files =
     Arg.(non_empty & pos_left ~rev:true 0 file [] & info [] ~docv:"FILE")
   in
   let q = Arg.(required & pos ~rev:true 0 (some string) None & info [] ~docv:"TQL") in
+  let right =
+    Arg.(value & opt_all file [] & info [ "right" ] ~docv:"FILE"
+           ~doc:"Run a condition join: the positional files are the left \
+                 collection, the $(docv)s (repeatable) the right one. The \
+                 pattern root's two children are matched one per \
+                 collection; cross conditions (including $(b,~)/$(b,isa) \
+                 atoms) relate them.")
+  in
   let mode =
     Arg.(value
          & opt (enum [ ("toss", Executor.Toss); ("tax", Executor.Tax) ]) Executor.Toss
@@ -362,6 +424,13 @@ let query_cmd =
                  scan/prune/embed pipeline instead of the single-pass \
                  compiled matcher. Results are identical; only the work \
                  differs.")
+  in
+  let no_simjoin =
+    Arg.(value & flag & info [ "no-simjoin" ]
+           ~doc:"Joins only: disable the signature-indexed similarity \
+                 pairing ($(b,sim-pair)) and keep nested-loop pairing \
+                 for $(b,~)/$(b,isa) cross conditions. Results are \
+                 identical; only the work differs.")
   in
   let trace =
     Arg.(value & flag & info [ "trace" ]
@@ -401,9 +470,9 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:"Run a TQL pattern-tree query over one or more documents.")
     Term.(ret
-            (const query $ files $ q $ mode $ eps $ show_xpath $ explain
-             $ no_planner $ no_compile $ trace $ show_stats $ explain_analyze
-             $ analyze_json $ profile $ slow_ms))
+            (const query $ files $ right $ q $ mode $ eps $ show_xpath $ explain
+             $ no_planner $ no_compile $ no_simjoin $ trace $ show_stats
+             $ explain_analyze $ analyze_json $ profile $ slow_ms))
 
 (* ----------------------------- stats ------------------------------ *)
 
@@ -567,11 +636,16 @@ let serve_cmd =
 
 (* ----------------------------- client ----------------------------- *)
 
-let client_run socket op arg1 arg2 mode no_cache deadline_ms trace_id bench
-    concurrency allow_errors table =
+let client_run socket op arg1 arg2 arg3 mode no_cache deadline_ms trace_id
+    bench concurrency allow_errors table =
   let need2 what k =
     match (arg1, arg2) with
     | Some a, Some b -> k a b
+    | _ -> Error (Printf.sprintf "%s needs %s" op what)
+  in
+  let need3 what k =
+    match (arg1, arg2, arg3) with
+    | Some a, Some b, Some c -> k a b c
     | _ -> Error (Printf.sprintf "%s needs %s" op what)
   in
   let request =
@@ -590,14 +664,17 @@ let client_run socket op arg1 arg2 mode no_cache deadline_ms trace_id bench
             Ok
               (Toss_server.Protocol.Query
                  { collection; tql; mode; cache = not no_cache }))
+    | "join" ->
+        need3 "LEFT, RIGHT and TQL" (fun left right tql ->
+            Ok (Toss_server.Protocol.Join { left; right; tql; mode }))
     | "explain" ->
         need2 "COLLECTION and TQL" (fun collection tql ->
             Ok (Toss_server.Protocol.Explain { collection; tql; mode }))
     | other ->
         Error
           (Printf.sprintf
-             "unknown op %S (expected ping, insert, query, explain, stats, \
-              metrics or shutdown)"
+             "unknown op %S (expected ping, insert, query, join, explain, \
+              stats, metrics or shutdown)"
              other)
   in
   match request with
@@ -658,12 +735,13 @@ let client_cmd =
   in
   let op =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"OP"
-           ~doc:"One of ping, insert, query, explain, stats, metrics, \
-                 shutdown. $(b,metrics) prints the server's Prometheus \
-                 text exposition.")
+           ~doc:"One of ping, insert, query, join, explain, stats, metrics, \
+                 shutdown. $(b,join) takes LEFT RIGHT TQL; $(b,metrics) \
+                 prints the server's Prometheus text exposition.")
   in
   let arg1 = Arg.(value & pos 1 (some string) None & info [] ~docv:"COLLECTION") in
   let arg2 = Arg.(value & pos 2 (some string) None & info [] ~docv:"ARG") in
+  let arg3 = Arg.(value & pos 3 (some string) None & info [] ~docv:"ARG2") in
   let mode =
     Arg.(value
          & opt (enum [ ("toss", Executor.Toss); ("tax", Executor.Tax) ]) Executor.Toss
@@ -709,11 +787,11 @@ let client_cmd =
        ~doc:"Talk to a running $(b,toss serve): one-shot requests or a \
              closed-loop benchmark.")
     Term.(ret
-            (const client_run $ socket $ op $ arg1 $ arg2 $ mode $ no_cache
-             $ deadline_ms $ trace_id $ bench $ concurrency $ allow_errors
-             $ table))
+            (const client_run $ socket $ op $ arg1 $ arg2 $ arg3 $ mode
+             $ no_cache $ deadline_ms $ trace_id $ bench $ concurrency
+             $ allow_errors $ table))
 
-let check_run seed runs op fault repro_out =
+let check_run seed runs op no_simjoin fault repro_out =
   match Toss_check.Harness.fault_of_string fault with
   | None ->
       `Error
@@ -721,7 +799,9 @@ let check_run seed runs op fault repro_out =
          Printf.sprintf "unknown fault %S (expected one of: %s)" fault
            (String.concat ", " Toss_check.Harness.fault_names))
   | Some fault ->
-      let outcome = Toss_check.Harness.run ~fault ?op ~seed ~runs () in
+      let outcome =
+        Toss_check.Harness.run ~fault ?op ~simjoin:(not no_simjoin) ~seed ~runs ()
+      in
       Toss_check.Harness.report Format.std_formatter outcome;
       (match outcome with
       | Toss_check.Harness.Pass _ -> `Ok ()
@@ -751,13 +831,20 @@ let check_cmd =
          & info [ "op" ] ~docv:"OP"
              ~doc:"Restrict generated cases to one operator (select or join).")
   in
+  let no_simjoin =
+    Arg.(value & flag & info [ "no-simjoin" ]
+           ~doc:"Run every generated join through nested-loop pairing \
+                 instead of the sim-pair operator (the CI matrix's \
+                 second axis).")
+  in
   let fault =
     Arg.(value & opt string "none"
          & info [ "inject-fault" ] ~docv:"FAULT"
              ~doc:"Inject a known engine fault (hash-no-recheck, \
                    prune-first-only, no-dedup, \
-                   compile-skip-descendant-edge) to exercise the harness; \
-                   it must be caught and shrunk.")
+                   compile-skip-descendant-edge, simjoin-prefix-too-short, \
+                   simjoin-no-recheck) to exercise the harness; it must \
+                   be caught and shrunk.")
   in
   let repro_out =
     Arg.(value & opt (some string) None
@@ -770,7 +857,7 @@ let check_cmd =
              every engine configuration against a naive reference oracle; \
              failures are shrunk to a minimal repro. Exits 1 on a \
              discrepancy.")
-    Term.(ret (const check_run $ seed $ runs $ op $ fault $ repro_out))
+    Term.(ret (const check_run $ seed $ runs $ op $ no_simjoin $ fault $ repro_out))
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

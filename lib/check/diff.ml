@@ -46,7 +46,7 @@ let equal_multiset a b =
 
 let modes = [ Executor.Tax; Executor.Toss ]
 
-let check_case (case : Gen.case) =
+let check_case ?(simjoin = true) (case : Gen.case) =
   let seo = Gen.seo_of case in
   let coll = Collection.snapshot (Collection.of_trees ~name:"check" case.Gen.docs) in
   let rcoll =
@@ -92,8 +92,8 @@ let check_case (case : Gen.case) =
           (fun config ->
             let results, _ =
               Executor.join ~mode ~planner:config.planner
-                ~compile:config.compile ~use_index:config.use_index seo coll
-                rcoll ~pattern ~sl
+                ~compile:config.compile ~use_index:config.use_index ~simjoin seo
+                coll rcoll ~pattern ~sl
             in
             let got = canonical results in
             if not (equal_multiset expected got) then

@@ -2,8 +2,8 @@
 
     A case passes when, for both semantics (TAX and TOSS) and all eight
     engine configurations (compiled matcher on/off × planner on/off ×
-    value index on/off — which also covers hash vs nested-loop pairing
-    for joins), the executor's results equal the oracle's as
+    value index on/off — which also covers hash/sim-pair vs nested-loop
+    pairing for joins), the executor's results equal the oracle's as
     canonicalized witness-tree multisets, and (for selections) the
     executor's [n_embeddings] funnel stat equals the oracle's count of
     condition-satisfying embeddings. Because the compiled axis runs the
@@ -34,6 +34,9 @@ val canonical : Toss_xml.Tree.t list -> Toss_xml.Tree.t list
 (** Sorted by {!Toss_xml.Tree.compare} — the multiset normal form
     results are compared in. *)
 
-val check_case : Gen.case -> failure option
+val check_case : ?simjoin:bool -> Gen.case -> failure option
 (** [None] when every mode × configuration agrees with the oracle; the
-    first discrepancy otherwise. *)
+    first discrepancy otherwise. [simjoin] (default true) is forwarded
+    to {!Toss_core.Executor.join} — the CLI's [--no-simjoin] axis, which
+    pins the nested-loop pairing for similarity cross-conditions instead
+    of the sim-pair operator. *)

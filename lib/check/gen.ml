@@ -50,20 +50,31 @@ let ontology_terms =
 
 let constant_pool = tag_pool @ word_pool @ number_pool @ [ "publication"; "thing" ]
 
+(* Near-miss spellings straddling the generated ε values (0, 1, 2): the
+   word pool's distance-1 and distance-2 pairs plus two misspellings kept
+   out of [ontology_terms] — always unknown to the hierarchy — so
+   similarity-join cases exercise both the cluster signatures and the
+   metric-fallback bucket of the sim-pair operator. *)
+let near_miss_pool = word_pool @ [ "databse"; "modell" ]
+
 (* ---------------------------- documents --------------------------- *)
 
-let gen_content rng =
-  if Rng.bool rng then Rng.pick rng word_pool else Rng.pick rng number_pool
+let gen_content ?pool rng =
+  match pool with
+  | Some p -> Rng.pick rng p
+  | None -> if Rng.bool rng then Rng.pick rng word_pool else Rng.pick rng number_pool
 
 let gen_attrs rng =
   if Rng.chance rng 20 then [ ("k", Rng.pick rng word_pool) ] else []
 
-let rec gen_element rng ~depth ~budget =
+let rec gen_element ?pool rng ~depth ~budget =
   let tag = Rng.pick rng tag_pool in
   let attrs = gen_attrs rng in
   if depth >= 3 || !budget <= 1 || Rng.chance rng 40 then begin
     decr budget;
-    let children = if Rng.chance rng 75 then [ Tree.text (gen_content rng) ] else [] in
+    let children =
+      if Rng.chance rng 75 then [ Tree.text (gen_content ?pool rng) ] else []
+    in
     Tree.element ~attrs tag children
   end
   else begin
@@ -72,21 +83,21 @@ let rec gen_element rng ~depth ~budget =
     let children = ref [] in
     for _ = 1 to n do
       if !budget > 0 then
-        children := gen_element rng ~depth:(depth + 1) ~budget :: !children
+        children := gen_element ?pool rng ~depth:(depth + 1) ~budget :: !children
     done;
     (* Occasional mixed content: a text node among element children. *)
     let children =
-      if Rng.chance rng 15 then Tree.text (gen_content rng) :: !children
+      if Rng.chance rng 15 then Tree.text (gen_content ?pool rng) :: !children
       else !children
     in
     Tree.element ~attrs tag (List.rev children)
   end
 
-let gen_doc rng =
+let gen_doc ?pool rng =
   let budget = ref (4 + Rng.int rng 9) in
-  gen_element rng ~depth:0 ~budget
+  gen_element ?pool rng ~depth:0 ~budget
 
-let gen_docs rng = List.init (1 + Rng.int rng 3) (fun _ -> gen_doc rng)
+let gen_docs ?pool rng = List.init (1 + Rng.int rng 3) (fun _ -> gen_doc ?pool rng)
 
 (* ---------------------------- ontology ---------------------------- *)
 
@@ -210,8 +221,14 @@ let gen_join_case rng seed =
   let right_labels = List.init n_right (fun i -> n_left + i + 1) in
   let left = gen_shape rng left_labels and right = gen_shape rng right_labels in
   let root = Pattern.node 0 [ (edge rng, left); (edge rng, right) ] in
+  (* A third of join cases are similarity joins proper: the only cross
+     atom is a [~] (or Toss-evaluated [isa]) over content drawn from the
+     shared near-miss pool, so the planner's sim-pair lowering — not the
+     hash path — carries the case, against corpora where ε decides which
+     pairs match. *)
+  let sim_cross = Rng.chance rng 35 in
   let cross_eq =
-    if Rng.chance rng 70 then
+    if (not sim_cross) && Rng.chance rng 70 then
       [ Condition.Cmp
           ( Condition.Content (Rng.pick rng left_labels),
             Condition.Eq,
@@ -221,6 +238,13 @@ let gen_join_case rng seed =
   (* A second cross atom beyond the equality keys: with the hash path
      chosen, this is the recheck that [Hash_no_recheck] skips. *)
   let cross_extra =
+    if sim_cross then
+      [ (let l = Rng.pick rng left_labels and r = Rng.pick rng right_labels in
+         match Rng.int rng 4 with
+         | 0 -> Condition.Isa (Condition.Content l, Condition.Content r)
+         | 1 -> Condition.Isa (Condition.Content r, Condition.Content l)
+         | _ -> Condition.Sim (Condition.Content l, Condition.Content r)) ]
+    else
     match cross_eq with
     | [ Condition.Cmp (lt, _, rt) ] when Rng.chance rng 50 ->
         (* Reuse the hash-key pair. [Neq]/[Lt] contradict the key equality,
@@ -246,11 +270,12 @@ let gen_join_case rng seed =
       gen_condition rng right_labels ~extra:(Rng.int rng 2) ]
   in
   let condition = Condition.conj (side_conds @ cross_eq @ cross_extra) in
+  let pool = if sim_cross then Some near_miss_pool else None in
   {
     seed;
     op = Join;
-    docs = gen_docs rng;
-    right_docs = gen_docs rng;
+    docs = gen_docs ?pool rng;
+    right_docs = gen_docs ?pool rng;
     isa_edges = gen_edges rng ~max_edges:6 ontology_terms;
     part_edges = gen_edges rng ~max_edges:4 ontology_terms;
     eps = Rng.pick rng [ 0.; 1.; 2. ];

@@ -29,7 +29,12 @@ type case = {
 
 val case : ?op:op -> int -> case
 (** The case for one seed; [op] forces the operator kind (otherwise
-    ~60% selections). *)
+    ~60% selections). About a third of join cases are similarity joins
+    proper: their only cross atom is a [~] or [isa] over content, and
+    both corpora draw from a shared pool of near-miss spellings
+    straddling the generated ε values, so the planner's sim-pair
+    lowering carries the case and the ε threshold decides which pairs
+    match. *)
 
 val seo_of : case -> Toss_core.Seo.t
 (** The similarity-enhanced ontology the case's edges and ε describe

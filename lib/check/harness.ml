@@ -15,6 +15,8 @@ let fault_of_string = function
   | "prune-first-only" -> Some Plan.Prune_first_only
   | "no-dedup" -> Some Plan.No_dedup
   | "compile-skip-descendant-edge" -> Some Plan.Compile_skip_descendant_edge
+  | "simjoin-prefix-too-short" -> Some Plan.Simjoin_prefix_too_short
+  | "simjoin-no-recheck" -> Some Plan.Simjoin_no_recheck
   | _ -> None
 
 let fault_names =
@@ -24,12 +26,14 @@ let fault_names =
     "prune-first-only";
     "no-dedup";
     "compile-skip-descendant-edge";
+    "simjoin-prefix-too-short";
+    "simjoin-no-recheck";
   ]
 
 let doc_count (case : Gen.case) =
   List.length case.Gen.docs + List.length case.Gen.right_docs
 
-let run ?(fault = Plan.No_fault) ?op ~seed ~runs () =
+let run ?(fault = Plan.No_fault) ?op ?simjoin ~seed ~runs () =
   let master = Rng.create seed in
   let with_fault f =
     Plan.fault := fault;
@@ -41,10 +45,10 @@ let run ?(fault = Plan.No_fault) ?op ~seed ~runs () =
         else
           let case_seed = Rng.sub_seed master in
           let case = Gen.case ?op case_seed in
-          match Diff.check_case case with
+          match Diff.check_case ?simjoin case with
           | None -> go (i + 1)
           | Some _ ->
-              let _shrunk, failure, steps = Shrink.minimize case in
+              let _shrunk, failure, steps = Shrink.minimize ?simjoin case in
               Fail { run = i; case_seed; failure; steps }
       in
       go 1)

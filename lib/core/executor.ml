@@ -140,7 +140,8 @@ let select ?(mode = Toss) ?(use_index = true) ?max_expansion ?(planner = true)
   finish ~op:"select" ~plan outcome trace
 
 let join ?(mode = Toss) ?(use_index = true) ?max_expansion ?(planner = true)
-    ?(compile = true) ?check seo left_coll right_coll ~pattern ~sl =
+    ?(compile = true) ?(simjoin = true) ?check seo left_coll right_coll ~pattern
+    ~sl =
   Metrics.incr m_joins;
   event_query_start ~op:"join" ~mode left_coll;
   let eval = evaluator_of mode seo in
@@ -153,7 +154,7 @@ let join ?(mode = Toss) ?(use_index = true) ?max_expansion ?(planner = true)
         let plan =
           Span.with_ Names.rewrite (fun () ->
               Planner.plan_join ~mode ~use_index ?max_expansion ~optimize:planner
-                ~compile seo left_coll right_coll ~pattern ~sl)
+                ~compile ~simjoin seo left_coll right_coll ~pattern ~sl)
         in
         event_rewrite_done ~op:"join" (Plan.label_queries plan);
         (plan, Plan.run ?check ~use_index ~eval ~coll_of plan))

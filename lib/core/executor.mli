@@ -104,6 +104,7 @@ val join :
   ?max_expansion:int ->
   ?planner:bool ->
   ?compile:bool ->
+  ?simjoin:bool ->
   ?check:(unit -> unit) ->
   Seo.t ->
   Toss_store.Collection.Snapshot.t ->
@@ -119,5 +120,10 @@ val join :
     either store. An ad edge from the root lets the side match anywhere in
     a document; a pc edge pins it to the document root. Cross-collection
     atoms are evaluated during assembly; with [planner] on, equality
-    atoms split across the sides are used to hash-partition the pairing
-    (the full condition is still re-checked on key matches). *)
+    atoms split across the sides are used to hash-partition the pairing,
+    and failing that a [~]/[isa] atom selects the signature-indexed
+    similarity pairing ({!Plan.Sim_pair}) when the build side is big
+    enough (the full condition is still re-checked on every key match or
+    overlap candidate). [simjoin:false] — the CLI's [--no-simjoin] —
+    disables only the similarity pairing, keeping the nested-loop path
+    as escape hatch and differential reference. *)

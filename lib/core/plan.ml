@@ -39,6 +39,15 @@ type node =
       left : node;
       right : node;
     }
+  | Sim_pair of {
+      atom : Condition.t;
+      lterm : Condition.term;
+      rterm : Condition.term;
+      scheme : Simjoin.scheme;
+      cross_condition : Condition.t;
+      left : node;
+      right : node;
+    }
   | Dedup of node
   | Compiled_match of { spec : embed_spec; matcher : Compile.t }
 
@@ -52,7 +61,9 @@ let rec node_scans = function
   | Label_scan s -> [ s ]
   | Candidate_filter { scans; _ } -> List.concat_map node_scans scans
   | Doc_prune { input; _ } | Embed { input; _ } | Dedup input -> node_scans input
-  | Nested_loop_pair { left; right; _ } | Hash_pair { left; right; _ } ->
+  | Nested_loop_pair { left; right; _ }
+  | Hash_pair { left; right; _ }
+  | Sim_pair { left; right; _ } ->
       node_scans left @ node_scans right
   | Compiled_match _ -> []
 
@@ -109,6 +120,14 @@ let to_string t =
           (Format.asprintf "%a" Condition.pp cross_condition);
         render (indent + 2) left;
         render (indent + 2) right
+    | Sim_pair { atom; scheme; cross_condition; left; right; _ } ->
+        line indent "sim-pair on %s sig=%s overlap=%s recheck %s"
+          (Format.asprintf "%a" Condition.pp atom)
+          (Simjoin.scheme_name scheme)
+          (Simjoin.overlap_name scheme)
+          (Format.asprintf "%a" Condition.pp cross_condition);
+        render (indent + 2) left;
+        render (indent + 2) right
     | Dedup input ->
         line indent "dedup";
         render (indent + 2) input
@@ -154,6 +173,8 @@ type fault =
   | Prune_first_only
   | No_dedup
   | Compile_skip_descendant_edge
+  | Simjoin_prefix_too_short
+  | Simjoin_no_recheck
 
 let fault = ref No_fault
 
@@ -218,7 +239,9 @@ let rec candidate_filters = function
   | Label_scan _ | Compiled_match _ -> []
   | Doc_prune { input; _ } | Embed { input; _ } | Dedup input ->
       candidate_filters input
-  | Nested_loop_pair { left; right; _ } | Hash_pair { left; right; _ } ->
+  | Nested_loop_pair { left; right; _ }
+  | Hash_pair { left; right; _ }
+  | Sim_pair { left; right; _ } ->
       candidate_filters left @ candidate_filters right
 
 (* Phase ii: run every scan of one side, in order, each in its own
@@ -482,6 +505,61 @@ let run ?(check = ignore) ?(use_index = true) ~eval ~coll_of plan =
                Span.annotate
                  [
                    ("pairs", string_of_int !probed);
+                   ("results", string_of_int (List.length results));
+                 ];
+               results))
+    | Sim_pair { lterm; rterm; scheme; cross_condition; left; right; _ } ->
+        let lspec, lefts = expect_bindings (exec_node left) in
+        let rspec, rights = expect_bindings (exec_node right) in
+        Trees
+          (Span.with_ ~meta:[ ("strategy", "sim") ] Names.pair (fun () ->
+               let rarr = Array.of_list rights in
+               let rvals =
+                 Array.map
+                   (fun (rdoc, rbind) ->
+                     Condition.term_value (binding_env rdoc rbind) rterm)
+                   rarr
+               in
+               let index =
+                 Simjoin.build ~check
+                   ~drop_last_prefix_token:(!fault = Simjoin_prefix_too_short)
+                   scheme rvals
+               in
+               let n_cands = ref 0 and n_verified = ref 0 in
+               let results =
+                 List.concat_map
+                   (fun ((ldoc, lbind) as l) ->
+                     check ();
+                     match Condition.term_value (binding_env ldoc lbind) lterm with
+                     | None -> []  (* unbound: the atom, hence the cross
+                                      condition, is false *)
+                     | Some v ->
+                         (* candidates come back in ascending build
+                            ordinal, so verified pairs are emitted
+                            exactly as the nested loop would produce
+                            them. *)
+                         let cands = Simjoin.probe index v in
+                         n_cands := !n_cands + List.length cands;
+                         List.filter_map
+                           (fun i ->
+                             let r = rarr.(i) in
+                             if
+                               !fault = Simjoin_no_recheck
+                               || eval (pair_env l r) cross_condition
+                             then begin
+                               incr n_verified;
+                               Some (pair_tree lspec rspec l r)
+                             end
+                             else None)
+                           cands)
+                   lefts
+               in
+               Span.annotate
+                 [
+                   ("candidates", string_of_int !n_cands);
+                   ("verified", string_of_int !n_verified);
+                   ("indexed", string_of_int (Simjoin.n_indexed index));
+                   ("fallback", string_of_int (Simjoin.n_fallback index));
                    ("results", string_of_int (List.length results));
                  ];
                results))

@@ -17,9 +17,10 @@
       label (an embedding needs every label, so such documents cannot
       contribute results);
     - [Embed] — enumerate pattern embeddings per surviving document;
-    - [Nested_loop_pair] / [Hash_pair] — combine the two sides of a
-      join, checking the cross condition on every pair or only on
-      hash-partitioned key matches;
+    - [Nested_loop_pair] / [Hash_pair] / [Sim_pair] — combine the two
+      sides of a join, checking the cross condition on every pair, only
+      on hash-partitioned key matches, or only on signature-overlap
+      candidates of a [~]/[isa] atom ({!Simjoin});
     - [Dedup] — global set semantics over the paired results.
 
     Plans are pure data: rendering one ({!pp}) performs no store access,
@@ -68,6 +69,25 @@ type node =
       left : node;
       right : node;
     }
+  | Sim_pair of {
+      atom : Toss_tax.Condition.t;
+          (** the top-level [~]/[isa] cross conjunct driving the filter
+              (for rendering; completeness relies on it being a
+              top-level conjunct of [cross_condition]) *)
+      lterm : Toss_tax.Condition.term;  (** probe-side (left) atom term *)
+      rterm : Toss_tax.Condition.term;  (** build-side (right) atom term *)
+      scheme : Simjoin.scheme;
+          (** the taxonomic signature scheme ({!Simjoin}) the planner
+              derived from the atom kind, mode and SEO *)
+      cross_condition : Toss_tax.Condition.t;
+      left : node;
+      right : node;
+    }
+      (** the similarity-join operator: the right side is indexed by
+          frequency-ordered signature prefixes, the left probes with an
+          adaptive overlap constraint, and — exactly as for [Hash_pair]
+          — the full [cross_condition] is re-checked on every candidate,
+          so the operator is an optimization, never a semantic change *)
   | Dedup of node
   | Compiled_match of { spec : embed_spec; matcher : Compile.t }
       (** the compiled single-pass matcher ({!Compile}): no scans, no
@@ -117,6 +137,13 @@ type fault =
           the arena, silently demoting every ad edge to pc semantics —
           matches deeper than one level under their pattern parent's
           image are dropped *)
+  | Simjoin_prefix_too_short
+      (** [Sim_pair] indexes one prefix token too few per build record
+          (see {!Simjoin.build}), making some true pairs unreachable —
+          missed results *)
+  | Simjoin_no_recheck
+      (** [Sim_pair] emits every overlap candidate without re-checking
+          the cross condition — false results *)
 
 val fault : fault ref
 

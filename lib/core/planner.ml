@@ -7,6 +7,7 @@ let m_plans = Metrics.counter "planner.plans"
 let m_compiled = Metrics.counter "planner.plans.compiled"
 let m_hash_joins = Metrics.counter "planner.joins.hash"
 let m_nested_joins = Metrics.counter "planner.joins.nested_loop"
+let m_sim_joins = Metrics.counter "planner.joins.sim"
 
 (* Scans for one side's label queries: estimated through the collection
    statistics and ordered most-selective-first under [optimize], left in
@@ -112,8 +113,47 @@ let hash_keys ~left_labels ~right_labels cross_condition =
       | _ -> None)
     (top_conjuncts cross_condition)
 
+(* The first top-level [~]/[isa] cross conjunct with one node term on
+   each side drives the similarity-join operator, normalized to (probe
+   term, build term, signature scheme). Tax-mode [isa] is substring
+   containment, which admits no finite signature, so only [~] qualifies
+   there; the metric fallback inside {!Simjoin} covers terms outside the
+   ontology. *)
+let sim_atom ~mode ~left_labels ~right_labels seo cross_condition =
+  let split a b =
+    match (term_label a, term_label b) with
+    | Some la, Some lb when List.mem la left_labels && List.mem lb right_labels ->
+        Some `Forward
+    | Some la, Some lb when List.mem la right_labels && List.mem lb left_labels ->
+        Some `Swapped
+    | _ -> None
+  in
+  List.find_map
+    (fun conjunct ->
+      match conjunct with
+      | Toss_tax.Condition.Sim (a, b) as atom -> (
+          let scheme () = Simjoin.sim_scheme ~mode seo in
+          match split a b with
+          | Some `Forward -> Some (atom, a, b, scheme ())
+          | Some `Swapped -> Some (atom, b, a, scheme ())
+          | None -> None)
+      | Toss_tax.Condition.Isa (a, b) as atom when mode = Rewrite.Toss -> (
+          (* [a isa b]: a must lie at-or-below b. *)
+          match split a b with
+          | Some `Forward -> Some (atom, a, b, Simjoin.isa_scheme ~below:`Probe seo)
+          | Some `Swapped -> Some (atom, b, a, Simjoin.isa_scheme ~below:`Build seo)
+          | None -> None)
+      | _ -> None)
+    (top_conjuncts cross_condition)
+
+(* Below this many build-side documents the quadratic term is already
+   gone and signature construction is pure overhead — and a 1-document
+   build side is what the tiny-build-fallback unit test pins. *)
+let min_simjoin_build_docs = 2
+
 let plan_join ?(mode = Rewrite.Toss) ?(use_index = true) ?max_expansion
-    ?(optimize = true) ?(compile = true) seo left_coll right_coll ~pattern ~sl =
+    ?(optimize = true) ?(compile = true) ?(simjoin = true) seo left_coll
+    right_coll ~pattern ~sl =
   Metrics.incr m_plans;
   if compile then Metrics.incr m_compiled;
   let root = pattern.Pattern.root in
@@ -150,14 +190,29 @@ let plan_join ?(mode = Rewrite.Toss) ?(use_index = true) ?max_expansion
     if optimize then hash_keys ~left_labels ~right_labels cross_condition
     else []
   in
+  (* Equality keys partition exactly and win outright; a [~]/[isa] atom
+     is worth an index only when the build side is big enough for the
+     quadratic term to matter. *)
+  let sim =
+    if
+      optimize && simjoin && keys = []
+      && Collection.Snapshot.n_documents right_coll >= min_simjoin_build_docs
+    then sim_atom ~mode ~left_labels ~right_labels seo cross_condition
+    else None
+  in
   let pairing =
     if keys <> [] then begin
       Metrics.incr m_hash_joins;
       Plan.Hash_pair { keys; cross_condition; left; right }
     end
-    else begin
-      Metrics.incr m_nested_joins;
-      Plan.Nested_loop_pair { cross_condition; left; right }
-    end
+    else
+      match sim with
+      | Some (atom, lterm, rterm, scheme) ->
+          Metrics.incr m_sim_joins;
+          Plan.Sim_pair
+            { atom; lterm; rterm; scheme; cross_condition; left; right }
+      | None ->
+          Metrics.incr m_nested_joins;
+          Plan.Nested_loop_pair { cross_condition; left; right }
   in
   { Plan.mode; root = Plan.Dedup pairing }

@@ -16,6 +16,10 @@
     - join cross-conditions whose top-level conjuncts include an
       equality split across the two sides are lowered to [Hash_pair]
       (hash-partitioned pairing with a full recheck on key matches);
+      otherwise a top-level [~]/[isa] conjunct split across the sides is
+      lowered to [Sim_pair] (signature prefix filtering with an adaptive
+      overlap constraint — see {!Simjoin} — plus the same full recheck)
+      whenever the build side's statistics show at least two documents;
       anything else falls back to [Nested_loop_pair].
 
     With [optimize:false] the same IR is produced but naively — rewrite
@@ -58,6 +62,7 @@ val plan_join :
   ?max_expansion:int ->
   ?optimize:bool ->
   ?compile:bool ->
+  ?simjoin:bool ->
   Seo.t ->
   Toss_store.Collection.Snapshot.t ->
   Toss_store.Collection.Snapshot.t ->
@@ -68,4 +73,7 @@ val plan_join :
     two children (the left and right sub-patterns); raises
     [Invalid_argument] otherwise, as {!Executor.join} always has. Under
     [compile] each side becomes its own {!Plan.Compiled_match} leaf
-    feeding the shared pairing operators. *)
+    feeding the shared pairing operators. [simjoin] (default true; the
+    CLI's [--no-simjoin] when off) gates the [Sim_pair] lowering only —
+    with it off, similarity cross-conditions keep the nested-loop
+    pairing, the escape hatch and differential reference. *)

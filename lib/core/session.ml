@@ -105,6 +105,12 @@ let pin t ~collection =
           let pin_seo = seo_unlocked t in
           Ok { pin_seo; pin_snap = Collection.snapshot coll })
 
+type pinned2 = {
+  pin2_seo : (Seo.t, string) result;
+  pin2_left : Collection.Snapshot.t;
+  pin2_right : Collection.Snapshot.t;
+}
+
 let pin2 t ~left ~right =
   locked t (fun () ->
       match
@@ -113,12 +119,20 @@ let pin2 t ~left ~right =
       | None, _ -> Error (Printf.sprintf "unknown collection %S" left)
       | _, None -> Error (Printf.sprintf "unknown collection %S" right)
       | Some l, Some r ->
-          let pin_seo = seo_unlocked t in
-          Ok (pin_seo, Collection.snapshot l, Collection.snapshot r))
+          let pin2_seo = seo_unlocked t in
+          Ok
+            {
+              pin2_seo;
+              pin2_left = Collection.snapshot l;
+              pin2_right = Collection.snapshot r;
+            })
 
 let pinned_version p = Collection.Snapshot.version p.pin_snap
 let pinned_snapshot p = p.pin_snap
 let pinned_seo p = p.pin_seo
+
+let pinned2_versions p =
+  (Collection.Snapshot.version p.pin2_left, Collection.Snapshot.version p.pin2_right)
 
 type answer = { trees : Tree.t list; stats : Executor.stats option }
 
@@ -160,15 +174,18 @@ let query ?mode ?check t ~collection text =
   | Error msg -> Error msg
   | Ok p -> query_at ?mode ?check p text
 
-let join ?(mode = Executor.Toss) ?check t ~left ~right text =
+let join_at ?(mode = Executor.Toss) ?(simjoin = true) ?check p text =
+  with_query p.pin2_seo text (fun q context ->
+      match q.Tql.target with
+      | Tql.Project _ -> Error "join does not support PROJECT"
+      | Tql.Select sl ->
+          let trees, stats =
+            Executor.join ~mode ~simjoin ?check context p.pin2_left p.pin2_right
+              ~pattern:q.Tql.pattern ~sl
+          in
+          Ok { trees; stats = Some stats })
+
+let join ?mode ?simjoin ?check t ~left ~right text =
   match pin2 t ~left ~right with
   | Error msg -> Error msg
-  | Ok (seo_result, l, r) ->
-      with_query seo_result text (fun q context ->
-          match q.Tql.target with
-          | Tql.Project _ -> Error "join does not support PROJECT"
-          | Tql.Select sl ->
-              let trees, stats =
-                Executor.join ~mode ?check context l r ~pattern:q.Tql.pattern ~sl
-              in
-              Ok { trees; stats = Some stats })
+  | Ok p -> join_at ?mode ?simjoin ?check p text

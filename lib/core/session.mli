@@ -118,18 +118,44 @@ val query :
 (** [{!pin} + {!query_at}]: runs against the version current at call
     time. *)
 
+type pinned2
+(** Two collections pinned together at one mutually consistent pair of
+    versions, with the SEO in force — what a join executes against.
+    Immutable and domain-safe, like {!pinned}. *)
+
+val pin2 : t -> left:string -> right:string -> (pinned2, string) result
+(** Pins both collections under one mutex acquisition — the
+    linearization point of a join read. [Error] names the first unknown
+    collection. *)
+
+val pinned2_versions : pinned2 -> int * int
+(** The (left, right) pinned versions — the server's join-cache key and
+    what it reports in answers. *)
+
+val join_at :
+  ?mode:Executor.mode ->
+  ?simjoin:bool ->
+  ?check:(unit -> unit) ->
+  pinned2 ->
+  string ->
+  (answer, string) result
+(** Parses a TQL join (the pattern root must have two children, see
+    {!Executor.join}) and runs it against the pinned pair. Lock-free and
+    domain-safe as {!query_at}; [simjoin] gates the {!Plan.Sim_pair}
+    lowering (see {!Executor.join}); [check] is the cooperative
+    cancellation checkpoint, consulted inside the pairing probe loop. *)
+
 val join :
   ?mode:Executor.mode ->
+  ?simjoin:bool ->
   ?check:(unit -> unit) ->
   t ->
   left:string ->
   right:string ->
   string ->
   (answer, string) result
-(** A TQL join across two collections; the TQL pattern's root must have
-    two children (see {!Executor.join}). Both sides are pinned under one
-    mutex acquisition, so the join sees a mutually consistent pair of
-    versions; execution is lock-free as for {!query_at}. *)
+(** [{!pin2} + {!join_at}]: a TQL join across two collections at the
+    versions current at call time. *)
 
 val invalidate : t -> unit
 (** Forces the SEO to be rebuilt on next use (e.g. after editing the

@@ -1,0 +1,159 @@
+(* Prefix-filtered similarity joins over SEO-derived signatures; see the
+   interface for the completeness argument. *)
+
+type scheme = {
+  name : string;
+  adaptive : bool;
+      (* overlap two for multi-token signatures: a similar pair of
+         distinct clustered values shares both endpoints, so one token of
+         each signature — the globally most frequent — can stay out of
+         the index. [false] for isa-style schemes, where one shared token
+         is all the atom guarantees. *)
+  probe_sig : string -> string list option;
+  build_sig : string -> string list option;
+      (* [None] routes the value to the metric-fallback bucket. *)
+}
+
+let dedup_tokens tokens =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun t ->
+      if Hashtbl.mem seen t then false
+      else begin
+        Hashtbl.replace seen t ();
+        true
+      end)
+    tokens
+
+let sim_scheme ~mode seo =
+  match mode with
+  | Rewrite.Tax ->
+      (* Tax-mode [~] is string equality: the value is its own signature
+         and every value is "known". *)
+      let self v = Some [ v ] in
+      { name = "equality"; adaptive = false; probe_sig = self; build_sig = self }
+  | Rewrite.Toss ->
+      (* Known values expand into their similarity cluster; unknown
+         values fall back to the metric predicate, which can relate
+         values with disjoint token sets, so they bypass the index. *)
+      let expand v =
+        if Seo.knows_term seo v then
+          Some (dedup_tokens (v :: Rewrite.similar_terms seo v))
+        else None
+      in
+      { name = "cluster"; adaptive = true; probe_sig = expand; build_sig = expand }
+
+let isa_scheme ~below seo =
+  (* [x isa y] holds iff x = y or x lies below y in the enhanced
+     hierarchy, i.e. iff x ∈ below(y): the upper side carries its
+     at-or-below set, the lower side itself. Both sides always have a
+     finite signature (an unknown term's below-set is the term), so the
+     fallback bucket stays empty. *)
+  let self v = Some [ v ] in
+  let expand v = Some (dedup_tokens (v :: Rewrite.isa_below seo v)) in
+  match below with
+  | `Probe -> { name = "isa-below"; adaptive = false; probe_sig = self; build_sig = expand }
+  | `Build -> { name = "isa-below"; adaptive = false; probe_sig = expand; build_sig = self }
+
+let scheme_name s = s.name
+let overlap_name s = if s.adaptive then "adaptive" else "1"
+
+type index = {
+  scheme : scheme;
+  freq : (string, int) Hashtbl.t;
+      (* global build-side token frequencies — the total order both
+         prefixes are computed in. Probe tokens absent from the build
+         side order first (frequency 0); they cannot hit the index, and
+         only shared tokens need a consistent rank. *)
+  postings : (string, int list) Hashtbl.t;  (* token -> ordinals, descending *)
+  fallback : int list;  (* bucket ordinals, ascending *)
+  n_indexed : int;
+  n_fallback : int;
+}
+
+let token_rank freq t =
+  (Option.value ~default:0 (Hashtbl.find_opt freq t), t)
+
+let order_sig freq tokens =
+  List.sort (fun a b -> compare (token_rank freq a) (token_rank freq b)) tokens
+
+(* The least-frequent [|sig| - t + 1] tokens, where the required overlap
+   t adapts to the signature: two for multi-token signatures under an
+   adaptive scheme (distinct similar values share both endpoints of the
+   pair), one otherwise. Any pair satisfying the atom shares a token
+   within both prefixes. *)
+let prefix scheme freq tokens =
+  let ordered = order_sig freq tokens in
+  let n = List.length ordered in
+  let t = if scheme.adaptive then min 2 n else 1 in
+  List.filteri (fun i _ -> i <= n - t) ordered
+
+let build ?(check = ignore) ?(drop_last_prefix_token = false) scheme values =
+  let sigs = Array.map (Option.map (fun v -> (v, scheme.build_sig v))) values in
+  let freq = Hashtbl.create 64 in
+  Array.iter
+    (function
+      | Some (_, Some tokens) ->
+          List.iter
+            (fun t ->
+              Hashtbl.replace freq t
+                (1 + Option.value ~default:0 (Hashtbl.find_opt freq t)))
+            tokens
+      | _ -> ())
+    sigs;
+  let postings = Hashtbl.create 64 in
+  let fallback = ref [] in
+  let n_indexed = ref 0 and n_fallback = ref 0 in
+  Array.iteri
+    (fun i entry ->
+      check ();
+      match entry with
+      | None -> ()  (* unbound term: the atom is false, pairs with nothing *)
+      | Some (_, None) ->
+          incr n_fallback;
+          fallback := i :: !fallback
+      | Some (_, Some tokens) ->
+          incr n_indexed;
+          let pfx = prefix scheme freq tokens in
+          let pfx =
+            (* simjoin-prefix-too-short fault: lose the last — least
+               replaceable — prefix token, so some pairs become
+               unreachable. *)
+            if drop_last_prefix_token then
+              match List.rev pfx with [] -> [] | _ :: rest -> List.rev rest
+            else pfx
+          in
+          List.iter
+            (fun t ->
+              Hashtbl.replace postings t
+                (i :: Option.value ~default:[] (Hashtbl.find_opt postings t)))
+            pfx)
+    sigs;
+  {
+    scheme;
+    freq;
+    postings;
+    fallback = List.rev !fallback;
+    n_indexed = !n_indexed;
+    n_fallback = !n_fallback;
+  }
+
+let probe idx v =
+  match idx.scheme.probe_sig v with
+  | None ->
+      (* Metric-fallback probe: only bucket records can match (a known
+         and an unknown term are never similar). *)
+      idx.fallback
+  | Some tokens ->
+      let pfx = prefix idx.scheme idx.freq tokens in
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun t ->
+          List.iter
+            (fun i -> Hashtbl.replace seen i ())
+            (Option.value ~default:[] (Hashtbl.find_opt idx.postings t)))
+        pfx;
+      List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) seen [])
+
+let n_indexed idx = idx.n_indexed
+let n_fallback idx = idx.n_fallback

@@ -170,6 +170,47 @@ let do_query t ~deadline ~collection ~tql ~mode ~cache =
                   (fun (s : Executor.stats) -> s.Executor.trace)
                   answer.Session.stats )))
 
+(* Joins pin both snapshots atomically ([Session.pin2]) but bypass the
+   result cache: its entries are keyed and invalidated per single
+   collection, and a two-collection key would go stale on writes to
+   either side. The deadline [check] reaches the pairing operator's
+   probe loop, so a join is cancellable mid-probe — with no partial
+   witnesses, since the whole request fails with [deadline_exceeded]. *)
+let do_join t ~deadline ~left ~right ~tql ~mode =
+  match Session.pin2 t.session ~left ~right with
+  | Error msg -> (err Protocol.Unknown_collection "%s" msg, None)
+  | Ok pinned -> (
+      let lversion, rversion = Session.pinned2_versions pinned in
+      let t0 = Unix.gettimeofday () in
+      let check = check_of_deadline deadline in
+      match Session.join_at ~mode ~check pinned tql with
+      | exception Deadline ->
+          ( err Protocol.Deadline_exceeded "deadline exceeded during execution",
+            None )
+      | Error msg -> (err Protocol.Query_error "%s" msg, None)
+      | Ok answer ->
+          let compute_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+          let payload =
+            J.Obj
+              [
+                ("left", J.Str left);
+                ("right", J.Str right);
+                ("left_version", J.Num (float_of_int lversion));
+                ("right_version", J.Num (float_of_int rversion));
+                ("count", J.Num (float_of_int (List.length answer.Session.trees)));
+                ("compute_ms", J.Num compute_ms);
+                ( "trees",
+                  J.Arr
+                    (List.map
+                       (fun tr -> J.Str (Printer.to_string ~decl:false tr))
+                       answer.Session.trees) );
+              ]
+          in
+          ( Ok payload,
+            Option.map
+              (fun (s : Executor.stats) -> s.Executor.trace)
+              answer.Session.stats ))
+
 let do_explain t ~collection ~tql ~mode =
   match Session.pin t.session ~collection with
   | Error msg -> err Protocol.Unknown_collection "%s" msg
@@ -225,6 +266,8 @@ let exec_traced t ~deadline request =
           (write_locked t (fun () -> do_insert t ~collection ~xml), None)
       | Protocol.Query { collection; tql; mode; cache } ->
           do_query t ~deadline ~collection ~tql ~mode ~cache
+      | Protocol.Join { left; right; tql; mode } ->
+          do_join t ~deadline ~left ~right ~tql ~mode
       | Protocol.Explain { collection; tql; mode } ->
           (do_explain t ~collection ~tql ~mode, None)
   in

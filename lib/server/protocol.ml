@@ -44,6 +44,12 @@ type request =
       mode : Toss_core.Executor.mode;
       cache : bool;
     }
+  | Join of {
+      left : string;
+      right : string;
+      tql : string;
+      mode : Toss_core.Executor.mode;
+    }
   | Explain of {
       collection : string;
       tql : string;
@@ -57,6 +63,7 @@ let op_name = function
   | Ping -> "ping"
   | Insert _ -> "insert"
   | Query _ -> "query"
+  | Join _ -> "join"
   | Explain _ -> "explain"
   | Stats -> "stats"
   | Metrics -> "metrics"
@@ -129,6 +136,12 @@ let decode_request obj op =
       let* mode = mode_field obj in
       let* cache = optional obj "cache" J.to_bool "boolean" ~default:true in
       Ok (Query { collection; tql; mode; cache })
+  | "join" ->
+      let* left = required obj "left" J.to_str "string" in
+      let* right = required obj "right" J.to_str "string" in
+      let* tql = required obj "tql" J.to_str "string" in
+      let* mode = mode_field obj in
+      Ok (Join { left; right; tql; mode })
   | "explain" ->
       let* collection = required obj "collection" J.to_str "string" in
       let* tql = required obj "tql" J.to_str "string" in
@@ -188,6 +201,13 @@ let request_to_line { id; deadline_ms; trace_id; request } =
           ("tql", J.Str tql);
           ("mode", J.Str (mode_name mode));
           ("cache", J.Bool cache);
+        ]
+    | Join { left; right; tql; mode } ->
+        [
+          ("left", J.Str left);
+          ("right", J.Str right);
+          ("tql", J.Str tql);
+          ("mode", J.Str (mode_name mode));
         ]
     | Explain { collection; tql; mode } ->
         [

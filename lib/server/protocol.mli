@@ -59,6 +59,17 @@ type request =
       mode : Toss_core.Executor.mode;  (** default [Toss] *)
       cache : bool;  (** consult/populate the result cache; default true *)
     }
+  | Join of {
+      left : string;
+      right : string;
+      tql : string;
+      mode : Toss_core.Executor.mode;  (** default [Toss] *)
+    }
+      (** Condition join of two collections: the TQL pattern root's two
+          children match [left] and [right] respectively. Joins bypass
+          the result cache — a cached entry would need invalidation on
+          writes to either collection, and the single-collection cache
+          is keyed (and invalidated) per collection. *)
   | Explain of {
       collection : string;
       tql : string;

@@ -184,6 +184,7 @@ let log_access state ~trace_id ~request ~queue_s ~exec_s ~body ~trace =
         | Protocol.Query { collection; _ }
         | Protocol.Explain { collection; _ } ->
             Some (J.Str collection)
+        | Protocol.Join { left; right; _ } -> Some (J.Str (left ^ "," ^ right))
         | _ -> None
       in
       let payload_member name =
@@ -260,7 +261,8 @@ let handle_request state conn (env : Protocol.envelope) =
         ~body ~trace:None;
       send conn (respond ~server_ms:0. ~queue_ms:0. body);
       request_stop state
-  | Protocol.Insert _ | Protocol.Query _ | Protocol.Explain _ -> (
+  | Protocol.Insert _ | Protocol.Query _ | Protocol.Join _ | Protocol.Explain _
+    -> (
       let deadline_ms =
         match env.deadline_ms with
         | Some _ as v -> v

@@ -142,6 +142,71 @@ order, nothing is pruned, and no row estimates are attached:
   scan
   scan
 
+Similarity joins: --right FILE (repeatable) turns the query into a
+condition join — the positional files are the left collection, the
+--right files the right one. A ~ (or isa) cross-condition lowers to
+the signature-indexed sim-pair operator whenever the build side has
+at least two documents; the plan names the signature scheme and the
+overlap policy, and always carries the full recheck condition:
+
+  $ cat > lpapers.xml <<'EOF'
+  > <article><title>Tree Patterns</title><venue>VLDB</venue></article>
+  > EOF
+  $ cat > rev1.xml <<'EOF'
+  > <review><forum>VLDB</forum><score>8</score></review>
+  > EOF
+  $ cat > rev2.xml <<'EOF'
+  > <review><forum>ICDE</forum><score>7</score></review>
+  > EOF
+  $ JOIN='MATCH #0:pt(//#1:article(/#2:venue), //#3:review(/#4:forum)) WHERE #2.content ~ #4.content SELECT #1,#3'
+  $ toss query lpapers.xml --right rev1.xml --right rev2.xml "$JOIN" --explain
+  EXPLAIN
+  plan mode=toss
+  dedup
+    sim-pair on #2.content ~ #4.content sig=cluster overlap=adaptive recheck ((((#1.tag = "article" and #2.tag = "venue") and #3.tag = "review") and #4.tag = "forum") and #2.content ~ #4.content)
+      compiled-match side=left states=2 sl=[1]
+        state #1 (root): #1.tag = "article" [string-eq]
+        state #2 (pc of #1): #2.tag = "venue" [string-eq]
+      compiled-match side=right states=2 sl=[3]
+        state #3 (root): #3.tag = "review" [string-eq]
+        state #4 (pc of #3): #4.tag = "forum" [string-eq]
+
+The join runs through the same executor as the CLI's selections:
+
+  $ toss query lpapers.xml --right rev1.xml --right rev2.xml "$JOIN" | head -1 | cut -d' ' -f1-2
+  1 result(s)
+
+EXPLAIN ANALYZE annotates the pair span with the probe's actuals —
+how many overlap candidates the signature index produced and how many
+survived the recheck:
+
+  $ toss query lpapers.xml --right rev1.xml --right rev2.xml "$JOIN" --explain-analyze | grep -o 'strategy=sim.*'
+  strategy=sim  candidates=1  verified=1  indexed=2  fallback=0  results=1
+
+--no-simjoin keeps the nested-loop pairing (the escape hatch and the
+differential reference); the answers are identical:
+
+  $ toss query lpapers.xml --right rev1.xml --right rev2.xml "$JOIN" --no-simjoin --explain | grep -o 'nested-loop-pair'
+  nested-loop-pair
+  $ toss query lpapers.xml --right rev1.xml --right rev2.xml "$JOIN" --no-simjoin | head -1 | cut -d' ' -f1-2
+  1 result(s)
+
+The two sim-join faults bracket the operator's proof obligations:
+candidate completeness (a too-short prefix misses pairs) and
+soundness (skipping the recheck invents pairs). Both are caught and
+shrunk to a couple of documents per side:
+
+  $ toss check --seed 42 --runs 500 --op join --inject-fault simjoin-prefix-too-short | head -4
+  DISCREPANCY on run 22 (case seed 336901045567871910)
+    mode: toss, compile=on planner=on index=on
+    join result multiset differs (oracle 1, executor 0)
+    shrunk to 3 document(s)
+  $ toss check --seed 42 --runs 500 --op join --inject-fault simjoin-no-recheck | head -4
+  DISCREPANCY on run 15 (case seed 3067506354810381239)
+    mode: toss, compile=on planner=on index=on
+    join result multiset differs (oracle 1, executor 4)
+    shrunk to 3 document(s)
+
 The profiler streams the query's structured events as JSONL; a
 compiled run issues no store queries, so there are no xpath_exec
 events:
@@ -189,6 +254,7 @@ registry instead of results:
   plan.docs.pruned
   planner.joins.hash
   planner.joins.nested_loop
+  planner.joins.sim
   planner.plans
   planner.plans.compiled
   pool.queue_wait.seconds
@@ -272,19 +338,19 @@ reported with a paste-into-test repro; a discrepancy exits 1:
 
 A fault injected into the compiled matcher itself — dropping the
 bubble-up of descendant-edge matches — is likewise caught and shrunk
-to a minimal corpus whose pattern has an ad edge deeper than one
-level:
+to a minimal corpus (here a join, whose sides hang off the product
+root by ad edges):
 
   $ toss check --seed 42 --runs 200 --inject-fault compile-skip-descendant-edge | head -4
-  DISCREPANCY on run 176 (case seed 289896706021864138)
+  DISCREPANCY on run 98 (case seed 979899288619961539)
     mode: tax, compile=on planner=on index=on
-    select result multiset differs (oracle 3, executor 2)
-    shrunk to 1 document(s)
+    join result multiset differs (oracle 2, executor 0)
+    shrunk to 2 document(s)
 
 Unknown fault names are rejected:
 
   $ toss check --inject-fault bogus
-  toss: unknown fault "bogus" (expected one of: none, hash-no-recheck, prune-first-only, no-dedup, compile-skip-descendant-edge)
+  toss: unknown fault "bogus" (expected one of: none, hash-no-recheck, prune-first-only, no-dedup, compile-skip-descendant-edge, simjoin-prefix-too-short, simjoin-no-recheck)
   Usage: toss check [OPTION]…
   Try 'toss check --help' or 'toss --help' for more information.
   [124]

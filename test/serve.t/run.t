@@ -11,7 +11,7 @@ Flag and usage errors come back before any socket is touched:
   $ toss serve --socket $S --domains -1 2>&1 | grep toss:
   toss: unknown option '-1'.
   $ toss client --socket $S frobnicate 2>&1 | grep toss:
-  toss: unknown op "frobnicate" (expected ping, insert, query, explain, stats, metrics or shutdown)
+  toss: unknown op "frobnicate" (expected ping, insert, query, join, explain, stats, metrics or shutdown)
   $ toss client --socket $S insert bib 2>&1 | grep toss:
   toss: insert needs COLLECTION and an XML FILE
   $ toss client --socket $D/none.sock ping 2>&1 | sed "s#$D#DIR#"
@@ -76,6 +76,25 @@ default the compiled single-pass matcher, one state per pattern node:
 
   $ toss client --socket $S explain bib "$Q" | grep -o 'compiled-match states=[0-9]*'
   compiled-match states=2
+
+A join over the wire pins both collections atomically and names both
+pinned versions in its answer. Joins bypass the result cache (its
+entries are keyed and invalidated per single collection), so no cache
+status is stamped:
+
+  $ toss client --socket $S insert reviews doc.xml
+  {"collection":"reviews","doc_id":0,"version":1}
+  $ toss client --socket $S insert reviews doc.xml
+  {"collection":"reviews","doc_id":1,"version":2}
+  $ J='MATCH #0:pt(//#1:inproceedings(/#2:booktitle), //#3:inproceedings(/#4:booktitle)) WHERE #2.content ~ #4.content SELECT #1,#3'
+  $ toss client --socket $S join bib reviews "$J" | grep -o '"left":"bib","right":"reviews","left_version":2,"right_version":2'
+  "left":"bib","right":"reviews","left_version":2,"right_version":2
+  $ toss client --socket $S join bib reviews "$J" | grep -c '"cache"'
+  0
+  [1]
+  $ toss client --socket $S join bib nope "$J"
+  error unknown_collection: unknown collection "nope"
+  [1]
 
 Server-side observability over the wire: the cache counters moved.
 
@@ -165,6 +184,24 @@ reply is the typed error alone — no partial witnesses leak:
   $ cat reply.txt
   error deadline_exceeded: deadline exceeded during execution
   $ grep -c '<' reply.txt
+  0
+  [1]
+
+The same cooperative checkpoint runs inside the similarity join's
+probe loop, so a join over the big corpus is cancellable mid-pairing
+too — again the typed error alone, never partial witnesses, with all
+four worker domains up:
+
+  $ toss client --socket $S4 insert reviews big.xml
+  {"collection":"reviews","doc_id":0,"version":1}
+  $ toss client --socket $S4 insert reviews big.xml
+  {"collection":"reviews","doc_id":1,"version":2}
+  $ J='MATCH #0:pt(//#1:inproceedings(/#2:booktitle), //#3:inproceedings(/#4:booktitle)) WHERE #2.content ~ #4.content SELECT #1,#3'
+  $ toss client --socket $S4 --deadline-ms 5 join bib reviews "$J" > jreply.txt 2>&1
+  [1]
+  $ cat jreply.txt
+  error deadline_exceeded: deadline exceeded during execution
+  $ grep -c '<' jreply.txt
   0
   [1]
   $ toss client --socket $S4 shutdown

@@ -85,13 +85,20 @@ let test_clean_run_passes () =
   | Harness.Fail { failure; _ } ->
       Alcotest.failf "unexpected discrepancy: %s" failure.Diff.detail
 
-let expect_caught ?op ~runs name fault =
+let expect_caught ?op ?max_per_side ~runs name fault =
   match Harness.run ~fault ?op ~seed:42 ~runs () with
   | Harness.Pass _ -> Alcotest.failf "%s: fault not caught in %d runs" name runs
   | Harness.Fail { failure; _ } ->
       let c = failure.Diff.case in
       let docs = List.length c.Gen.docs + List.length c.Gen.right_docs in
       checkb (name ^ ": shrunk to at most 3 documents") true (docs <= 3);
+      Option.iter
+        (fun m ->
+          checkb
+            (Printf.sprintf "%s: shrunk to at most %d document(s) per side" name m)
+            true
+            (List.length c.Gen.docs <= m && List.length c.Gen.right_docs <= m))
+        max_per_side;
       checkb (name ^ ": repro mentions the discrepancy") true
         (String.length (Harness.repro failure) > 0);
       (* The injected fault must not leak out of the run. *)
@@ -104,6 +111,20 @@ let test_fault_prune_first_only () =
 
 let test_fault_hash_no_recheck () =
   expect_caught ~op:Gen.Join ~runs:500 "hash-no-recheck" Plan.Hash_no_recheck
+
+(* The two sim-join faults bracket the operator's two proof obligations:
+   candidate completeness (a too-short signature prefix loses pairs the
+   nested-loop reference finds) and soundness (skipping the cross-
+   condition recheck emits pairs that merely share a prefix token).
+   Both must shrink to a couple of documents per side — [Sim_pair] still
+   fires there because the planner's build-side threshold is 2. *)
+let test_fault_simjoin_prefix_too_short () =
+  expect_caught ~op:Gen.Join ~max_per_side:2 ~runs:500 "simjoin-prefix-too-short"
+    Plan.Simjoin_prefix_too_short
+
+let test_fault_simjoin_no_recheck () =
+  expect_caught ~op:Gen.Join ~max_per_side:2 ~runs:500 "simjoin-no-recheck"
+    Plan.Simjoin_no_recheck
 
 (* -------------------------- shrinker ------------------------------ *)
 
@@ -141,6 +162,10 @@ let () =
             test_fault_prune_first_only;
           Alcotest.test_case "catches skipped hash recheck" `Quick
             test_fault_hash_no_recheck;
+          Alcotest.test_case "catches too-short simjoin prefixes" `Quick
+            test_fault_simjoin_prefix_too_short;
+          Alcotest.test_case "catches skipped simjoin recheck" `Quick
+            test_fault_simjoin_no_recheck;
           Alcotest.test_case "shrinker rejects passing cases" `Quick
             test_shrinker_requires_failure;
         ] );

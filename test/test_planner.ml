@@ -7,9 +7,10 @@
    and requires identical result trees (same list, same order) and
    identical embedding counts — in particular, the compiled single-pass
    matcher must agree exactly with the interpreted scan/prune/embed
-   pipeline. Unit tests pin the selectivity estimator, the
-   most-selective-first scan ordering, and the hash-vs-nested-loop
-   pairing choice. *)
+   pipeline. Joins get a fourth axis (sim-pair on/off). Unit tests pin
+   the selectivity estimator, the most-selective-first scan ordering,
+   and the hash/sim-pair/nested-loop pairing choice (including the
+   tiny-build-side fallback). *)
 
 module Tree = Toss_xml.Tree
 module Doc = Tree.Doc
@@ -83,23 +84,31 @@ let check_select_equivalent ~what coll mode ~pattern ~sl =
           checki (tag ^ ": same embeddings") e0 stats.Executor.n_embeddings)
     configs
 
+(* Joins add a fourth axis: the sim-pair operator on/off. Every
+   (compile, planner, index, simjoin) combination must return the same
+   witness trees in the same order — in particular the signature-indexed
+   pairing must agree witness-for-witness with the nested loop it
+   replaces. *)
 let check_join_equivalent ~what ~pattern ~sl =
   let reference = ref None in
   List.iter
     (fun (compile, planner, use_index) ->
-      let results, stats =
-        Executor.join ~compile ~planner ~use_index seo dblp_coll sigmod_coll
-          ~pattern ~sl
-      in
-      let tag =
-        Printf.sprintf "%s compile=%b planner=%b index=%b" what compile planner
-          use_index
-      in
-      match !reference with
-      | None -> reference := Some (results, stats.Executor.n_embeddings)
-      | Some (r0, e0) ->
-          checkb (tag ^ ": same results") true (results = r0);
-          checki (tag ^ ": same embeddings") e0 stats.Executor.n_embeddings)
+      List.iter
+        (fun simjoin ->
+          let results, stats =
+            Executor.join ~compile ~planner ~use_index ~simjoin seo dblp_coll
+              sigmod_coll ~pattern ~sl
+          in
+          let tag =
+            Printf.sprintf "%s compile=%b planner=%b index=%b simjoin=%b" what
+              compile planner use_index simjoin
+          in
+          match !reference with
+          | None -> reference := Some (results, stats.Executor.n_embeddings)
+          | Some (r0, e0) ->
+              checkb (tag ^ ": same results") true (results = r0);
+              checki (tag ^ ": same embeddings") e0 stats.Executor.n_embeddings)
+        [ true; false ])
     configs
 
 (* ------------------- equivalence: selections ---------------------- *)
@@ -189,8 +198,9 @@ let equi_join_pattern () =
   (v root condition, [ 1; 3 ])
 
 let test_join_equivalence_similarity () =
-  (* Figure 16(b): a ~ cross-condition, so both configs nested-loop; the
-     planner still reorders scans and prunes documents. *)
+  (* Figure 16(b): a ~ cross-condition — under the planner this lowers
+     to the signature-indexed sim-pair operator, whose answers must
+     match the nested-loop reference (the simjoin=false axis) exactly. *)
   let pattern, sl = Workload.join_query () in
   check_join_equivalent ~what:"sim join" ~pattern ~sl
 
@@ -272,17 +282,40 @@ let is_nested plan =
   | Plan.Dedup (Plan.Nested_loop_pair _) -> true
   | _ -> false
 
+let is_sim plan =
+  match plan.Plan.root with
+  | Plan.Dedup (Plan.Sim_pair _) -> true
+  | _ -> false
+
 let test_pairing_choice () =
   let eq_pattern, eq_sl = equi_join_pattern () in
   let sim_pattern, sim_sl = Workload.join_query () in
-  let plan_of ?optimize pattern sl =
-    Planner.plan_join ?optimize seo dblp_coll sigmod_coll ~pattern ~sl
+  let plan_of ?optimize ?simjoin pattern sl =
+    Planner.plan_join ?optimize ?simjoin seo dblp_coll sigmod_coll ~pattern ~sl
   in
   checkb "equality lowers to hash" true (is_hash (plan_of eq_pattern eq_sl));
-  checkb "similarity falls back to nested loop" true
-    (is_nested (plan_of sim_pattern sim_sl));
+  checkb "similarity lowers to sim-pair" true
+    (is_sim (plan_of sim_pattern sim_sl));
+  checkb "no sim-pair with --no-simjoin" true
+    (is_nested (plan_of ~simjoin:false sim_pattern sim_sl));
   checkb "no hash without the planner" true
     (is_nested (plan_of ~optimize:false eq_pattern eq_sl));
+  checkb "no sim-pair without the planner" true
+    (is_nested (plan_of ~optimize:false sim_pattern sim_sl));
+  (* A 1-document build side is below the planner's threshold: the
+     quadratic term is already gone, so signature construction would be
+     pure overhead. *)
+  let tiny_coll =
+    let c = Collection.create "tiny" in
+    (match Collection.add_xml c "<proceedings><confYear>1999</confYear></proceedings>" with
+    | Ok _ -> ()
+    | Error _ -> failwith "bad xml");
+    Collection.snapshot c
+  in
+  checkb "tiny build side falls back to nested loop" true
+    (is_nested
+       (Planner.plan_join seo dblp_coll tiny_coll ~pattern:sim_pattern
+          ~sl:sim_sl));
   (* Key orientation is normalized: writing the atom right-to-left must
      still be recognized. *)
   let open Pattern in
