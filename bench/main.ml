@@ -37,6 +37,12 @@ module Rewrite = Toss_core.Rewrite
 module Simjoin = Toss_core.Simjoin
 module Engine = Toss_server.Engine
 module Protocol = Toss_server.Protocol
+module Server = Toss_server.Server
+module Transport = Toss_server.Transport
+module Client = Toss_server.Client
+module Shard_map = Toss_shard.Shard_map
+module Router = Toss_shard.Router
+module Loadgen = Toss_shard.Loadgen
 module B = Toss_eval.Bench_util
 
 let metric = Workload.experiment_metric
@@ -837,6 +843,174 @@ let serve_parallel () =
   Printf.printf "serve-parallel gate: PASS\n"
 
 (* ------------------------------------------------------------------ *)
+(* Serving: scale-out -- router over shards vs a single server           *)
+(* ------------------------------------------------------------------ *)
+
+(* In-process deployment helpers: start a server/router thread, wait for
+   its ready callback, return the resolved address and a stop function
+   (shutdown over the wire + join). *)
+(* [Condition] names the TQL predicate module here, so the thread
+   primitive needs qualifying. *)
+module Condvar = Stdlib.Condition
+
+let spawn_serving run =
+  let ready = Mutex.create () in
+  let cond = Condvar.create () in
+  let started = ref false in
+  let resolved = ref "" in
+  let outcome = ref (Ok ()) in
+  let thread =
+    Thread.create
+      (fun () ->
+        outcome :=
+          run (fun addr ->
+              Mutex.lock ready;
+              resolved := addr;
+              started := true;
+              Condvar.signal cond;
+              Mutex.unlock ready))
+      ()
+  in
+  Mutex.lock ready;
+  while not !started do
+    Condvar.wait cond ready
+  done;
+  Mutex.unlock ready;
+  let stop () =
+    (match Client.connect !resolved with
+    | Ok conn ->
+        ignore (Client.call conn Protocol.Shutdown);
+        Client.close conn
+    | Error _ -> ());
+    Thread.join thread;
+    match !outcome with
+    | Ok () -> ()
+    | Error msg -> failwith ("serving thread exited with: " ^ msg)
+  in
+  (!resolved, stop)
+
+let temp_socket prefix =
+  let path = Filename.temp_file prefix ".sock" in
+  Sys.remove path;
+  path
+
+let spawn_server ?(domains = 2) () =
+  let listen = Transport.Unix_sock (temp_socket "toss_bench_srv") in
+  let config = { (Server.default_config ~listen) with Server.domains } in
+  spawn_serving (fun ready -> Server.run ~ready config)
+
+let spawn_router shards =
+  let listen = Transport.Unix_sock (temp_socket "toss_bench_rtr") in
+  let map =
+    match Shard_map.make ~shards ~replicated:[] with
+    | Ok m -> m
+    | Error msg -> failwith msg
+  in
+  spawn_serving (fun ready ->
+      Router.run ~ready (Router.default_config ~listen ~map))
+
+(* Open-loop latency of a single server vs a router over two shards, at
+   the same offered load -- the scale-out acceptance experiment. The
+   single server additionally gets a closed-loop [Client.bench] pass
+   with the same request count, whose rosy tail illustrates exactly the
+   coordinated omission [toss loadgen] exists to avoid (the open-loop
+   percentiles are measured from each request's scheduled arrival). *)
+let serve_sharded () =
+  B.print_header
+    "Serving: sharded scatter-gather vs single server (open-loop loadgen)";
+  let requests = 300 and qps = 150. in
+  let loadgen target =
+    let cfg =
+      {
+        (Loadgen.default_config ~target) with
+        Loadgen.requests;
+        qps;
+        concurrency = 8;
+        n_papers = 40;
+      }
+    in
+    match Loadgen.run cfg with
+    | Ok r ->
+        if Loadgen.failed r then
+          failwith
+            (Printf.sprintf "serve-sharded: %d transport errors against %s"
+               r.Loadgen.transport_errors target);
+        r
+    | Error msg -> failwith ("serve-sharded loadgen: " ^ msg)
+  in
+  (* Single server, open loop. *)
+  let single_addr, stop_single = spawn_server () in
+  let single = loadgen single_addr in
+  (* Same server, closed loop, the same template mix the open-loop run
+     drew from (the corpus it ingested is still resident): each worker
+     waits for its previous response, so queueing delay never accrues
+     to any request's latency. *)
+  let closed =
+    let mix = Loadgen.query_mix ~seed:42 ~n_papers:40 in
+    match
+      Client.bench ~socket:single_addr ~requests ~concurrency:8 (fun i ->
+          Protocol.Query
+            {
+              collection = "bib";
+              tql = mix.(i mod Array.length mix);
+              mode = Executor.Toss;
+              cache = true;
+            })
+    with
+    | Ok r -> r
+    | Error msg -> failwith ("serve-sharded closed-loop bench: " ^ msg)
+  in
+  stop_single ();
+  (* Two shards behind the router, same offered load. *)
+  let s1, stop1 = spawn_server () in
+  let s2, stop2 = spawn_server () in
+  let router_addr, stop_router = spawn_router [ s1; s2 ] in
+  let sharded = loadgen router_addr in
+  stop_router ();
+  stop1 ();
+  stop2 ();
+  let row name (r : Loadgen.report) =
+    [
+      name;
+      B.f2 r.Loadgen.target_qps;
+      B.f2 r.Loadgen.achieved_qps;
+      string_of_int r.Loadgen.ok;
+      B.f2 r.Loadgen.p50_ms;
+      B.f2 r.Loadgen.p99_ms;
+      B.f2 r.Loadgen.p999_ms;
+    ]
+  in
+  emit "serve-sharded"
+    ~columns:
+      [ "deployment"; "target qps"; "achieved"; "ok"; "p50 ms"; "p99 ms"; "p999 ms" ]
+    [
+      row "single" single;
+      row "router+2shards" sharded;
+      [
+        "single (closed loop)"; "-";
+        B.f2 (float_of_int closed.Client.requests /. closed.Client.elapsed_s);
+        string_of_int closed.Client.ok;
+        B.f2 closed.Client.p50_ms; "-"; B.f2 closed.Client.max_ms;
+      ];
+    ];
+  Printf.printf
+    "\nopen-loop latency is measured from each request's scheduled Poisson\n\
+     arrival, so backlog a slow answer causes is charged to the requests\n\
+     it delays; the closed-loop row issues requests only after the previous\n\
+     response (coordinated omission) and its tail is optimistic. The router\n\
+     must sustain the same offered load as the single server; its per-request\n\
+     floor adds one scatter-gather hop.\n";
+  (* The acceptance gate from the issue: the sharded deployment sustains
+     the target rate no worse than the single server (5% slack for timer
+     jitter at the 1-2 s horizon of this experiment). *)
+  if sharded.Loadgen.achieved_qps < 0.95 *. single.Loadgen.achieved_qps then
+    failwith
+      (Printf.sprintf
+         "serve-sharded gate: router sustained %.1f qps < single server's %.1f"
+         sharded.Loadgen.achieved_qps single.Loadgen.achieved_qps);
+  Printf.printf "serve-sharded gate: PASS\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per figure kernel            *)
 (* ------------------------------------------------------------------ *)
 
@@ -918,18 +1092,19 @@ let micro () =
 
 (* A small, fast, deterministic suite over the same kernels as [micro],
    measured as wall-clock medians so runs are comparable across commits.
-   [--quick] records its medians as the baseline artifact (BENCH_7.json
+   [--quick] records its medians as the baseline artifact (BENCH_8.json
    at the repo root); [--check] re-measures and fails the process when
    any median regressed beyond the tolerance. Older baselines are kept
    so earlier refactors can still be gated against: BENCH_2.json is
    pre-planner, BENCH_3.json pre-server, BENCH_4.json pre-MVCC,
-   BENCH_5.json pre-compilation, BENCH_6.json pre-simjoin (the gate
-   only iterates baseline entries, so kernels newer than a baseline are
-   ignored when checking against it). *)
+   BENCH_5.json pre-compilation, BENCH_6.json pre-simjoin,
+   BENCH_7.json pre-sharding (the gate only iterates baseline entries,
+   so kernels newer than a baseline are ignored when checking against
+   it). *)
 module Baseline = Toss_eval.Baseline
 
 let baseline_label = "toss-perf-suite"
-let default_baseline_path = "BENCH_7.json"
+let default_baseline_path = "BENCH_8.json"
 
 let perf_suite ~slowdown () =
   B.print_header "Perf suite (wall-clock medians for the regression gate)";
@@ -975,6 +1150,27 @@ let perf_suite ~slowdown () =
   in
   let sea_h = Lexicon.isa_hierarchy (Lexicon.synthetic ~seed:9 ~n_terms:200) in
   let srv = serve_engine ~seed:91 ~n_papers:100 in
+  (* Scale-out kernel deployment: the serve-uncached corpus and query,
+     but end to end through the scatter-gather router over two shard
+     servers -- so the measured delta over [serve-uncached] is the wire
+     framing, the fan-out, and the canonical merge. *)
+  let shk_s1, shk_stop1 = spawn_server () in
+  let shk_s2, shk_stop2 = spawn_server () in
+  let shk_router, shk_stop_router = spawn_router [ shk_s1; shk_s2 ] in
+  let shk_conn =
+    match Client.connect shk_router with
+    | Ok c -> c
+    | Error msg -> failwith ("serve-sharded kernel connect: " ^ msg)
+  in
+  let shk_query =
+    Protocol.Query
+      { collection = "dblp"; tql = serve_tql; mode = Executor.Toss; cache = false }
+  in
+  (let rendered = Dblp_gen.render ~seed:91 (Corpus.generate ~seed:91 ~n_papers:100 ()) in
+   let xml = Printer.to_string rendered.Dblp_gen.tree in
+   match Client.call shk_conn (Protocol.Insert { collection = "dblp"; xml }) with
+   | Ok _ -> ()
+   | Error f -> failwith ("serve-sharded kernel insert: " ^ Client.failure_to_string f));
   (* Similarity-pairing kernels at the 10k x 10k scale the regression
      gate demands. A full executor join at that scale spends minutes in
      the nested loop's per-pair environment plumbing, so the kernels
@@ -1129,6 +1325,15 @@ let perf_suite ~slowdown () =
          core this is the serial cost of 8 queries; on many it shrinks
          toward 2x one query -- either way a regression here means the
          read path started contending. *)
+      (* One uncached round trip through the router: JSON framing both
+         hops, scatter to both shards, canonical-merge of the answers.
+         Compare with serve-uncached (same corpus and query, engine
+         only) to read off the serving tier's overhead. *)
+      ("serve-sharded", runs, fun () ->
+          match Client.call shk_conn shk_query with
+          | Ok _ -> ()
+          | Error f ->
+              failwith ("serve-sharded kernel: " ^ Client.failure_to_string f));
       ("serve-par4", runs, fun () ->
           let domains =
             List.init 4 (fun _ ->
@@ -1155,9 +1360,13 @@ let perf_suite ~slowdown () =
         (name, { Baseline.median_s; runs }))
       kernels
   in
+  Client.close shk_conn;
+  shk_stop_router ();
+  shk_stop1 ();
+  shk_stop2 ();
   Baseline.v ~label:baseline_label entries
 
-(* [--quick]: run the suite and record BENCH_6.json (or --out FILE).
+(* [--quick]: run the suite and record BENCH_8.json (or --out FILE).
    [--quick --check]: run the suite, save the current measurements to
    bench_results/ (never clobbering the committed baseline), and exit
    non-zero when the gate fails. [--slowdown F] multiplies the measured
@@ -1218,13 +1427,14 @@ let experiments =
     ("abl-simjoin", abl_simjoin);
     ("serve-cache", serve_cache);
     ("serve-parallel", serve_parallel);
+    ("serve-sharded", serve_sharded);
     ("micro", micro);
   ]
 
 let usage () =
   Printf.eprintf
     "usage: bench [EXPERIMENT...]\n\
-    \       bench --quick [--out FILE]                 record BENCH_7.json\n\
+    \       bench --quick [--out FILE]                 record BENCH_8.json\n\
     \       bench --quick --check [--baseline FILE]    gate against a baseline\n\
     \            [--tolerance X] [--slowdown F] [--out FILE]\n\
      experiments: %s\n"

@@ -1,0 +1,12 @@
+set datafile separator ','
+set key autotitle columnhead
+set xlabel "deployment"
+set ylabel 'value'
+set term pngcairo size 800,500
+set output 'serve-sharded.png'
+plot 'serve-sharded.csv' using 1:2 with linespoints, \
+     'serve-sharded.csv' using 1:3 with linespoints, \
+     'serve-sharded.csv' using 1:4 with linespoints, \
+     'serve-sharded.csv' using 1:5 with linespoints, \
+     'serve-sharded.csv' using 1:6 with linespoints, \
+     'serve-sharded.csv' using 1:7 with linespoints

@@ -528,12 +528,24 @@ let stats_cmd =
 
 (* ----------------------------- serve ------------------------------ *)
 
-let serve_run socket db domains max_queue default_deadline_ms no_cache
+(* Exactly one of [--listen ADDR] (tcp:HOST:PORT / unix:PATH / bare
+   path) and the historical [--socket PATH] names the bind address. *)
+let listen_addr listen socket =
+  match (listen, socket) with
+  | Some _, Some _ -> Error "use exactly one of --listen and --socket"
+  | None, None -> Error "one of --listen or --socket is required"
+  | Some a, None -> Toss_server.Transport.parse a
+  | None, Some p -> Ok (Toss_server.Transport.Unix_sock p)
+
+let serve_run listen socket db domains max_queue default_deadline_ms no_cache
     cache_capacity eps slow_ms access_log trace_sample =
   if domains < 0 then `Error (true, "--domains must be >= 0")
   else if max_queue < 0 then `Error (true, "--max-queue must be >= 0")
   else if trace_sample < 0 then `Error (true, "--trace-sample must be >= 0")
   else begin
+    match listen_addr listen socket with
+    | Error msg -> `Error (true, msg)
+    | Ok listen ->
     Option.iter
       (fun ms ->
         Toss_obs.Event.install
@@ -545,7 +557,7 @@ let serve_run socket db domains max_queue default_deadline_ms no_cache
       slow_ms;
     let config =
       {
-        Toss_server.Server.socket_path = socket;
+        Toss_server.Server.listen;
         db_dir = db;
         domains;
         max_queue;
@@ -559,9 +571,9 @@ let serve_run socket db domains max_queue default_deadline_ms no_cache
         trace_sample;
       }
     in
-    let ready () =
+    let ready resolved =
       Printf.printf "toss serve: listening on %s (domains=%d, queue=%d, cache=%d)\n%!"
-        socket domains max_queue config.Toss_server.Server.cache_capacity
+        resolved domains max_queue config.Toss_server.Server.cache_capacity
     in
     match Toss_server.Server.run ~ready config with
     | Ok () ->
@@ -571,9 +583,17 @@ let serve_run socket db domains max_queue default_deadline_ms no_cache
   end
 
 let serve_cmd =
+  let listen =
+    Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"ADDR"
+           ~doc:"Listen address: $(b,tcp:HOST:PORT) (port 0 picks a free \
+                 port, printed on startup), $(b,unix:PATH), or a bare \
+                 socket path. Use exactly one of $(b,--listen) and \
+                 $(b,--socket).")
+  in
   let socket =
-    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
-           ~doc:"Unix-domain socket path to listen on.")
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path to listen on (shorthand for \
+                 $(b,--listen unix:PATH)).")
   in
   let db =
     Arg.(value & opt (some string) None & info [ "db" ] ~docv:"DIR"
@@ -626,18 +646,20 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Serve collections over a Unix-domain socket: a newline-delimited \
-             JSON protocol with a worker pool, per-request deadlines, \
-             admission control and a versioned result cache.")
+       ~doc:"Serve collections over a Unix-domain socket or TCP: a \
+             newline-delimited JSON protocol (with a binary framed \
+             alternative negotiated per connection) with a worker pool, \
+             per-request deadlines, admission control and a versioned \
+             result cache.")
     Term.(ret
-            (const serve_run $ socket $ db $ domains $ max_queue
+            (const serve_run $ listen $ socket $ db $ domains $ max_queue
              $ default_deadline_ms $ no_cache $ cache_capacity $ eps $ slow_ms
              $ access_log $ trace_sample))
 
 (* ----------------------------- client ----------------------------- *)
 
-let client_run socket op arg1 arg2 arg3 mode no_cache deadline_ms trace_id
-    bench concurrency allow_errors table =
+let client_run socket codec allow_partial op arg1 arg2 arg3 mode no_cache
+    deadline_ms trace_id bench concurrency allow_errors table =
   let need2 what k =
     match (arg1, arg2) with
     | Some a, Some b -> k a b
@@ -682,8 +704,12 @@ let client_run socket op arg1 arg2 arg3 mode no_cache deadline_ms trace_id
   | Ok request -> (
       match bench with
       | Some requests -> (
+          Printf.eprintf
+            "toss client: note: --bench is closed-loop and understates tail \
+             latency under load; prefer `toss loadgen` (open-loop)\n%!";
           match
-            Toss_server.Client.bench ~socket ~requests ~concurrency ?deadline_ms
+            Toss_server.Client.bench ~codec ~socket ~requests ~concurrency
+              ?deadline_ms
               (fun _ -> request)
           with
           | Error msg -> `Error (false, msg)
@@ -696,11 +722,12 @@ let client_run socket op arg1 arg2 arg3 mode no_cache deadline_ms trace_id
               then exit 1
               else `Ok ())
       | None -> (
-          match Toss_server.Client.connect ~socket with
+          match Toss_server.Client.connect ~codec socket with
           | Error msg -> `Error (false, msg)
           | Ok conn -> (
               let result =
-                Toss_server.Client.call conn ?deadline_ms ?trace_id request
+                Toss_server.Client.call conn ?deadline_ms ?trace_id
+                  ~allow_partial request
               in
               Toss_server.Client.close conn;
               match result with
@@ -728,10 +755,30 @@ let client_run socket op arg1 arg2 arg3 mode no_cache deadline_ms trace_id
                   exit 1
               | Error (Toss_server.Client.Transport msg) -> `Error (false, msg))))
 
+let codec_arg =
+  Arg.(value
+       & opt
+           (enum
+              [
+                ("json", Toss_server.Protocol.Json);
+                ("binary", Toss_server.Protocol.Binary);
+              ])
+           Toss_server.Protocol.Json
+       & info [ "codec" ] ~docv:"CODEC"
+           ~doc:"Wire codec: $(b,json) (newline-delimited, default) or \
+                 $(b,binary) (length-prefixed frames).")
+
 let client_cmd =
   let socket =
-    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
-           ~doc:"Unix-domain socket of the server.")
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"ADDR"
+           ~doc:"Server address: a Unix-domain socket path, \
+                 $(b,unix:PATH), or $(b,tcp:HOST:PORT).")
+  in
+  let allow_partial =
+    Arg.(value & flag & info [ "allow-partial" ]
+           ~doc:"Against $(b,toss router): accept a merged answer from the \
+                 reachable shards when some shard is down, instead of the \
+                 $(b,shard_unavailable) error.")
   in
   let op =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"OP"
@@ -765,7 +812,10 @@ let client_cmd =
     Arg.(value & opt (some int) None & info [ "bench" ] ~docv:"N"
            ~doc:"Closed-loop benchmark: send the request $(docv) times and \
                  print a latency/error summary as JSON. Exits 1 on any \
-                 error unless $(b,--allow-errors).")
+                 error unless $(b,--allow-errors). Deprecated for latency \
+                 measurement: closed-loop numbers hide queueing delay \
+                 (coordinated omission) — prefer $(b,toss loadgen), the \
+                 open-loop generator.")
   in
   let concurrency =
     Arg.(value & opt int 4 & info [ "concurrency" ] ~docv:"C"
@@ -787,9 +837,164 @@ let client_cmd =
        ~doc:"Talk to a running $(b,toss serve): one-shot requests or a \
              closed-loop benchmark.")
     Term.(ret
-            (const client_run $ socket $ op $ arg1 $ arg2 $ arg3 $ mode
-             $ no_cache $ deadline_ms $ trace_id $ bench $ concurrency
-             $ allow_errors $ table))
+            (const client_run $ socket $ codec_arg $ allow_partial $ op $ arg1
+             $ arg2 $ arg3 $ mode $ no_cache $ deadline_ms $ trace_id $ bench
+             $ concurrency $ allow_errors $ table))
+
+(* ----------------------------- router ----------------------------- *)
+
+let router_run listen socket shards replicate connect_retry_ms =
+  match listen_addr listen socket with
+  | Error msg -> `Error (true, msg)
+  | Ok listen -> (
+      match Toss_shard.Shard_map.make ~shards ~replicated:replicate with
+      | Error msg -> `Error (true, msg)
+      | Ok map -> (
+          let config = { Toss_shard.Router.listen; map; connect_retry_ms } in
+          let ready resolved =
+            Printf.printf "toss router: listening on %s (shards=%d)\n%!"
+              resolved
+              (Toss_shard.Shard_map.n map)
+          in
+          match Toss_shard.Router.run ~ready config with
+          | Ok () ->
+              print_endline "toss router: stopped";
+              `Ok ()
+          | Error msg -> `Error (false, msg)))
+
+let router_cmd =
+  let listen =
+    Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"ADDR"
+           ~doc:"Listen address ($(b,tcp:HOST:PORT), $(b,unix:PATH), or a \
+                 bare socket path). Use exactly one of $(b,--listen) and \
+                 $(b,--socket).")
+  in
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path to listen on.")
+  in
+  let shards =
+    Arg.(non_empty & opt_all string [] & info [ "shard" ] ~docv:"ADDR"
+           ~doc:"Address of one shard server (repeatable, order defines \
+                 shard numbering). Each shard is a plain $(b,toss serve).")
+  in
+  let replicate =
+    Arg.(value & opt_all string [] & info [ "replicate" ] ~docv:"COLLECTION"
+           ~doc:"Replicate $(docv) on every shard instead of partitioning \
+                 it (repeatable). Joins are exact when at least one side \
+                 is replicated.")
+  in
+  let connect_retry_ms =
+    Arg.(value & opt int 1000 & info [ "connect-retry-ms" ] ~docv:"MS"
+           ~doc:"Backoff budget when (re)connecting to a shard.")
+  in
+  Cmd.v
+    (Cmd.info "router"
+       ~doc:"Scatter-gather front-end over sharded $(b,toss serve) \
+             instances: speaks the same wire protocol, hash-partitions \
+             inserts, fans queries and joins out to every shard and merges \
+             the answers (canonicalized multiset union), with typed \
+             $(b,shard_unavailable) degradation and opt-in partial \
+             results.")
+    Term.(ret
+            (const router_run $ listen $ socket $ shards $ replicate
+             $ connect_retry_ms))
+
+(* ----------------------------- loadgen ---------------------------- *)
+
+let loadgen_run socket codec collection requests qps concurrency seed papers
+    zipf deadline_ms no_ingest allow_errors =
+  if requests <= 0 then `Error (true, "--requests must be positive")
+  else if qps <= 0. then `Error (true, "--qps must be positive")
+  else begin
+    let config =
+      {
+        Toss_shard.Loadgen.target = socket;
+        codec;
+        collection;
+        requests;
+        qps;
+        concurrency;
+        seed;
+        n_papers = papers;
+        zipf_s = zipf;
+        deadline_ms;
+      }
+    in
+    match Toss_shard.Loadgen.run ~ingest:(not no_ingest) config with
+    | Error msg -> `Error (false, msg)
+    | Ok report ->
+        print_endline
+          (Toss_json.to_string (Toss_shard.Loadgen.report_to_json report));
+        if (not allow_errors) && Toss_shard.Loadgen.failed report then exit 1
+        else `Ok ()
+  end
+
+let loadgen_cmd =
+  let socket =
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"ADDR"
+           ~doc:"Server or router address: a Unix-domain socket path, \
+                 $(b,unix:PATH), or $(b,tcp:HOST:PORT).")
+  in
+  let collection =
+    Arg.(value & opt string "bib" & info [ "collection" ] ~docv:"NAME"
+           ~doc:"Collection to ingest into and query.")
+  in
+  let requests =
+    Arg.(value & opt int 400 & info [ "requests" ] ~docv:"N"
+           ~doc:"Number of requests to offer.")
+  in
+  let qps =
+    Arg.(value & opt float 200. & info [ "qps" ] ~docv:"QPS"
+           ~doc:"Target offered load: Poisson arrivals at $(docv) \
+                 requests/second, scheduled up front (open loop).")
+  in
+  let concurrency =
+    Arg.(value & opt int 8 & info [ "concurrency" ] ~docv:"C"
+           ~doc:"Worker threads (connections); bounds in-flight requests. \
+                 Latency is still measured from each request's scheduled \
+                 arrival, so worker starvation shows up as tail latency \
+                 rather than vanishing.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+           ~doc:"Seed for the corpus, the query mix and the arrival \
+                 process.")
+  in
+  let papers =
+    Arg.(value & opt int 60 & info [ "papers" ] ~docv:"N"
+           ~doc:"Corpus size to generate and ingest (one document per \
+                 paper, split out by the streaming SAX selector).")
+  in
+  let zipf =
+    Arg.(value & opt float 1.1 & info [ "zipf" ] ~docv:"S"
+           ~doc:"Zipf exponent of the query-template popularity \
+                 distribution (0 = uniform).")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Per-request deadline.")
+  in
+  let no_ingest =
+    Arg.(value & flag & info [ "no-ingest" ]
+           ~doc:"Skip corpus ingest (the target already holds the corpus \
+                 from an earlier run with the same seed).")
+  in
+  let allow_errors =
+    Arg.(value & flag & info [ "allow-errors" ]
+           ~doc:"Report request errors in the summary instead of exiting 1.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Open-loop load generator: ingest a deterministic corpus over \
+             the wire, then offer a zipfian TQL query mix at a target QPS \
+             with Poisson arrivals and report p50/p90/p99/p999 latency \
+             measured from each request's scheduled arrival (no \
+             coordinated omission).")
+    Term.(ret
+            (const loadgen_run $ socket $ codec_arg $ collection $ requests
+             $ qps $ concurrency $ seed $ papers $ zipf $ deadline_ms
+             $ no_ingest $ allow_errors))
 
 let check_run seed runs op no_simjoin fault repro_out =
   match Toss_check.Harness.fault_of_string fault with
@@ -869,4 +1074,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ generate_cmd; info_cmd; xpath_cmd; ontology_cmd; clusters_cmd; dot_cmd;
-            query_cmd; stats_cmd; check_cmd; serve_cmd; client_cmd ]))
+            query_cmd; stats_cmd; check_cmd; serve_cmd; client_cmd; router_cmd;
+            loadgen_cmd ]))

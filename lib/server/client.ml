@@ -1,6 +1,11 @@
 module J = Toss_json
 
-type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  codec : Protocol.codec;
+}
 
 type failure = Wire of Protocol.error | Transport of string
 
@@ -8,37 +13,38 @@ let failure_to_string = function
   | Wire e -> Printf.sprintf "%s: %s" (Protocol.code_name e.Protocol.code) e.Protocol.message
   | Transport msg -> Printf.sprintf "transport: %s" msg
 
-let connect ~socket =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX socket) with
-  | () ->
-      Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
-  | exception Unix.Unix_error (e, _, _) ->
-      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
-      Error
-        (Printf.sprintf "cannot connect to %S: %s" socket (Unix.error_message e))
-
+let connect ?(codec = Protocol.Json) ?retry_ms socket =
+  match Transport.parse socket with
+  | Error msg -> Error msg
+  | Ok addr -> (
+      match Transport.connect ?retry_ms addr with
+      | Error msg -> Error msg
+      | Ok fd ->
+          let oc = Unix.out_channel_of_descr fd in
+          if codec = Protocol.Binary then Wire.open_binary oc;
+          Ok { fd; ic = Unix.in_channel_of_descr fd; oc; codec })
+let codec t = t.codec
 let close t = try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
 
-let call_response t ?id ?deadline_ms ?trace_id request =
-  let line =
-    Protocol.request_to_line { Protocol.id; deadline_ms; trace_id; request }
-  in
+let call_response t ?id ?deadline_ms ?trace_id ?(allow_partial = false) request
+    =
+  let env = { Protocol.id; deadline_ms; trace_id; allow_partial; request } in
   match
-    output_string t.oc line;
-    output_char t.oc '\n';
+    Wire.write t.codec t.oc (Protocol.request_to_json env);
     flush t.oc;
-    input_line t.ic
+    Wire.read_known t.codec t.ic
   with
-  | exception End_of_file -> Error (Transport "connection closed by server")
   | exception Sys_error msg -> Error (Transport msg)
-  | reply -> (
-      match Protocol.parse_response reply with
-      | Error msg -> Error (Transport ("bad response line: " ^ msg))
+  | Wire.Eof -> Error (Transport "connection closed by server")
+  | Wire.Corrupt e | Wire.Broken e ->
+      Error (Transport ("bad response: " ^ e.Protocol.message))
+  | Wire.Msg v -> (
+      match Protocol.response_of_json v with
+      | Error msg -> Error (Transport ("bad response: " ^ msg))
       | Ok resp -> Ok resp)
 
-let call t ?id ?deadline_ms ?trace_id request =
-  match call_response t ?id ?deadline_ms ?trace_id request with
+let call t ?id ?deadline_ms ?trace_id ?allow_partial request =
+  match call_response t ?id ?deadline_ms ?trace_id ?allow_partial request with
   | Error f -> Error f
   | Ok { Protocol.body = Ok payload; _ } -> Ok payload
   | Ok { Protocol.body = Error e; _ } -> Error (Wire e)
@@ -79,8 +85,8 @@ let is_cache_hit payload =
   | Some "hit" -> true
   | _ -> false
 
-let bench_thread ~socket ?deadline_ms make_request indices tally =
-  match connect ~socket with
+let bench_thread ?codec ~socket ?deadline_ms make_request indices tally =
+  match connect ?codec socket with
   | Error _ -> tally.t_transport <- tally.t_transport + List.length indices
   | Ok conn ->
       List.iter
@@ -114,10 +120,10 @@ let percentile sorted q =
       let idx = int_of_float (ceil (q *. float_of_int n)) - 1 in
       a.(max 0 (min (n - 1) idx))
 
-let bench ~socket ~requests ~concurrency ?deadline_ms make_request =
+let bench ?codec ~socket ~requests ~concurrency ?deadline_ms make_request =
   let concurrency = max 1 concurrency in
   (* Probe once so "no server" is an error, not a bench full of zeros. *)
-  match connect ~socket with
+  match connect ?codec socket with
   | Error msg -> Error msg
   | Ok probe ->
       close probe;
@@ -147,7 +153,7 @@ let bench ~socket ~requests ~concurrency ?deadline_ms make_request =
           (fun i indices ->
             Thread.create
               (fun () ->
-                bench_thread ~socket ?deadline_ms make_request indices
+                bench_thread ?codec ~socket ?deadline_ms make_request indices
                   tallies.(i))
               ())
           shares

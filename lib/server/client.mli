@@ -1,10 +1,10 @@
 (** Client for the [toss serve] wire protocol: [toss client]'s engine
     and the in-process harness of the server tests.
 
-    {!call} is synchronous (send one line, read one line). A transport
-    failure (connect refused, EOF mid-response, malformed response line)
-    is distinguished from a typed wire error so callers can tell "the
-    server said no" from "there is no server". *)
+    {!call} is synchronous (send one message, read one message). A
+    transport failure (connect refused, EOF mid-response, malformed
+    response) is distinguished from a typed wire error so callers can
+    tell "the server said no" from "there is no server". *)
 
 type t
 
@@ -14,7 +14,17 @@ type failure =
 
 val failure_to_string : failure -> string
 
-val connect : socket:string -> (t, string) result
+val connect :
+  ?codec:Protocol.codec -> ?retry_ms:int -> string -> (t, string) result
+(** Connects to a {!Transport.parse} address ([tcp:HOST:PORT],
+    [unix:PATH], or a bare socket path). [codec] defaults to [Json];
+    [Binary] sends {!Protocol.binary_magic} immediately so the whole
+    connection is binary-framed both ways. [retry_ms] bounds
+    {!Transport.connect}'s exponential-backoff retry on
+    connection-refused (default 1000 ms) — it papers over the gap
+    between a server binding its socket and accepting. *)
+
+val codec : t -> Protocol.codec
 val close : t -> unit
 
 val call :
@@ -22,6 +32,7 @@ val call :
   ?id:int ->
   ?deadline_ms:int ->
   ?trace_id:string ->
+  ?allow_partial:bool ->
   Protocol.request ->
   (Toss_json.t, failure) result
 (** One request, one response payload. [trace_id] names the request in
@@ -33,11 +44,14 @@ val call_response :
   ?id:int ->
   ?deadline_ms:int ->
   ?trace_id:string ->
+  ?allow_partial:bool ->
   Protocol.request ->
   (Protocol.response, failure) result
 (** Like {!call} but returns the whole response envelope — trace id,
     [server_ms], [queue_ms] and the body (which may itself be a wire
-    error; only transport failures surface as [Error]). *)
+    error; only transport failures surface as [Error]).
+    [allow_partial] opts into partial results from the sharded router
+    (see {!Protocol.envelope}). *)
 
 (** {1 Closed-loop load generation} — [toss client --bench] and the CI
     smoke test. *)
@@ -63,6 +77,7 @@ type bench_result = {
 }
 
 val bench :
+  ?codec:Protocol.codec ->
   socket:string ->
   requests:int ->
   concurrency:int ->
@@ -73,6 +88,12 @@ val bench :
     own connection, each thread issuing its share sequentially (closed
     loop: a thread has at most one request outstanding). The request
     factory is called with the global request index. [Error] only if no
-    connection could be established at all. *)
+    connection could be established at all.
+
+    Closed-loop numbers understate tail latency under load (coordinated
+    omission): a slow response delays the {e issuing} of subsequent
+    requests, so queueing delay hides itself. Prefer [toss loadgen]
+    ({!Toss_shard.Loadgen}) — an open-loop generator — for latency
+    measurements. *)
 
 val bench_to_json : bench_result -> Toss_json.t

@@ -5,7 +5,7 @@ module Event = Toss_obs.Event
 module Span = Toss_obs.Span
 
 type config = {
-  socket_path : string;
+  listen : Transport.addr;
   db_dir : string option;
   domains : int;
   max_queue : int;
@@ -17,9 +17,9 @@ type config = {
   trace_sample : int;
 }
 
-let default_config ~socket_path =
+let default_config ~listen =
   {
-    socket_path;
+    listen;
     db_dir = None;
     domains = 4;
     max_queue = 64;
@@ -102,6 +102,9 @@ type conn = {
   fd : Unix.file_descr;
   oc : out_channel;
   wlock : Mutex.t;
+  mutable codec : Protocol.codec;
+      (** negotiated by the connection's first byte; set (under [wlock])
+          before any request is handled *)
   mutable inflight : int;
   mutable reader_done : bool;  (** reader owns the fd and wants it closed *)
   mutable fd_closed : bool;
@@ -112,17 +115,22 @@ let conn_of_fd fd =
     fd;
     oc = Unix.out_channel_of_descr fd;
     wlock = Mutex.create ();
+    codec = Protocol.Json;
     inflight = 0;
     reader_done = false;
     fd_closed = false;
   }
 
+let set_codec conn codec =
+  Mutex.lock conn.wlock;
+  conn.codec <- codec;
+  Mutex.unlock conn.wlock
+
 let send conn resp =
   Mutex.lock conn.wlock;
   (if not conn.fd_closed then
      try
-       output_string conn.oc (Protocol.response_to_line resp);
-       output_char conn.oc '\n';
+       Wire.write conn.codec conn.oc (Protocol.response_to_json resp);
        flush conn.oc
      with Sys_error _ -> ());
   Mutex.unlock conn.wlock
@@ -326,63 +334,40 @@ let handle_request state conn (env : Protocol.envelope) =
             (Error (Protocol.error Protocol.Shutting_down "server stopping")))
 
 let handle_conn state conn =
-  let ic = Unix.in_channel_of_descr conn.fd in
+  let reader = Wire.reader (Unix.in_channel_of_descr conn.fd) in
+  let handle v =
+    match Protocol.request_of_json v with
+    | Error e ->
+        note_error e.Protocol.code;
+        send conn (Protocol.response (Error e))
+    | Ok env -> handle_request state conn env
+  in
   let rec loop () =
-    match input_line ic with
-    | exception (End_of_file | Sys_error _) -> ()
-    | line when String.trim line = "" -> loop ()
-    | line ->
-        (match Protocol.parse_request line with
-        | Error e ->
-            note_error e.Protocol.code;
-            send conn (Protocol.response (Error e))
-        | Ok env -> handle_request state conn env);
+    match Wire.read reader with
+    | Wire.Eof -> ()
+    | Wire.Msg v ->
+        set_codec conn (Wire.codec reader);
+        handle v;
         loop ()
+    | Wire.Corrupt e ->
+        (* The framing survived (bad JSON line, undecodable frame
+           payload): answer with the typed error and keep reading. *)
+        set_codec conn (Wire.codec reader);
+        note_error e.Protocol.code;
+        send conn (Protocol.response (Error e));
+        loop ()
+    | Wire.Broken e ->
+        (* Framing lost (truncated frame, oversized length): answer if
+           possible, then stop reading — the stream cannot resync. *)
+        set_codec conn (Wire.codec reader);
+        note_error e.Protocol.code;
+        send conn (Protocol.response (Error e))
   in
   Fun.protect
     ~finally:(fun () -> if remove_conn state conn.fd then release_reader conn)
     loop
 
-(* A live listener accepts (or queues) a probe connect; a stale socket
-   file left by a dead server refuses it with ECONNREFUSED (as does a
-   plain file at the path). Only claim the path in the refused case —
-   unlinking unconditionally would silently steal the address from a
-   running server, leaving it alive but unreachable. *)
-let socket_in_use path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () ->
-      match Unix.connect fd (Unix.ADDR_UNIX path) with
-      | () -> true
-      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
-          false
-      | exception Unix.Unix_error (_, _, _) ->
-          (* EACCES, EAGAIN, … — can't prove it's dead, so don't steal. *)
-          true)
-
-let bind_socket path =
-  (* ADDR_UNIX paths are limited to ~100 bytes by the kernel; fail with
-     a real message instead of a truncated bind. *)
-  if String.length path > 100 then
-    Error (Printf.sprintf "socket path too long (%d bytes): %s" (String.length path) path)
-  else if Sys.file_exists path && socket_in_use path then
-    Error
-      (Printf.sprintf "%S: a server is already listening on this socket" path)
-  else begin
-    if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ());
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    match Unix.bind fd (Unix.ADDR_UNIX path) with
-    | () ->
-        Unix.listen fd 64;
-        Ok fd
-    | exception Unix.Unix_error (e, _, _) ->
-        Unix.close fd;
-        Error
-          (Printf.sprintf "cannot bind %S: %s" path (Unix.error_message e))
-  end
-
-let run ?(ready = fun () -> ()) config =
+let run ?(ready = fun (_ : string) -> ()) config =
   match
     Engine.create ?db_dir:config.db_dir ?metric:config.metric ~eps:config.eps
       ~cache_capacity:config.cache_capacity ()
@@ -403,11 +388,11 @@ let run ?(ready = fun () -> ()) config =
       with
       | Error msg -> Error msg
       | Ok access -> (
-      match bind_socket config.socket_path with
+      match Transport.listen config.listen with
       | Error msg ->
           Option.iter (fun al -> close_out_noerr al.aoc) access;
           Error msg
-      | Ok listen_fd ->
+      | Ok (listen_fd, resolved) ->
           (* A client disconnecting mid-response must not kill the
              process. *)
           (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -425,7 +410,7 @@ let run ?(ready = fun () -> ()) config =
               threads = [];
             }
           in
-          ready ();
+          ready resolved;
           let rec accept_loop () =
             if not (stopped state) then begin
               (* Short select timeout so a shutdown request (set by a
@@ -445,7 +430,7 @@ let run ?(ready = fun () -> ()) config =
           in
           accept_loop ();
           Unix.close listen_fd;
-          (try Sys.remove config.socket_path with Sys_error _ -> ());
+          Transport.unlisten config.listen;
           (* Drain accepted work first — pending responses still flow to
              open connections — then take ownership of every remaining
              fd, wake the readers with a shutdown, and join. *)

@@ -1,11 +1,14 @@
-(** The [toss serve] daemon: a Unix-domain socket accept loop in front
-    of {!Engine} and {!Pool}.
+(** The [toss serve] daemon: an accept loop over a {!Transport} address
+    (Unix-domain socket or TCP) in front of {!Engine} and {!Pool}.
 
     Request flow (the admission-control state machine documented in
     ARCHITECTURE.md; the MVCC/domain model in docs/CONCURRENCY.md):
 
     + a connection thread (a systhread — cheap, I/O-bound) reads one
-      line and parses it;
+      message and parses it. The connection's codec is negotiated from
+      its first byte ({!Wire}): {!Protocol.binary_magic} opens a binary
+      framed stream, anything else newline-delimited JSON. Responses
+      are written in the connection's codec;
     + [ping], [stats] and [shutdown] are answered inline on the
       connection thread — they must work even when the pool is saturated
       (that is how an operator observes an overloaded server);
@@ -48,7 +51,10 @@
     (see {!Protocol}). *)
 
 type config = {
-  socket_path : string;
+  listen : Transport.addr;
+      (** where to accept connections — a Unix-domain socket path or a
+          TCP host/port (port [0] picks a free port; the resolved
+          address is passed to [run]'s [ready]) *)
   db_dir : string option;  (** hydrate from / append to this directory *)
   domains : int;
       (** query-worker domains; parallel query throughput scales with
@@ -74,12 +80,14 @@ type config = {
           nothing on unsampled requests. *)
 }
 
-val default_config : socket_path:string -> config
+val default_config : listen:Transport.addr -> config
 (** 4 domains, queue of 64, no default deadline, cache of 256,
     [eps = 2], no access log, no trace sampling. *)
 
-val run : ?ready:(unit -> unit) -> config -> (unit, string) result
-(** Binds the socket (removing a stale socket file first), calls
-    [ready] once listening, and serves until a [shutdown] request
-    arrives. Drains the pool, closes every connection and removes the
-    socket file before returning. *)
+val run : ?ready:(string -> unit) -> config -> (unit, string) result
+(** Binds the listen address (reclaiming a stale Unix socket file
+    first), calls [ready] with the resolved address ({!Transport.parse}
+    syntax; TCP port [0] is replaced by the kernel-assigned port) once
+    listening, and serves until a [shutdown] request arrives. Drains
+    the pool, closes every connection and removes the socket file (Unix
+    transport) before returning. *)

@@ -1,0 +1,152 @@
+type addr = Unix_sock of string | Tcp of string * int
+
+let to_string = function
+  | Unix_sock path -> path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let parse s =
+  let prefix p = String.length s > String.length p && String.sub s 0 (String.length p) = p in
+  let after p = String.sub s (String.length p) (String.length s - String.length p) in
+  if prefix "tcp:" then
+    let rest = after "tcp:" in
+    match String.rindex_opt rest ':' with
+    | None ->
+        Error (Printf.sprintf "%S: a TCP address is tcp:HOST:PORT" s)
+    | Some i -> (
+        let host = String.sub rest 0 i in
+        let host = if host = "" then "127.0.0.1" else host in
+        match int_of_string_opt (String.sub rest (i + 1) (String.length rest - i - 1)) with
+        | Some port when port >= 0 && port <= 65535 -> Ok (Tcp (host, port))
+        | Some _ | None ->
+            Error (Printf.sprintf "%S: TCP port must be 0-65535" s))
+  else if prefix "unix:" then Ok (Unix_sock (after "unix:"))
+  else if s = "" then Error "empty address"
+  else Ok (Unix_sock s)
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> Ok addr
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } ->
+          Error (Printf.sprintf "cannot resolve host %S" host)
+      | { Unix.h_addr_list; _ } -> Ok h_addr_list.(0)
+      | exception Not_found ->
+          Error (Printf.sprintf "cannot resolve host %S" host))
+
+(* A live listener accepts (or queues) a probe connect; a stale socket
+   file left by a dead server refuses it with ECONNREFUSED (as does a
+   plain file at the path). Only claim the path in the refused case —
+   unlinking unconditionally would silently steal the address from a
+   running server, leaving it alive but unreachable. *)
+let socket_in_use path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+          false
+      | exception Unix.Unix_error (_, _, _) ->
+          (* EACCES, EAGAIN, … — can't prove it's dead, so don't steal. *)
+          true)
+
+let listen_unix path =
+  (* ADDR_UNIX paths are limited to ~100 bytes by the kernel; fail with
+     a real message instead of a truncated bind. *)
+  if String.length path > 100 then
+    Error
+      (Printf.sprintf "socket path too long (%d bytes): %s" (String.length path)
+         path)
+  else if Sys.file_exists path && socket_in_use path then
+    Error
+      (Printf.sprintf "%S: a server is already listening on this socket" path)
+  else begin
+    if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.bind fd (Unix.ADDR_UNIX path) with
+    | () ->
+        Unix.listen fd 64;
+        Ok (fd, path)
+    | exception Unix.Unix_error (e, _, _) ->
+        Unix.close fd;
+        Error (Printf.sprintf "cannot bind %S: %s" path (Unix.error_message e))
+  end
+
+let listen_tcp host port =
+  match resolve_host host with
+  | Error msg -> Error msg
+  | Ok inet -> (
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      match Unix.bind fd (Unix.ADDR_INET (inet, port)) with
+      | () ->
+          Unix.listen fd 64;
+          (* Port 0 asks the kernel for a free port; report the one it
+             picked so tests and scripts can connect. *)
+          let resolved =
+            match Unix.getsockname fd with
+            | Unix.ADDR_INET (_, p) -> p
+            | _ -> port
+          in
+          Ok (fd, Printf.sprintf "tcp:%s:%d" host resolved)
+      | exception Unix.Unix_error (e, _, _) ->
+          Unix.close fd;
+          Error
+            (Printf.sprintf "cannot bind tcp:%s:%d: %s" host port
+               (Unix.error_message e)))
+
+let listen = function
+  | Unix_sock path -> listen_unix path
+  | Tcp (host, port) -> listen_tcp host port
+
+let unlisten = function
+  | Unix_sock path -> ( try Sys.remove path with Sys_error _ -> ())
+  | Tcp _ -> ()
+
+let sockaddr = function
+  | Unix_sock path -> Ok (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Tcp (host, port) -> (
+      match resolve_host host with
+      | Error msg -> Error msg
+      | Ok inet -> Ok (Unix.PF_INET, Unix.ADDR_INET (inet, port)))
+
+(* "The server is not up yet" errors: the socket file does not exist
+   yet (ENOENT) or nothing is accepting on the address (ECONNREFUSED).
+   Everything else — permissions, unreachable networks — fails fast. *)
+let transient = function
+  | Unix.ECONNREFUSED | Unix.ENOENT -> true
+  | _ -> false
+
+let connect ?(retry_ms = 1000) addr =
+  match sockaddr addr with
+  | Error msg -> Error msg
+  | Ok (domain, sa) ->
+      let fail e =
+        Error
+          (Printf.sprintf "cannot connect to %S: %s" (to_string addr)
+             (Unix.error_message e))
+      in
+      (* Bounded exponential backoff: 5, 10, 20, … ms until the budget
+         runs out. A racing start (router before its shards, a test
+         before its server) resolves in one or two rounds; a dead
+         address still fails within [retry_ms]. *)
+      let rec attempt ~delay_s ~budget_s =
+        let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+        match Unix.connect fd sa with
+        | () ->
+            (match addr with
+            | Tcp _ -> ( try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+            | Unix_sock _ -> ());
+            Ok fd
+        | exception Unix.Unix_error (e, _, _) ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            if transient e && budget_s > 0. then begin
+              let pause = Float.min delay_s budget_s in
+              Thread.delay pause;
+              attempt ~delay_s:(delay_s *. 2.) ~budget_s:(budget_s -. pause)
+            end
+            else fail e
+      in
+      attempt ~delay_s:0.005 ~budget_s:(float_of_int retry_ms /. 1000.)

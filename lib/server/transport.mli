@@ -1,0 +1,35 @@
+(** Server/client transports: Unix-domain sockets and TCP.
+
+    An address is written ["tcp:HOST:PORT"], ["unix:PATH"], or a bare
+    path (shorthand for a Unix socket). TCP port [0] asks the kernel
+    for a free port; {!listen} reports the resolved address so tests
+    and scripts can connect without racing for port numbers. *)
+
+type addr =
+  | Unix_sock of string  (** path of a Unix-domain stream socket *)
+  | Tcp of string * int  (** host (name or dotted quad) and port *)
+
+val parse : string -> (addr, string) result
+(** ["tcp:HOST:PORT"] (empty host means [127.0.0.1]), ["unix:PATH"],
+    or a bare path (a Unix socket). *)
+
+val to_string : addr -> string
+(** [parse (to_string a) = Ok a]; Unix sockets print as the bare
+    path. *)
+
+val listen : addr -> (Unix.file_descr * string, string) result
+(** Binds and listens; returns the listening fd and the resolved
+    address string (TCP port 0 replaced by the kernel's pick). A Unix
+    path is reclaimed if its socket file is stale, but refused if a
+    live server is accepting on it. *)
+
+val unlisten : addr -> unit
+(** Removes a Unix socket file after the listener closed; no-op for
+    TCP. *)
+
+val connect : ?retry_ms:int -> addr -> (Unix.file_descr, string) result
+(** Connects with bounded exponential backoff (5, 10, 20, … ms) while
+    the address looks like a server that has not started accepting yet
+    ([ECONNREFUSED], or [ENOENT] for a not-yet-bound Unix path), up to
+    a total budget of [retry_ms] (default 1000). Sets [TCP_NODELAY] on
+    TCP connections. Other errors fail immediately. *)

@@ -1,0 +1,328 @@
+module J = Toss_json
+module P = Toss_server.Protocol
+module Client = Toss_server.Client
+module Corpus = Toss_data.Corpus
+module Dblp_gen = Toss_data.Dblp_gen
+module Sax = Toss_xml.Sax
+module Parser = Toss_xml.Parser
+module Printer = Toss_xml.Printer
+
+type config = {
+  target : string;
+  codec : P.codec;
+  collection : string;
+  requests : int;
+  qps : float;
+  concurrency : int;
+  seed : int;
+  n_papers : int;
+  zipf_s : float;
+  deadline_ms : int option;
+}
+
+let default_config ~target =
+  {
+    target;
+    codec = P.Json;
+    collection = "bib";
+    requests = 400;
+    qps = 200.;
+    concurrency = 8;
+    seed = 42;
+    n_papers = 60;
+    zipf_s = 1.1;
+    deadline_ms = None;
+  }
+
+type report = {
+  requests : int;
+  ok : int;
+  errors : (string * int) list;
+  transport_errors : int;
+  docs : int;
+  elapsed_s : float;
+  target_qps : float;
+  achieved_qps : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  p999_ms : float;
+  max_ms : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Workload construction                                               *)
+
+let plain s =
+  (* keep template strings trivially embeddable in TQL literals *)
+  String.for_all (fun c -> c <> '"' && c <> '\\') s
+
+let rec uniq seen = function
+  | [] -> []
+  | x :: rest ->
+      if List.mem x seen then uniq seen rest else x :: uniq (x :: seen) rest
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+(* The query mix: similarity author lookups, ontology venue selections,
+   exact venue matches, and conjunctions — all built from strings the
+   rendered corpus actually contains. *)
+let templates (rendered : Dblp_gen.t) =
+  let authors =
+    uniq []
+      (List.filter_map
+         (fun (_, _, s) -> if plain s then Some s else None)
+         rendered.Dblp_gen.author_strings)
+    |> take 5
+  in
+  let venues =
+    uniq []
+      (List.filter_map
+         (fun (_, s) -> if plain s then Some s else None)
+         rendered.Dblp_gen.venue_strings)
+    |> take 3
+  in
+  let sim a =
+    Printf.sprintf
+      "MATCH #1:inproceedings(/#2:author) WHERE #2.content ~ \"%s\" SELECT #1"
+      a
+  in
+  let exact v =
+    Printf.sprintf
+      "MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content = \"%s\" \
+       SELECT #1"
+      v
+  in
+  let conj a =
+    Printf.sprintf
+      "MATCH #1:inproceedings(/#2:author, /#3:booktitle) WHERE #2.content ~ \
+       \"%s\" AND #3.content isa \"database conference\" SELECT #1"
+      a
+  in
+  let isa =
+    "MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa \"database \
+     conference\" SELECT #1"
+  in
+  Array.of_list
+    ((isa :: List.map sim authors)
+    @ List.map exact venues
+    @ take 3 (List.map conj authors))
+
+(* Zipf(s) over [0, m): cdf sampled by binary-search-free linear scan —
+   m is ~a dozen. *)
+let query_mix ~seed ~n_papers =
+  templates (Dblp_gen.render ~seed (Corpus.generate ~seed ~n_papers ()))
+
+let zipf_cdf ~s m =
+  let w = Array.init m (fun i -> 1. /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0. w in
+  let acc = ref 0. in
+  Array.map
+    (fun x ->
+      acc := !acc +. (x /. total);
+      !acc)
+    w
+
+let pick cdf u =
+  let m = Array.length cdf in
+  let rec go i = if i >= m - 1 || u <= cdf.(i) then i else go (i + 1) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Ingest: corpus -> one DBLP document -> SAX split -> wire inserts    *)
+
+let ingest_corpus cfg =
+  let corpus = Corpus.generate ~seed:cfg.seed ~n_papers:cfg.n_papers () in
+  let rendered = Dblp_gen.render ~seed:cfg.seed corpus in
+  let xml = Printer.to_string rendered.Dblp_gen.tree in
+  match Sax.trees_where (fun tag -> String.equal tag "inproceedings") xml with
+  | Error e ->
+      Error
+        (Printf.sprintf "cannot split corpus: %s"
+           (Format.asprintf "%a" Parser.pp_error e))
+  | Ok docs -> (
+      match Client.connect ~codec:cfg.codec cfg.target with
+      | Error msg -> Error msg
+      | Ok conn ->
+          let rec insert n = function
+            | [] -> Ok n
+            | d :: rest -> (
+                match
+                  Client.call conn ?deadline_ms:cfg.deadline_ms
+                    (P.Insert
+                       {
+                         collection = cfg.collection;
+                         xml = Printer.to_string ~decl:false d;
+                       })
+                with
+                | Ok _ -> insert (n + 1) rest
+                | Error f -> Error ("ingest: " ^ Client.failure_to_string f))
+          in
+          let r = insert 0 docs in
+          Client.close conn;
+          Result.map (fun n -> (n, rendered)) r)
+
+(* ------------------------------------------------------------------ *)
+(* Open-loop run                                                       *)
+
+type tally = {
+  mutable t_ok : int;
+  mutable t_errors : (string * int) list;
+  mutable t_transport : int;
+  mutable t_latencies : float list;  (* ms, completion - scheduled arrival *)
+}
+
+let count_error tally code =
+  let n = try List.assoc code tally.t_errors with Not_found -> 0 in
+  tally.t_errors <- (code, n + 1) :: List.remove_assoc code tally.t_errors
+
+let percentile sorted q =
+  match sorted with
+  | [||] -> 0.
+  | a ->
+      let n = Array.length a in
+      let idx = int_of_float (ceil (q *. float_of_int n)) - 1 in
+      a.(max 0 (min (n - 1) idx))
+
+let run ?(ingest = true) cfg =
+  let cfg = { cfg with concurrency = max 1 cfg.concurrency } in
+  if cfg.qps <= 0. then Error "qps must be positive"
+  else if cfg.requests <= 0 then Error "requests must be positive"
+  else
+    (* The template mix needs the rendered corpus even when ingest is
+       skipped; rendering is deterministic, so it matches whatever an
+       earlier run with the same seed inserted. *)
+    let setup =
+      if ingest then ingest_corpus cfg
+      else
+        let corpus = Corpus.generate ~seed:cfg.seed ~n_papers:cfg.n_papers () in
+        Ok (0, Dblp_gen.render ~seed:cfg.seed corpus)
+    in
+    match setup with
+    | Error msg -> Error msg
+    | Ok (docs, rendered) ->
+        let tmpl = templates rendered in
+        let st = Random.State.make [| cfg.seed; 0x10adf10 |] in
+        let cdf = zipf_cdf ~s:cfg.zipf_s (Array.length tmpl) in
+        (* The whole schedule — which template, and when — is drawn up
+           front: the offered load is independent of how the server
+           responds, which is the open-loop property. *)
+        let choices =
+          Array.init cfg.requests (fun _ ->
+              pick cdf (Random.State.float st 1.))
+        in
+        let arrivals =
+          let t = ref 0. in
+          Array.init cfg.requests (fun _ ->
+              let u = Random.State.float st 1. in
+              t := !t +. (-.log (1. -. u)) /. cfg.qps;
+              !t)
+        in
+        let next = Atomic.make 0 in
+        let tallies =
+          Array.init cfg.concurrency (fun _ ->
+              { t_ok = 0; t_errors = []; t_transport = 0; t_latencies = [] })
+        in
+        let t0 = Unix.gettimeofday () in
+        let worker w =
+          match Client.connect ~codec:cfg.codec cfg.target with
+          | Error _ -> ()  (* surviving workers drain the schedule *)
+          | Ok conn ->
+              let tally = tallies.(w) in
+              let rec loop () =
+                let i = Atomic.fetch_and_add next 1 in
+                if i < cfg.requests then begin
+                  let sched = t0 +. arrivals.(i) in
+                  let now = Unix.gettimeofday () in
+                  if sched > now then Thread.delay (sched -. now);
+                  let q =
+                    P.Query
+                      {
+                        collection = cfg.collection;
+                        tql = tmpl.(choices.(i));
+                        mode = Toss_core.Executor.Toss;
+                        cache = true;
+                      }
+                  in
+                  (match Client.call conn ?deadline_ms:cfg.deadline_ms q with
+                  | Ok _ -> tally.t_ok <- tally.t_ok + 1
+                  | Error (Client.Wire e) ->
+                      count_error tally (P.code_name e.P.code)
+                  | Error (Client.Transport _) ->
+                      tally.t_transport <- tally.t_transport + 1);
+                  tally.t_latencies <-
+                    ((Unix.gettimeofday () -. sched) *. 1000.)
+                    :: tally.t_latencies;
+                  loop ()
+                end
+              in
+              loop ();
+              Client.close conn
+        in
+        let threads =
+          Array.init cfg.concurrency (fun w -> Thread.create worker w)
+        in
+        Array.iter Thread.join threads;
+        let elapsed_s = Unix.gettimeofday () -. t0 in
+        let ok = Array.fold_left (fun a t -> a + t.t_ok) 0 tallies in
+        let errors =
+          Array.fold_left
+            (fun acc t ->
+              List.fold_left
+                (fun acc (code, n) ->
+                  let prev = try List.assoc code acc with Not_found -> 0 in
+                  (code, prev + n) :: List.remove_assoc code acc)
+                acc t.t_errors)
+            [] tallies
+        in
+        let transport = Array.fold_left (fun a t -> a + t.t_transport) 0 tallies in
+        let processed =
+          ok + transport + List.fold_left (fun a (_, n) -> a + n) 0 errors
+        in
+        (* requests no worker could even attempt (every connection died)
+           are transport failures too *)
+        let transport_errors = transport + (cfg.requests - processed) in
+        let lat =
+          Array.of_list
+            (List.concat_map (fun t -> t.t_latencies) (Array.to_list tallies))
+        in
+        Array.sort compare lat;
+        Ok
+          {
+            requests = cfg.requests;
+            ok;
+            errors = List.sort compare errors;
+            transport_errors;
+            docs;
+            elapsed_s;
+            target_qps = cfg.qps;
+            achieved_qps =
+              (if elapsed_s > 0. then float_of_int processed /. elapsed_s
+               else 0.);
+            p50_ms = percentile lat 0.5;
+            p90_ms = percentile lat 0.9;
+            p99_ms = percentile lat 0.99;
+            p999_ms = percentile lat 0.999;
+            max_ms = percentile lat 1.0;
+          }
+
+let report_to_json r =
+  J.Obj
+    [
+      ("requests", J.Num (float_of_int r.requests));
+      ("ok", J.Num (float_of_int r.ok));
+      ( "errors",
+        J.Obj (List.map (fun (k, n) -> (k, J.Num (float_of_int n))) r.errors) );
+      ("transport_errors", J.Num (float_of_int r.transport_errors));
+      ("docs", J.Num (float_of_int r.docs));
+      ("elapsed_s", J.Num r.elapsed_s);
+      ("target_qps", J.Num r.target_qps);
+      ("achieved_qps", J.Num r.achieved_qps);
+      ("p50_ms", J.Num r.p50_ms);
+      ("p90_ms", J.Num r.p90_ms);
+      ("p99_ms", J.Num r.p99_ms);
+      ("p999_ms", J.Num r.p999_ms);
+      ("max_ms", J.Num r.max_ms);
+    ]
+
+let failed r = r.transport_errors > 0 || r.errors <> []

@@ -1,0 +1,68 @@
+(** [toss router]: a scatter-gather front-end speaking the same wire
+    protocol as [toss serve], fanning requests out over a static
+    {!Shard_map} and merging the answers so a client cannot tell a
+    sharded deployment from a single server.
+
+    {2 Routing}
+
+    - [insert] into a partitioned collection goes to the {!Shard_map.owner}
+      shard under the collection's own name, and to every other shard
+      under the {!Shard_map.shadow} name — the vocabulary mirror that
+      keeps every shard's similarity ontology equal to an unsharded
+      server's (see {!Shard_map}). Inserts into a replicated collection
+      go to every shard verbatim. The router serializes inserts so
+      replicas and its own per-collection sequence counters stay
+      consistent; the reported [doc_id]/[version] are the router's
+      logical numbering (identical to an unsharded server's), not any
+      one shard's.
+    - [query] on a partitioned collection fans out to all shards and
+      merges: trees concatenated and canonicalized with
+      {!Toss_check.Diff.canonical} (the multiset normal form the
+      differential harness compares in), [version] = sum of shard
+      versions, [count] = merged tree count, [cache] = ["hit"] iff
+      every shard hit, plus a per-shard array of
+      [{shard, addr, server_ms, queue_ms, count}]. A shard that does
+      not know the collection contributes an empty partition;
+      [unknown_collection] propagates only when {e every} shard reports
+      it. Queries on replicated collections go to one shard (failing
+      over in map order) and pass through verbatim.
+    - [join] is exact when at least one side is replicated: the fan-out
+      computes [L_i ⋈ R] per shard and the merged union is the full
+      join. Both sides replicated routes to a single shard; both sides
+      partitioned (with more than one shard) is a typed [query_error].
+    - [explain] is answered by the first shard that knows the
+      collection; [stats] by the router's own metrics registry;
+      [metrics] merges every shard's Prometheus exposition, tagging
+      each sample with a [shard="N"] label (the router's own samples
+      get [shard="router"]); [shutdown] cascades to every shard and
+      then stops the router.
+
+    {2 Partial results}
+
+    An unreachable shard fails the requests that need it with the typed
+    [shard_unavailable] error. A request carrying ["allow_partial":true]
+    instead gets the merge of the reachable shards' answers, stamped
+    [{"partial":true, "failed":[addr, …]}] — except inserts, which are
+    never partial (a half-applied insert would silently diverge the
+    shards), and except when no shard at all is reachable.
+
+    Trace ids and deadlines propagate to every shard hop; the
+    router→shard hop always uses the binary codec. *)
+
+type config = {
+  listen : Toss_server.Transport.addr;
+  map : Shard_map.t;
+  connect_retry_ms : int;
+      (** backoff budget per shard connect (see
+          {!Toss_server.Transport.connect}) *)
+}
+
+val default_config :
+  listen:Toss_server.Transport.addr -> map:Shard_map.t -> config
+(** [connect_retry_ms = 1000]. *)
+
+val run : ?ready:(string -> unit) -> config -> (unit, string) result
+(** Binds the listen address, calls [ready] with the resolved address,
+    and serves until a [shutdown] request arrives (which cascades to
+    the shards). Connections negotiate JSON/binary per the first byte,
+    exactly like the single server. *)

@@ -69,6 +69,7 @@ has already passed (the exact failure point varies, the code does not):
 The closed-loop bench exits cleanly when every request succeeds:
 
   $ toss client --socket $S --bench 40 --concurrency 4 query bib "$Q" | grep -o '"requests":40,"ok":40'
+  toss client: note: --bench is closed-loop and understates tail latency under load; prefer `toss loadgen` (open-loop)
   "requests":40,"ok":40
 
 Explain over the wire returns the same plan the server will run — by

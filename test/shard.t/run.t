@@ -1,0 +1,121 @@
+Scale-out serving end to end: two shard servers behind a scatter-gather
+router, all over Unix-domain sockets here (the TCP transport and the
+binary codec are covered by the server unit tests and the CI smoke job).
+Socket paths must stay short, so everything lives in a fresh temp dir.
+
+  $ D=$(mktemp -d)
+  $ S1=$D/shard1.sock S2=$D/shard2.sock R=$D/router.sock
+
+  $ toss serve --socket $S1 --db $D/db1 --domains 2 > shard1.log 2>&1 &
+  $ toss serve --socket $S2 --db $D/db2 --domains 2 > shard2.log 2>&1 &
+  $ P2=$!
+  $ for i in $(seq 1 100); do [ -S $S1 ] && [ -S $S2 ] && break; sleep 0.1; done
+  $ toss router --socket $R --shard $S1 --shard $S2 --connect-retry-ms 200 > router.log 2>&1 &
+  $ for i in $(seq 1 100); do [ -S $R ] && break; sleep 0.1; done
+
+The router speaks the same wire protocol as a single server:
+
+  $ toss client --socket $R ping
+  {"pong":true}
+
+Inserts are hash-partitioned. Each document lands on exactly one owner
+shard under the collection's name — and on every other shard under the
+reserved vocabulary-shadow name, so all shards build the same
+similarity ontology as one unsharded server would. The reported doc id
+and version are the router's logical numbering, and the owner shard is
+named:
+
+  $ toss generate --papers 4 --seed 7 -o doc.xml
+  $ for i in 1 2 3 4 5 6; do toss client --socket $R insert bib doc.xml; done
+  {"collection":"bib","doc_id":0,"version":1,"shard":0}
+  {"collection":"bib","doc_id":1,"version":2,"shard":1}
+  {"collection":"bib","doc_id":2,"version":3,"shard":1}
+  {"collection":"bib","doc_id":3,"version":4,"shard":1}
+  {"collection":"bib","doc_id":4,"version":5,"shard":1}
+  {"collection":"bib","doc_id":5,"version":6,"shard":1}
+
+The durable directories make the routing visible: every document is
+owned by exactly one shard ("bib"), and every shard holds all six
+documents once shadows (".vocab.bib") are counted in:
+
+  $ ls $D/db1/bib $D/db2/bib | grep -c '\.xml'
+  6
+  $ ls $D/db1/bib $D/db1/.vocab.bib | grep -c '\.xml'
+  6
+  $ ls $D/db2/bib $D/db2/.vocab.bib | grep -c '\.xml'
+  6
+
+A query fans out to every shard and merges: the version is the sum of
+the shard versions (= the router's logical version), the witnesses are
+the canonicalized multiset union, and the answer names each shard's
+contribution. The merged cache status is "hit" only when every shard
+hit:
+
+  $ Q='MATCH #1:inproceedings(/#2:booktitle) WHERE #2.content isa "database conference" SELECT #1'
+  $ toss client --socket $R query bib "$Q" | grep -o '"collection":"bib","version":6,"count":18'
+  "collection":"bib","version":6,"count":18
+  $ toss client --socket $R query bib "$Q" | grep -o '"cache":"hit"'
+  "cache":"hit"
+  $ toss client --socket $R query bib "$Q" | grep -o '"shard":[01],"addr":"[^"]*"' | sed "s#$D#DIR#"
+  "shard":0,"addr":"DIR/shard1.sock"
+  "shard":1,"addr":"DIR/shard2.sock"
+
+A join of two partitioned collections over more than one shard cannot
+be computed exactly by broadcast, so it is a typed refusal, not a
+silently wrong answer:
+
+  $ toss client --socket $R insert reviews doc.xml > /dev/null
+  $ J='MATCH #0:pt(//#1:inproceedings(/#2:booktitle), //#3:inproceedings(/#4:booktitle)) WHERE #2.content ~ #4.content SELECT #1,#3'
+  $ toss client --socket $R join bib reviews "$J"
+  error query_error: join of two partitioned collections is not supported: replicate one side (--replicate bib or --replicate reviews) to make the broadcast join exact
+  [1]
+
+The merged Prometheus exposition tags every shard's samples, with the
+router's own under shard="router":
+
+  $ toss client --socket $R metrics | grep '^# TYPE router_requests_total'
+  # TYPE router_requests_total counter
+  $ toss client --socket $R metrics | grep -o 'shard="router"' | sort -u
+  shard="router"
+  $ toss client --socket $R metrics | grep -o 'shard="[01]"' | sort -u
+  shard="0"
+  shard="1"
+
+The open-loop load generator drives the router like any server —
+ingest through the wire, then a zipfian TQL mix at a target rate:
+
+  $ toss loadgen --socket $R --requests 60 --qps 600 --papers 8 --concurrency 4 | grep -o '"requests":60,"ok":60,"errors":{},"transport_errors":0'
+  "requests":60,"ok":60,"errors":{},"transport_errors":0
+
+Now kill shard 2 out from under the router. A fan-out request that
+needs it fails with the typed shard_unavailable error:
+
+  $ kill -9 $P2
+  $ toss client --socket $R query bib "$Q" 2>&1 | sed "s#$D#DIR#g"
+  error shard_unavailable: shard 1 (DIR/shard2.sock) unreachable: cannot connect to "DIR/shard2.sock": Connection refused (send "allow_partial":true to accept a partial result)
+
+Opting in gets the reachable shards' merged answer, stamped partial
+with the failed shard named:
+
+  $ toss client --socket $R --allow-partial query bib "$Q" | sed "s#$D#DIR#g" | grep -o '"partial":true,"failed":\["DIR/shard2.sock"\]'
+  "partial":true,"failed":["DIR/shard2.sock"]
+
+Inserts are never partial — a half-applied write would silently
+diverge the shards:
+
+  $ toss client --socket $R --allow-partial insert bib doc.xml 2>&1 | sed "s#$D#DIR#g" | sed 's/unreachable: .*/unreachable: .../'
+  error shard_unavailable: shard 1 (DIR/shard2.sock) unreachable: ...
+
+Shutdown cascades: stopping the router stops the surviving shards too:
+
+  $ toss client --socket $R shutdown
+  {"stopping":true}
+  $ wait
+  $ tail -1 router.log
+  toss router: stopped
+  $ tail -1 shard1.log
+  toss serve: stopped
+  $ grep -c listening router.log
+  1
+
+  $ rm -rf $D

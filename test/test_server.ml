@@ -15,6 +15,10 @@ module Executor = Toss_core.Executor
 module Parser = Toss_xml.Parser
 module Tree = Toss_xml.Tree
 module Metrics = Toss_obs.Metrics
+module Transport = Toss_server.Transport
+module Shard_map = Toss_shard.Shard_map
+module Router = Toss_shard.Router
+module Loadgen = Toss_shard.Loadgen
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
@@ -32,23 +36,26 @@ let temp_name prefix =
 let test_protocol_roundtrip () =
   let envs =
     [
-      { Protocol.id = None; deadline_ms = None; trace_id = None; request = Protocol.Ping };
+      { Protocol.id = None; deadline_ms = None; trace_id = None; allow_partial = false; request = Protocol.Ping };
       {
         Protocol.id = Some 7;
         deadline_ms = Some 250;
         trace_id = Some "req-7";
+        allow_partial = false;
         request = Protocol.Stats;
       };
       {
         Protocol.id = Some 1;
         deadline_ms = None;
         trace_id = None;
+        allow_partial = false;
         request = Protocol.Insert { collection = "bib"; xml = "<a b=\"c\">x</a>" };
       };
       {
         Protocol.id = None;
         deadline_ms = Some 10;
         trace_id = Some "0123456789abcdef";
+        allow_partial = false;
         request =
           Protocol.Query
             {
@@ -62,12 +69,13 @@ let test_protocol_roundtrip () =
         Protocol.id = Some 3;
         deadline_ms = None;
         trace_id = None;
+        allow_partial = false;
         request =
           Protocol.Explain
             { collection = "c"; tql = "MATCH #1:a SELECT #1"; mode = Executor.Toss };
       };
-      { Protocol.id = None; deadline_ms = None; trace_id = None; request = Protocol.Shutdown };
-      { Protocol.id = None; deadline_ms = None; trace_id = None; request = Protocol.Metrics };
+      { Protocol.id = None; deadline_ms = None; trace_id = None; allow_partial = false; request = Protocol.Shutdown };
+      { Protocol.id = None; deadline_ms = None; trace_id = None; allow_partial = false; request = Protocol.Metrics };
     ]
   in
   List.iter
@@ -276,39 +284,24 @@ let test_engine_hydration () =
 (* Live server: concurrency stress with single-threaded replay          *)
 (* ------------------------------------------------------------------ *)
 
-(* Start an in-process server on a fresh socket; returns the socket
-   path and a stop function that requests shutdown and joins. *)
-let start_server ?(domains = 3) ?(max_queue = 64) ?db_dir ?(cache_capacity = 256)
-    ?socket_path ?access_log ?(trace_sample = 0) () =
-  let socket_path =
-    match socket_path with Some p -> p | None -> temp_name "toss_srv"
-  in
-  let config =
-    {
-      (Server.default_config ~socket_path) with
-      Server.domains;
-      max_queue;
-      db_dir;
-      cache_capacity;
-      access_log;
-      trace_sample;
-    }
-  in
+(* Wait for a server/router thread to report ready, then build a stop
+   function that requests shutdown over the wire and joins. *)
+let await_ready run =
   let ready = Mutex.create () in
   let started = ref false in
   let cond = Condition.create () in
+  let resolved = ref "" in
   let outcome = ref (Ok ()) in
   let thread =
     Thread.create
       (fun () ->
         outcome :=
-          Server.run
-            ~ready:(fun () ->
+          run (fun addr ->
               Mutex.lock ready;
+              resolved := addr;
               started := true;
               Condition.signal cond;
-              Mutex.unlock ready)
-            config)
+              Mutex.unlock ready))
       ()
   in
   Mutex.lock ready;
@@ -317,7 +310,7 @@ let start_server ?(domains = 3) ?(max_queue = 64) ?db_dir ?(cache_capacity = 256
   done;
   Mutex.unlock ready;
   let stop () =
-    (match Client.connect ~socket:socket_path with
+    (match Client.connect !resolved with
     | Ok conn ->
         ignore (Client.call conn Protocol.Shutdown);
         Client.close conn
@@ -327,7 +320,33 @@ let start_server ?(domains = 3) ?(max_queue = 64) ?db_dir ?(cache_capacity = 256
     | Ok () -> ()
     | Error msg -> Alcotest.fail ("server exited with: " ^ msg)
   in
-  (socket_path, stop)
+  (!resolved, stop)
+
+(* Start an in-process server on a fresh address (a temp Unix socket
+   unless [listen] says otherwise); returns the resolved address — for
+   Unix sockets the bare path, for TCP [tcp:HOST:PORT] with the kernel-
+   chosen port — and a stop function. *)
+let start_server ?(domains = 3) ?(max_queue = 64) ?db_dir ?(cache_capacity = 256)
+    ?socket_path ?listen ?access_log ?(trace_sample = 0) () =
+  let listen =
+    match listen with
+    | Some l -> l
+    | None ->
+        Toss_server.Transport.Unix_sock
+          (match socket_path with Some p -> p | None -> temp_name "toss_srv")
+  in
+  let config =
+    {
+      (Server.default_config ~listen) with
+      Server.domains;
+      max_queue;
+      db_dir;
+      cache_capacity;
+      access_log;
+      trace_sample;
+    }
+  in
+  await_ready (fun ready -> Server.run ~ready config)
 
 type answer_obs = {
   a_tql : string;
@@ -341,7 +360,7 @@ type observation =
   | Answered of answer_obs
 
 let stress_thread socket seed ops out =
-  match Client.connect ~socket with
+  match Client.connect socket with
   | Error msg -> out := Error msg
   | Ok conn ->
       let observations = ref [] in
@@ -526,7 +545,7 @@ let test_stress_cache_metrics () =
   (* Deterministic warm-up on a quiet server: same query twice must hit,
      and the global counters must reflect it. *)
   let socket, stop = start_server () in
-  let conn = Result.get_ok (Client.connect ~socket) in
+  let conn = Result.get_ok (Client.connect socket) in
   let call request =
     match Client.call conn request with
     | Ok payload -> payload
@@ -552,7 +571,7 @@ let test_overload_and_deadline_wire () =
   (* domains=0, max_queue=0: every pooled request is shed, while ping
      and stats still answer inline. *)
   let socket, stop = start_server ~domains:0 ~max_queue:0 () in
-  let conn = Result.get_ok (Client.connect ~socket) in
+  let conn = Result.get_ok (Client.connect socket) in
   (match Client.call conn Protocol.Ping with
   | Ok _ -> ()
   | Error f -> Alcotest.fail (Client.failure_to_string f));
@@ -570,7 +589,7 @@ let test_overload_and_deadline_wire () =
   (* deadline_ms 0: the request dies of old age before or during
      execution, with the typed error either way. *)
   let socket, stop = start_server () in
-  let conn = Result.get_ok (Client.connect ~socket) in
+  let conn = Result.get_ok (Client.connect socket) in
   ignore (Client.call conn (Protocol.Insert { collection = "bib"; xml = paper 1 }));
   (match Client.call conn ~deadline_ms:0 (query_request tql) with
   | Error (Client.Wire e) ->
@@ -587,7 +606,7 @@ let test_half_close_drains_responses () =
      that pipelines requests and then half-closes its sending side must
      still receive every response. *)
   let socket, stop = start_server ~domains:1 () in
-  let conn = Result.get_ok (Client.connect ~socket) in
+  let conn = Result.get_ok (Client.connect socket) in
   ignore (Client.call conn (Protocol.Insert { collection = "bib"; xml = paper 1 }));
   Client.close conn;
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -602,6 +621,7 @@ let test_half_close_drains_responses () =
            Protocol.id = Some i;
            deadline_ms = None;
            trace_id = None;
+           allow_partial = false;
            request = query_request ~cache:false tql;
          });
     output_char oc '\n'
@@ -636,11 +656,11 @@ let test_socket_claiming () =
   let _, stop = start_server ~socket_path:path () in
   (* …but a second server must refuse a socket something is listening
      on, without unlinking it from under the live server. *)
-  (match Server.run (Server.default_config ~socket_path:path) with
+  (match Server.run (Server.default_config ~listen:(Toss_server.Transport.Unix_sock path)) with
   | Ok () -> Alcotest.fail "second server bound a live socket"
   | Error _ -> ());
   checkb "live socket not unlinked" true (Sys.file_exists path);
-  let conn = Result.get_ok (Client.connect ~socket:path) in
+  let conn = Result.get_ok (Client.connect path) in
   (match Client.call conn Protocol.Ping with
   | Ok _ -> ()
   | Error f -> Alcotest.fail (Client.failure_to_string f));
@@ -650,13 +670,13 @@ let test_socket_claiming () =
 let test_server_hydration () =
   let db_dir = temp_name "toss_srv_db" in
   let socket, stop = start_server ~db_dir () in
-  let conn = Result.get_ok (Client.connect ~socket) in
+  let conn = Result.get_ok (Client.connect socket) in
   ignore (Client.call conn (Protocol.Insert { collection = "bib"; xml = paper 1 }));
   ignore (Client.call conn (Protocol.Insert { collection = "bib"; xml = paper 2 }));
   Client.close conn;
   stop ();
   let socket, stop = start_server ~db_dir () in
-  let conn = Result.get_ok (Client.connect ~socket) in
+  let conn = Result.get_ok (Client.connect socket) in
   (match Client.call conn (query_request tql) with
   | Ok payload ->
       checkb "restarted server sees both docs" true
@@ -671,7 +691,7 @@ let test_server_hydration () =
 
 let test_trace_echo () =
   let socket, stop = start_server () in
-  let conn = Result.get_ok (Client.connect ~socket) in
+  let conn = Result.get_ok (Client.connect socket) in
   (* A client-supplied id comes back verbatim, with the server's own
      timing attached — inline and pooled ops alike. *)
   (match Client.call_response conn ~trace_id:"abc" Protocol.Ping with
@@ -719,7 +739,7 @@ let test_multidomain_slow_capture () =
          Mutex.unlock lock));
   Fun.protect ~finally:Toss_obs.Event.clear_sinks @@ fun () ->
   let socket, stop = start_server ~domains:4 () in
-  let conn = Result.get_ok (Client.connect ~socket) in
+  let conn = Result.get_ok (Client.connect socket) in
   ignore (Client.call conn (Protocol.Insert { collection = "bib"; xml = paper 1 }));
   Client.close conn;
   let n_threads = 4 and per_thread = 6 in
@@ -728,7 +748,7 @@ let test_multidomain_slow_capture () =
     Array.init n_threads (fun t ->
         Thread.create
           (fun () ->
-            match Client.connect ~socket with
+            match Client.connect socket with
             | Error msg -> failures.(t) <- Some msg
             | Ok conn ->
                 for j = 1 to per_thread do
@@ -800,7 +820,7 @@ let test_access_log () =
   Fun.protect ~finally:(fun () -> if Sys.file_exists log_path then Sys.remove log_path)
   @@ fun () ->
   let socket, stop = start_server ~access_log:log_path ~trace_sample:1 () in
-  let conn = Result.get_ok (Client.connect ~socket) in
+  let conn = Result.get_ok (Client.connect socket) in
   ignore (Client.call conn ~trace_id:"alog-i" (Protocol.Insert { collection = "bib"; xml = paper 1 }));
   ignore (Client.call conn ~trace_id:"alog-q" (query_request ~cache:false tql));
   ignore (Client.call conn Protocol.Ping);
@@ -846,6 +866,482 @@ let test_access_log () =
   let p = find_op "ping" in
   checkb "inline op gets a generated id" true (str "trace_id" p <> None)
 
+(* ------------------------------------------------------------------ *)
+(* Binary codec properties                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Values whose JSON text rendering round-trips exactly: quarters stay
+   finite in decimal, so the same generator serves both codecs and the
+   cross-codec comparison below is an equality, not an approximation. *)
+let gen_json =
+  QCheck2.Gen.(
+    sized
+    @@ fix (fun self n ->
+           let leaf =
+             oneof
+               [
+                 return J.Null;
+                 map (fun b -> J.Bool b) bool;
+                 map
+                   (fun i -> J.Num (float_of_int i /. 4.))
+                   (int_range (-4000) 4000);
+                 map (fun s -> J.Str s) (string_size (int_range 0 12));
+               ]
+           in
+           if n = 0 then leaf
+           else
+             let keys =
+               string_size ~gen:(char_range 'a' 'z') (int_range 1 6)
+             in
+             let dedup l =
+               List.rev
+                 (List.fold_left
+                    (fun acc (k, v) ->
+                      if List.mem_assoc k acc then acc else (k, v) :: acc)
+                    [] l)
+             in
+             oneof
+               [
+                 leaf;
+                 map (fun l -> J.Arr l) (list_size (int_range 0 4) (self (n / 2)));
+                 map
+                   (fun l -> J.Obj (dedup l))
+                   (list_size (int_range 0 4) (pair keys (self (n / 2))));
+               ]))
+
+let gen_envelope =
+  QCheck2.Gen.(
+    let name = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+    let mode = oneofl [ Executor.Tax; Executor.Toss ] in
+    let gen_request =
+      oneof
+        [
+          oneofl [ Protocol.Ping; Protocol.Stats; Protocol.Metrics; Protocol.Shutdown ];
+          map2
+            (fun collection xml -> Protocol.Insert { collection; xml })
+            name (string_size (int_range 0 24));
+          map3
+            (fun collection tql (mode, cache) ->
+              Protocol.Query { collection; tql; mode; cache })
+            name (string_size (int_range 0 24)) (pair mode bool);
+          map3
+            (fun (left, right) tql mode -> Protocol.Join { left; right; tql; mode })
+            (pair name name) (string_size (int_range 0 24)) mode;
+          map3
+            (fun collection tql mode -> Protocol.Explain { collection; tql; mode })
+            name (string_size (int_range 0 24)) mode;
+        ]
+    in
+    let trace = string_size ~gen:(char_range 'a' 'z') (int_range 1 16) in
+    map3
+      (fun (id, deadline_ms) (trace_id, allow_partial) request ->
+        { Protocol.id; deadline_ms; trace_id; allow_partial; request })
+      (pair (opt (int_bound 10000)) (opt (int_bound 10000)))
+      (pair (opt trace) bool)
+      gen_request)
+
+let gen_response =
+  QCheck2.Gen.(
+    let quarters = map (fun i -> float_of_int i /. 4.) (int_bound 40000) in
+    let err =
+      map2
+        (fun code message -> Protocol.error code message)
+        (oneofl
+           [
+             Protocol.Bad_request;
+             Protocol.Parse_error;
+             Protocol.Overloaded;
+             Protocol.Shard_unavailable;
+             Protocol.Internal;
+           ])
+        (string_size (int_range 0 24))
+    in
+    map3
+      (fun (id, trace_id) (server_ms, queue_ms) body ->
+        {
+          Protocol.rid = id;
+          rtrace_id = trace_id;
+          server_ms;
+          queue_ms;
+          body;
+        })
+      (pair (opt (int_bound 10000))
+         (opt (string_size ~gen:(char_range 'a' 'z') (int_range 1 16))))
+      (pair (opt quarters) (opt quarters))
+      (oneof [ map Result.ok gen_json; map Result.error err ]))
+
+let is_parse_error = function
+  | Error e -> e.Protocol.code = Protocol.Parse_error
+  | Ok _ -> false
+
+let prop_binary_value_roundtrip =
+  QCheck2.Test.make ~name:"binary value and frame round-trip" ~count:300
+    gen_json (fun v ->
+      Protocol.decode_binary (Protocol.encode_binary v) = Ok v
+      && Protocol.decode_frame (Protocol.encode_frame v) = Ok v)
+
+let prop_binary_envelope_roundtrip =
+  QCheck2.Test.make ~name:"framed request envelope round-trip" ~count:300
+    gen_envelope (fun env ->
+      match Protocol.decode_frame (Protocol.encode_frame (Protocol.request_to_json env)) with
+      | Error _ -> false
+      | Ok v -> Protocol.request_of_json v = Ok env)
+
+let prop_truncated_frame_rejected =
+  (* Every proper prefix of a valid frame is a typed parse_error —
+     never an exception, never a bogus decode. *)
+  QCheck2.Test.make ~name:"truncated frames are typed parse_errors" ~count:150
+    QCheck2.Gen.(pair gen_json (float_bound_inclusive 1.))
+    (fun (v, frac) ->
+      let frame = Protocol.encode_frame v in
+      let k = int_of_float (frac *. float_of_int (String.length frame - 1)) in
+      is_parse_error (Protocol.decode_frame (String.sub frame 0 k)))
+
+let test_oversized_frame_rejected () =
+  (* A header announcing more than max_frame is rejected from the
+     4 header bytes alone, before any payload allocation. *)
+  let header n =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_be b 0 (Int32.of_int n);
+    Bytes.to_string b
+  in
+  checkb "oversized length via frame_length" true
+    (is_parse_error (Protocol.frame_length (header (Protocol.max_frame + 1))));
+  checkb "oversized length via decode_frame" true
+    (is_parse_error (Protocol.decode_frame (header (Protocol.max_frame + 1) ^ "x")));
+  checkb "short header" true (is_parse_error (Protocol.frame_length "ab"));
+  checkb "sane length accepted" true (Protocol.frame_length (header 5) = Ok 5);
+  (* Framing intact, payload garbage: still typed, still no exception. *)
+  checkb "unknown tag" true
+    (is_parse_error (Protocol.decode_frame (header 1 ^ "Z")));
+  checkb "trailing bytes" true
+    (is_parse_error
+       (Protocol.decode_frame (header 2 ^ Protocol.encode_binary J.Null ^ "N")))
+
+let prop_cross_codec_responses =
+  (* One response value, both codecs: the JSON line and the binary
+     frame must decode to the same response. *)
+  QCheck2.Test.make ~name:"responses agree across codecs" ~count:300
+    gen_response (fun r ->
+      let via_json = Protocol.parse_response (Protocol.response_to_line r) in
+      let via_binary =
+        match Protocol.decode_frame (Protocol.encode_frame (Protocol.response_to_json r)) with
+        | Error e -> Error e.Protocol.message
+        | Ok v -> Protocol.response_of_json v
+      in
+      via_json = Ok r && via_binary = Ok r)
+
+(* ------------------------------------------------------------------ *)
+(* TCP transport, binary connections, connect retry                     *)
+(* ------------------------------------------------------------------ *)
+
+let payload_canonical payload =
+  match Option.bind (J.member "trees" payload) J.to_list with
+  | None -> Alcotest.fail "payload without trees"
+  | Some trees ->
+      canonical_xml
+        (List.map
+           (fun t -> Parser.parse_exn (Option.get (J.to_str t)))
+           trees)
+
+let call_ok conn request =
+  match Client.call conn request with
+  | Ok payload -> payload
+  | Error f -> Alcotest.fail (Client.failure_to_string f)
+
+let test_tcp_and_binary_live () =
+  let addr, stop = start_server ~listen:(Transport.Tcp ("127.0.0.1", 0)) () in
+  checkb "port 0 resolved to a concrete port" true
+    (String.length addr > String.length "tcp:127.0.0.1:");
+  let bin = Result.get_ok (Client.connect ~codec:Protocol.Binary addr) in
+  checkb "binary codec negotiated" true (Client.codec bin = Protocol.Binary);
+  (match Client.call bin Protocol.Ping with
+  | Ok _ -> ()
+  | Error f -> Alcotest.fail (Client.failure_to_string f));
+  ignore (call_ok bin (Protocol.Insert { collection = "bib"; xml = paper 1 }));
+  ignore (call_ok bin (Protocol.Insert { collection = "bib"; xml = paper 2 }));
+  let rb = call_ok bin (query_request ~cache:false tql) in
+  (* A JSON client on the same TCP server sees the identical answer:
+     the codec is per-connection framing, nothing more. *)
+  let js = Result.get_ok (Client.connect addr) in
+  checkb "json is still the default" true (Client.codec js = Protocol.Json);
+  let rj = call_ok js (query_request ~cache:false tql) in
+  checkb "versions agree across codecs" true
+    (member_int "version" rb = member_int "version" rj);
+  checkb "counts agree across codecs" true
+    (member_int "count" rb = member_int "count" rj);
+  checkb "witnesses agree across codecs" true
+    (payload_canonical rb = payload_canonical rj);
+  (* Typed errors survive the binary framing too. *)
+  (match
+     Client.call bin
+       (Protocol.Query
+          { collection = "nope"; tql; mode = Executor.Toss; cache = true })
+   with
+  | Error (Client.Wire e) ->
+      checks "typed error over binary" "unknown_collection"
+        (Protocol.code_name e.Protocol.code)
+  | Ok _ | Error (Client.Transport _) -> Alcotest.fail "expected unknown_collection");
+  Client.close bin;
+  Client.close js;
+  stop ()
+
+let test_connect_retry () =
+  (* No server at all: the bounded retry gives up with the plain
+     connect error. *)
+  let path = temp_name "toss_retry" in
+  (match Client.connect ~retry_ms:50 path with
+  | Ok _ -> Alcotest.fail "connected to nothing"
+  | Error msg ->
+      checkb "connect error names the address" true
+        (String.length msg > 0
+        && String.sub msg 0 (min 14 (String.length msg)) = "cannot connect"));
+  (* Server comes up 300 ms after the client starts dialing: the
+     backoff loop rides out the gap. *)
+  let stop_box = ref None in
+  let box_lock = Mutex.create () in
+  let starter =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.3;
+        let _, stop = start_server ~socket_path:path () in
+        Mutex.lock box_lock;
+        stop_box := Some stop;
+        Mutex.unlock box_lock)
+      ()
+  in
+  (match Client.connect ~retry_ms:5000 path with
+  | Error msg -> Alcotest.fail ("retry did not ride out the gap: " ^ msg)
+  | Ok conn ->
+      (match Client.call conn Protocol.Ping with
+      | Ok _ -> ()
+      | Error f -> Alcotest.fail (Client.failure_to_string f));
+      Client.close conn);
+  Thread.join starter;
+  Mutex.lock box_lock;
+  let stop = Option.get !stop_box in
+  Mutex.unlock box_lock;
+  stop ()
+
+(* ------------------------------------------------------------------ *)
+(* Sharded router                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let start_router ?listen ?(connect_retry_ms = 300) ?(replicated = []) shards =
+  let listen =
+    match listen with
+    | Some l -> l
+    | None -> Transport.Unix_sock (temp_name "toss_rtr")
+  in
+  let map =
+    match Shard_map.make ~shards ~replicated with
+    | Ok m -> m
+    | Error msg -> Alcotest.fail msg
+  in
+  let config = { (Router.default_config ~listen ~map) with Router.connect_retry_ms } in
+  await_ready (fun ready -> Router.run ~ready config)
+
+(* The differential gate of ISSUE.md: a router over two shards must be
+   indistinguishable — witness for witness, after Diff.canonical — from
+   a single unsharded server over the same corpus, across both codecs
+   and both transports. *)
+let test_router_differential_gate () =
+  let join_tql =
+    "MATCH #0:pt(//#1:paper(/#2:author), //#3:paper(/#4:author)) WHERE \
+     #2.content ~ #4.content SELECT #1,#3"
+  in
+  let queries =
+    [
+      tql;
+      "MATCH #1:paper(/#2:title) WHERE #2.content ~ \"T2\" SELECT #1";
+      "MATCH #1:paper(/#2:author) WHERE #2.content = \"Name3\" SELECT #1";
+    ]
+  in
+  let combos =
+    [
+      (Transport.Unix_sock (temp_name "toss_rtr"), Protocol.Json);
+      (Transport.Unix_sock (temp_name "toss_rtr"), Protocol.Binary);
+      (Transport.Tcp ("127.0.0.1", 0), Protocol.Json);
+      (Transport.Tcp ("127.0.0.1", 0), Protocol.Binary);
+    ]
+  in
+  List.iter
+    (fun (listen, codec) ->
+      let label =
+        Printf.sprintf "[%s %s]"
+          (match listen with Transport.Unix_sock _ -> "unix" | Transport.Tcp _ -> "tcp")
+          (Protocol.codec_name codec)
+      in
+      let single_addr, stop_single = start_server () in
+      let s1, stop1 = start_server () in
+      let s2, stop2 = start_server () in
+      let router_addr, stop_router =
+        start_router ~listen ~replicated:[ "refs" ] [ s1; s2 ]
+      in
+      let single = Result.get_ok (Client.connect single_addr) in
+      let routed = Result.get_ok (Client.connect ~codec router_addr) in
+      (* Same inserts, same order, into both deployments; the router's
+         logical numbering must match the single server's exactly. *)
+      for i = 1 to 6 do
+        let req = Protocol.Insert { collection = "bib"; xml = paper i } in
+        let a = call_ok single req and b = call_ok routed req in
+        checkb
+          (label ^ " insert numbering matches the single server")
+          true
+          (member_int "doc_id" a = member_int "doc_id" b
+          && member_int "version" a = member_int "version" b);
+        checkb (label ^ " routed insert names its shard") true
+          (member_int "shard" b <> None)
+      done;
+      for i = 2 to 4 do
+        let req = Protocol.Insert { collection = "refs"; xml = paper i } in
+        ignore (call_ok single req);
+        ignore (call_ok routed req)
+      done;
+      (* Partitioned queries: fan-out + canonical merge == one server. *)
+      List.iter
+        (fun q ->
+          let req = query_request ~cache:false q in
+          let a = call_ok single req and b = call_ok routed req in
+          checkb (label ^ " version agrees: " ^ q) true
+            (member_int "version" a = member_int "version" b);
+          checkb (label ^ " count agrees: " ^ q) true
+            (member_int "count" a = member_int "count" b);
+          checkb (label ^ " witnesses agree: " ^ q) true
+            (payload_canonical a = payload_canonical b))
+        queries;
+      (* Replicated collection: routed to one shard, same answer. *)
+      let rq =
+        Protocol.Query
+          {
+            collection = "refs";
+            tql = "MATCH #1:paper(/#2:title) WHERE #2.content ~ \"T3\" SELECT #1";
+            mode = Executor.Toss;
+            cache = false;
+          }
+      in
+      let a = call_ok single rq and b = call_ok routed rq in
+      checkb (label ^ " replicated query agrees") true
+        (payload_canonical a = payload_canonical b
+        && member_int "count" a = member_int "count" b);
+      (* Join with a replicated right side: broadcast L_i ⋈ R is exact. *)
+      let jreq =
+        Protocol.Join
+          { left = "bib"; right = "refs"; tql = join_tql; mode = Executor.Toss }
+      in
+      let a = call_ok single jreq and b = call_ok routed jreq in
+      checkb (label ^ " join witnesses agree") true
+        (payload_canonical a = payload_canonical b);
+      checkb (label ^ " join count agrees") true
+        (member_int "count" a = member_int "count" b);
+      checkb (label ^ " join versions agree") true
+        (member_int "left_version" a = member_int "left_version" b
+        && member_int "right_version" a = member_int "right_version" b);
+      (* Both sides partitioned over >1 shard: typed refusal, not a
+         silently inexact answer. *)
+      ignore (call_ok single (Protocol.Insert { collection = "bib2"; xml = paper 9 }));
+      ignore (call_ok routed (Protocol.Insert { collection = "bib2"; xml = paper 9 }));
+      (match
+         Client.call routed
+           (Protocol.Join
+              { left = "bib"; right = "bib2"; tql = join_tql; mode = Executor.Toss })
+       with
+      | Error (Client.Wire e) ->
+          checks (label ^ " partitioned-partitioned join refused") "query_error"
+            (Protocol.code_name e.Protocol.code)
+      | Ok _ | Error (Client.Transport _) ->
+          Alcotest.fail (label ^ " expected query_error for partitioned join"));
+      (* Shadow names are reserved for the router's own mirroring. *)
+      (match
+         Client.call routed
+           (Protocol.Insert { collection = ".vocab.bib"; xml = paper 1 })
+       with
+      | Error (Client.Wire e) ->
+          checks (label ^ " shadow collection rejected") "bad_request"
+            (Protocol.code_name e.Protocol.code)
+      | Ok _ | Error (Client.Transport _) ->
+          Alcotest.fail (label ^ " expected bad_request for shadow name"));
+      Client.close single;
+      Client.close routed;
+      stop_router ();
+      stop1 ();
+      stop2 ();
+      stop_single ())
+    combos
+
+let test_router_shard_loss () =
+  let s1, stop1 = start_server () in
+  let s2, stop2 = start_server () in
+  let router_addr, stop_router = start_router ~connect_retry_ms:50 [ s1; s2 ] in
+  let conn = Result.get_ok (Client.connect router_addr) in
+  for i = 1 to 4 do
+    ignore (call_ok conn (Protocol.Insert { collection = "bib"; xml = paper i }))
+  done;
+  let full = call_ok conn (query_request ~cache:false tql) in
+  checkb "full answer before the loss" true (member_int "count" full = Some 4);
+  checkb "not partial when all shards answer" true
+    (J.member "partial" full = None);
+  (* Kill shard 2 out from under the router. *)
+  stop2 ();
+  (match Client.call conn (query_request ~cache:false tql) with
+  | Error (Client.Wire e) ->
+      checks "typed shard_unavailable" "shard_unavailable"
+        (Protocol.code_name e.Protocol.code)
+  | Ok _ | Error (Client.Transport _) -> Alcotest.fail "expected shard_unavailable");
+  (* Opting in gets the survivors' merged answer, stamped partial. *)
+  (match
+     Client.call_response conn ~allow_partial:true (query_request ~cache:false tql)
+   with
+  | Ok { Protocol.body = Ok payload; _ } ->
+      checkb "partial stamp" true (J.member "partial" payload = Some (J.Bool true));
+      let failed =
+        Option.value ~default:[]
+          (Option.bind (J.member "failed" payload) J.to_list)
+      in
+      checkb "failed shard named" true (List.length failed = 1);
+      let n = Option.get (member_int "count" payload) in
+      checkb "survivors' answer is a sub-multiset" true (n >= 0 && n <= 4)
+  | Ok { Protocol.body = Error e; _ } ->
+      Alcotest.fail ("partial query failed: " ^ e.Protocol.message)
+  | Error f -> Alcotest.fail (Client.failure_to_string f));
+  (* Inserts are never partial: a half-applied write would silently
+     diverge the shards. *)
+  (match
+     Client.call conn ~allow_partial:true
+       (Protocol.Insert { collection = "bib"; xml = paper 9 })
+   with
+  | Error (Client.Wire e) ->
+      checks "insert refuses partial application" "shard_unavailable"
+        (Protocol.code_name e.Protocol.code)
+  | Ok _ | Error (Client.Transport _) -> Alcotest.fail "expected shard_unavailable");
+  Client.close conn;
+  stop_router ();
+  stop1 ()
+
+let test_loadgen_open_loop () =
+  let addr, stop = start_server () in
+  let cfg =
+    {
+      (Loadgen.default_config ~target:addr) with
+      Loadgen.requests = 40;
+      qps = 400.;
+      concurrency = 4;
+      n_papers = 10;
+    }
+  in
+  (match Loadgen.run cfg with
+  | Error msg -> Alcotest.fail msg
+  | Ok r ->
+      checkb "no request failed" true (not (Loadgen.failed r));
+      checki "every request answered" 40 r.Loadgen.ok;
+      checkb "corpus ingested through the wire" true (r.Loadgen.docs > 0);
+      checkb "rate measured" true (r.Loadgen.achieved_qps > 0.);
+      checkb "percentiles ordered" true
+        (r.Loadgen.p50_ms <= r.Loadgen.p99_ms
+        && r.Loadgen.p99_ms <= r.Loadgen.p999_ms
+        && r.Loadgen.p999_ms <= r.Loadgen.max_ms));
+  stop ()
+
 let () =
   Alcotest.run "toss_server"
     [
@@ -881,6 +1377,15 @@ let () =
           Alcotest.test_case "parallel pinned queries" `Quick
             test_parallel_pinned_queries;
         ] );
+      ( "binary codec",
+        [
+          QCheck_alcotest.to_alcotest prop_binary_value_roundtrip;
+          QCheck_alcotest.to_alcotest prop_binary_envelope_roundtrip;
+          QCheck_alcotest.to_alcotest prop_truncated_frame_rejected;
+          Alcotest.test_case "oversized and corrupt frames" `Quick
+            test_oversized_frame_rejected;
+          QCheck_alcotest.to_alcotest prop_cross_codec_responses;
+        ] );
       ( "live server",
         [
           Alcotest.test_case "stress replay" `Slow test_stress_replay;
@@ -893,6 +1398,18 @@ let () =
           Alcotest.test_case "half-close drains responses" `Quick
             test_half_close_drains_responses;
           Alcotest.test_case "socket claiming" `Quick test_socket_claiming;
+          Alcotest.test_case "tcp transport and binary codec" `Quick
+            test_tcp_and_binary_live;
+          Alcotest.test_case "connect retry" `Quick test_connect_retry;
+        ] );
+      ( "sharded router",
+        [
+          Alcotest.test_case "differential gate vs single server" `Slow
+            test_router_differential_gate;
+          Alcotest.test_case "shard loss and partial results" `Quick
+            test_router_shard_loss;
+          Alcotest.test_case "open-loop load generator" `Quick
+            test_loadgen_open_loop;
         ] );
       ( "tracing",
         [
